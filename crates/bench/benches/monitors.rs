@@ -1,0 +1,77 @@
+//! Voltage-monitor cost benchmarks: per-cycle work of the truncated
+//! wavelet convolution vs the full time-domain convolution — the
+//! hardware-complexity argument of paper §5.2, measured in software.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use didt_core::monitor::{CycleSense, FullConvolutionMonitor, VoltageMonitor, WaveletMonitorDesign};
+use didt_pdn::SecondOrderPdn;
+use std::hint::black_box;
+
+fn pdn() -> SecondOrderPdn {
+    SecondOrderPdn::from_resonance(100e6, 2.2, 4e-4, 1.0, 3e9).expect("pdn")
+}
+
+fn current(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| if (i / 15) % 2 == 0 { 48.0 } else { 14.0 })
+        .collect()
+}
+
+fn bench_wavelet_terms(c: &mut Criterion) {
+    let p = pdn();
+    let design = WaveletMonitorDesign::new(&p, 256).expect("design");
+    let trace = current(4096);
+    let mut g = c.benchmark_group("wavelet_monitor_per_4096_cycles");
+    for k in [9usize, 13, 20, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mon = design.build(k, 0).expect("monitor");
+                let mut acc = 0.0;
+                for &i in &trace {
+                    acc += mon.observe(CycleSense {
+                        current: i,
+                        voltage: 1.0,
+                    });
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_convolution(c: &mut Criterion) {
+    let p = pdn();
+    let trace = current(4096);
+    let mut g = c.benchmark_group("full_convolution_per_4096_cycles");
+    for taps in [64usize, 256, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(taps), &taps, |b, &taps| {
+            b.iter(|| {
+                let mut mon = FullConvolutionMonitor::new(&p, taps, 0);
+                let mut acc = 0.0;
+                for &i in &trace {
+                    acc += mon.observe(CycleSense {
+                        current: i,
+                        voltage: 1.0,
+                    });
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wavelet_terms, bench_full_convolution
+}
+criterion_main!(benches);

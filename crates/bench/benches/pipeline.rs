@@ -1,0 +1,58 @@
+//! Simulator throughput benchmarks: cycles per second of the cycle-level
+//! core, alone and inside the closed control loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
+use didt_core::DidtSystem;
+use didt_uarch::{Benchmark, ControlAction, Processor, ProcessorConfig, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_core_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_20k_cycles");
+    for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Swim] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let gen = WorkloadGenerator::new(bench.profile(), 1);
+                    let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+                    let mut acc = 0.0;
+                    for _ in 0..20_000 {
+                        acc += cpu.step(ControlAction::Normal).current;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(150.0).expect("pdn");
+    let cfg = ClosedLoopConfig {
+        warmup_cycles: 1_000,
+        instructions: 5_000,
+        ..ClosedLoopConfig::standard(Benchmark::Gzip)
+    };
+    let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
+    c.bench_function("closed_loop_5k_instructions", |b| {
+        b.iter(|| black_box(harness.run(&mut NoControl).expect("run")));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_core_throughput, bench_closed_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Extension: the offline estimator (§4) predicts online control
+//! engagement (§5).
+//!
+//! The paper motivates the offline model as a way to "estimate how often
+//! a given program will require dI/dt control". This experiment closes
+//! that loop quantitatively: for every benchmark, compare the offline
+//! estimate of the fraction of cycles below the control point against
+//! the measured fraction of stall cycles in the closed control loop.
+
+use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_core::characterize::{EmergencyEstimator, ScaleGainModel, VarianceModel};
+use didt_core::control::{ClosedLoop, ClosedLoopConfig, ThresholdController};
+use didt_core::monitor::WaveletMonitorDesign;
+use didt_uarch::Benchmark;
+
+fn main() {
+    let sys = standard_system();
+    let pdn = sys.pdn_at(150.0).expect("pdn");
+    let gains = ScaleGainModel::calibrate(&pdn, 64, 0xCAB1).expect("gains");
+    // Predict exposure at the monitor's low control point.
+    let estimator = EmergencyEstimator::new(VarianceModel::new(gains), 0.975);
+    let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
+
+    println!("== extension: offline estimate vs measured control engagement (150%) ==\n");
+    let mut t = TextTable::new(&["bench", "offline est.", "measured stall frac"]);
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for bench in Benchmark::all() {
+        let trace = benchmark_trace(&sys, bench);
+        let (est, _, _) = estimator.estimate_trace(&trace.samples).expect("estimate");
+
+        let cfg = ClosedLoopConfig {
+            warmup_cycles: 30_000,
+            instructions: 40_000,
+            ..ClosedLoopConfig::standard(bench)
+        };
+        let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
+        let mut ctl =
+            ThresholdController::new(design.build(13, 1).expect("monitor"), 0.975, 1.025, 0.004);
+        let r = harness.run(&mut ctl).expect("run");
+        let stall_frac = r.stall_cycles as f64 / r.cycles as f64;
+        pairs.push((est, stall_frac));
+        t.row_owned(vec![
+            bench.name().to_string(),
+            format!("{:6.2}%", 100.0 * est),
+            format!("{:6.2}%", 100.0 * stall_frac),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Rank correlation between offline estimate and measured engagement.
+    let corr = rank_correlation(&pairs);
+    println!("\nSpearman rank correlation (estimate vs engagement): {corr:.3}");
+    println!("a high correlation means the offline profile alone can plan the");
+    println!("control budget per workload, as the paper's §4 intends");
+}
+
+/// Spearman rank correlation of (x, y) pairs.
+fn rank_correlation(pairs: &[(f64, f64)]) -> f64 {
+    let rank = |vals: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
+        let mut ranks = vec![0.0; vals.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let rx = rank(pairs.iter().map(|p| p.0).collect());
+    let ry = rank(pairs.iter().map(|p| p.1).collect());
+    didt_stats::pearson(&rx, &ry).unwrap_or(0.0)
+}

@@ -1,0 +1,74 @@
+//! Figure 6: chi-squared Gaussianity acceptance rate at 95 %
+//! significance for 32/64/128-cycle windows, by suite.
+//!
+//! Also prints Figure 7's companion quantity: the mean current variance
+//! of the non-Gaussian windows vs the overall variance.
+
+use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_core::characterize::GaussianityStudy;
+use didt_uarch::{Benchmark, Suite};
+
+const WINDOWS_PER_BENCH: usize = 400;
+
+fn main() {
+    let sys = standard_system();
+    let study = GaussianityStudy::new(0.95, 0x6A55);
+    let sizes = [32usize, 64, 128];
+
+    // accept[size][suite: 0 int, 1 fp]: (accepted, tested)
+    let mut accept = [[(0usize, 0usize); 2]; 3];
+    let mut ng_var = [[0.0f64; 2]; 3];
+    let mut all_var = [[0.0f64; 2]; 3];
+    let mut counts = [[0usize; 2]; 3];
+
+    for bench in Benchmark::all() {
+        let trace = benchmark_trace(&sys, bench);
+        let suite_idx = usize::from(bench.suite() == Suite::Fp);
+        for (si, &size) in sizes.iter().enumerate() {
+            let r = study
+                .classify(&trace.samples, size, WINDOWS_PER_BENCH)
+                .expect("trace long enough");
+            accept[si][suite_idx].0 += r.accepted;
+            accept[si][suite_idx].1 += r.tested;
+            ng_var[si][suite_idx] += r.non_gaussian_variance;
+            all_var[si][suite_idx] += r.overall_variance;
+            counts[si][suite_idx] += 1;
+        }
+    }
+
+    println!("== Figure 6: Gaussian acceptance rate (chi-sq, 95% significance) ==\n");
+    let mut t = TextTable::new(&["window", "SPEC Int", "SPEC FP", "All"]);
+    for (si, &size) in sizes.iter().enumerate() {
+        let (ai, ti) = accept[si][0];
+        let (af, tf) = accept[si][1];
+        let rate = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
+        t.row_owned(vec![
+            format!("{size}"),
+            format!("{:5.1}%", rate(ai, ti)),
+            format!("{:5.1}%", rate(af, tf)),
+            format!("{:5.1}%", rate(ai + af, ti + tf)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\npaper: 27-39% acceptance, rising with window size (Int more than FP)\n");
+
+    println!("== Figure 7: mean current variance of non-Gaussian windows (A^2) ==\n");
+    let mut t = TextTable::new(&["window", "Int nonG", "FP nonG", "All nonG", "All overall"]);
+    for (si, &size) in sizes.iter().enumerate() {
+        let n_int = counts[si][0].max(1) as f64;
+        let n_fp = counts[si][1].max(1) as f64;
+        let ng_i = ng_var[si][0] / n_int;
+        let ng_f = ng_var[si][1] / n_fp;
+        let ng_all = (ng_var[si][0] + ng_var[si][1]) / (n_int + n_fp);
+        let ov_all = (all_var[si][0] + all_var[si][1]) / (n_int + n_fp);
+        t.row_owned(vec![
+            format!("{size}"),
+            format!("{ng_i:8.1}"),
+            format!("{ng_f:8.1}"),
+            format!("{ng_all:8.1}"),
+            format!("{ov_all:8.1}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\npaper: non-Gaussian windows have much lower variance than the overall average");
+}

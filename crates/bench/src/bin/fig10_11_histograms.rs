@@ -1,0 +1,51 @@
+//! Figures 10 and 11: voltage histograms for four low-L2-miss
+//! benchmarks (gzip, mesa, crafty, eon — approximately Gaussian) and
+//! four high-L2-miss benchmarks (swim, lucas, mcf, art — spike at the
+//! nominal voltage, non-Gaussian).
+
+use didt_bench::{benchmark_trace, standard_system};
+use didt_stats::Histogram;
+use didt_uarch::Benchmark;
+
+fn print_histogram(name: &str, voltages: &[f64], mpki: f64) {
+    let mut h = Histogram::new(0.90, 1.05, 30).expect("valid range");
+    h.record_all(voltages);
+    println!("{name}  (L2 MPKI {mpki:.1})");
+    let max_frac = (0..h.bins()).map(|i| h.fraction(i)).fold(0.0f64, f64::max);
+    for i in 0..h.bins() {
+        let frac = h.fraction(i);
+        let bar_len = if max_frac > 0.0 {
+            (frac / max_frac * 48.0).round() as usize
+        } else {
+            0
+        };
+        println!(
+            "  {:>6.3} V |{:<48}| {:5.1}%",
+            h.bin_center(i),
+            "#".repeat(bar_len),
+            100.0 * frac
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let sys = standard_system();
+    let pdn = sys.pdn_at(150.0).expect("150% network");
+
+    println!("== Figure 10: low-L2-miss benchmarks (approximately Gaussian) ==\n");
+    for bench in [Benchmark::Gzip, Benchmark::Mesa, Benchmark::Crafty, Benchmark::Eon] {
+        let trace = benchmark_trace(&sys, bench);
+        let v = pdn.simulate(&trace.samples);
+        print_histogram(bench.name(), &v, trace.stats.l2_mpki());
+    }
+
+    println!("== Figure 11: high-L2-miss benchmarks (spike near nominal) ==\n");
+    for bench in [Benchmark::Swim, Benchmark::Lucas, Benchmark::Mcf, Benchmark::Art] {
+        let trace = benchmark_trace(&sys, bench);
+        let v = pdn.simulate(&trace.samples);
+        print_histogram(bench.name(), &v, trace.stats.l2_mpki());
+    }
+    println!("paper: Fig 10 shapes are roughly Gaussian; Fig 11 shows prominent spikes");
+    println!("at the nominal voltage from long memory stalls");
+}

@@ -1,0 +1,45 @@
+//! Figure 12: percentage of 64-cycle windows classified Gaussian
+//! (chi-squared, 95 %), per benchmark, Int then FP.
+
+use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_core::characterize::GaussianityStudy;
+use didt_uarch::{Benchmark, Suite};
+
+const WINDOWS_PER_BENCH: usize = 600;
+
+fn main() {
+    let sys = standard_system();
+    let study = GaussianityStudy::new(0.95, 0x6A55);
+    println!("== Figure 12: % of 64-cycle windows Gaussian, per benchmark ==\n");
+    for suite in [Suite::Int, Suite::Fp] {
+        println!(
+            "{}",
+            if suite == Suite::Int {
+                "SPEC integer:"
+            } else {
+                "SPEC floating-point:"
+            }
+        );
+        let mut t = TextTable::new(&["bench", "gaussian", "l2 mpki", "bar"]);
+        for bench in Benchmark::all() {
+            if bench.suite() != suite {
+                continue;
+            }
+            let trace = benchmark_trace(&sys, bench);
+            let r = study
+                .classify(&trace.samples, 64, WINDOWS_PER_BENCH)
+                .expect("long trace");
+            let pct = 100.0 * r.acceptance_rate();
+            t.row_owned(vec![
+                bench.name().to_string(),
+                format!("{pct:5.1}%"),
+                format!("{:7.1}", trace.stats.l2_mpki()),
+                "#".repeat((pct / 2.0).round() as usize),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("paper: benchmarks with many L2 misses (swim, lucas, mcf, art) are the");
+    println!("least likely to show Gaussian behaviour");
+}

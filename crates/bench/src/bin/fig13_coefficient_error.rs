@@ -1,0 +1,83 @@
+//! Figure 13: maximum voltage-estimation error of the wavelet monitor as
+//! the number of convolution terms grows, at 125/150/200 % target
+//! impedance.
+//!
+//! The error is measured empirically as the worst deviation between the
+//! truncated wavelet monitor and the true simulated voltage over the
+//! worst-case resonant stressor plus benchmark traces.
+
+use didt_bench::{standard_system, TextTable};
+use didt_core::monitor::{CycleSense, VoltageMonitor, WaveletMonitorDesign};
+use didt_pdn::SecondOrderPdn;
+use didt_uarch::{capture_trace, Benchmark};
+
+/// Max |estimate − truth| for a K-term monitor over a current trace.
+fn max_error(pdn: &SecondOrderPdn, design: &WaveletMonitorDesign, k: usize, trace: &[f64]) -> f64 {
+    let mut mon = design.build(k, 0).expect("k >= 1");
+    let mut sim = pdn.simulator();
+    let mut worst = 0.0f64;
+    for (n, &i) in trace.iter().enumerate() {
+        let v = sim.step(i);
+        let est = mon.observe(CycleSense {
+            current: i,
+            voltage: v,
+        });
+        if n > design.window() * 2 {
+            worst = worst.max((est - v).abs());
+        }
+    }
+    worst
+}
+
+fn main() {
+    let sys = standard_system();
+    println!("== Figure 13: max estimation error vs number of wavelet terms ==\n");
+
+    // Error traces: the calibration stressor plus two contrasting
+    // benchmarks.
+    let mut traces: Vec<Vec<f64>> = vec![sys.calibration().stressor()];
+    for bench in [Benchmark::Gcc, Benchmark::Swim] {
+        traces.push(
+            capture_trace(bench, sys.processor(), 0xD1D7_2004, 100_000, 65_536).samples,
+        );
+    }
+
+    let ks: Vec<usize> = (1..=30).collect();
+    let mut columns = Vec::new();
+    for pct in [125.0, 150.0, 200.0] {
+        let pdn = sys.pdn_at(pct).expect("network");
+        let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
+        let col: Vec<f64> = ks
+            .iter()
+            .map(|&k| {
+                traces
+                    .iter()
+                    .map(|t| max_error(&pdn, &design, k, t))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        columns.push(col);
+    }
+
+    let mut t = TextTable::new(&["terms", "125% (V)", "150% (V)", "200% (V)"]);
+    for (i, &k) in ks.iter().enumerate() {
+        t.row_owned(vec![
+            format!("{k}"),
+            format!("{:7.4}", columns[0][i]),
+            format!("{:7.4}", columns[1][i]),
+            format!("{:7.4}", columns[2][i]),
+        ]);
+    }
+    print!("{}", t.render());
+
+    for (ci, pct) in [125.0, 150.0, 200.0].iter().enumerate() {
+        let k20 = ks
+            .iter()
+            .zip(&columns[ci])
+            .find(|(_, &e)| e <= 0.02)
+            .map_or_else(|| "> 30".to_string(), |(k, _)| k.to_string());
+        println!("{pct}% impedance reaches 0.02 V error at {k20} terms");
+    }
+    println!("\npaper: error large for few coefficients, ~0.02 V at 9 / 13 / 20 terms");
+    println!("for 125% / 150% / 200%; more terms needed at higher impedance");
+}

@@ -1,0 +1,57 @@
+//! Regenerate every figure, table, extension and ablation into
+//! `results/`, one text file per experiment.
+//!
+//! Run with: `cargo run --release -p didt-bench --bin run_all`
+
+use std::path::Path;
+use std::process::Command;
+
+/// Every experiment binary, in the order they appear in EXPERIMENTS.md.
+const EXPERIMENTS: &[&str] = &[
+    "tab01_config",
+    "fig04_scalogram",
+    "fig05_impedance",
+    "fig06_gaussian_acceptance",
+    "fig08_level_truncation",
+    "fig09_emergency_estimate",
+    "fig10_11_histograms",
+    "fig12_per_benchmark_gaussian",
+    "fig13_coefficient_error",
+    "fig15_performance_loss",
+    "tab02_scheme_comparison",
+    "sec43_event_correlation",
+    "ablation_classifier",
+    "ablation_packet_model",
+    "ext_multistage_pdn",
+    "ext_offline_predicts_control",
+    "ext_width_sensitivity",
+    "ext_guardband",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir)?;
+    let me = std::env::current_exe()?;
+    let bin_dir = me.parent().ok_or("no parent dir")?;
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let exe = bin_dir.join(name);
+        print!("running {name:<32}");
+        let started = std::time::Instant::now();
+        let output = Command::new(&exe).output()?;
+        let secs = started.elapsed().as_secs_f64();
+        if output.status.success() {
+            std::fs::write(out_dir.join(format!("{name}.txt")), &output.stdout)?;
+            println!("ok   ({secs:6.1} s)");
+        } else {
+            println!("FAILED ({secs:6.1} s)");
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated into results/", EXPERIMENTS.len());
+        Ok(())
+    } else {
+        Err(format!("failed experiments: {failures:?}").into())
+    }
+}

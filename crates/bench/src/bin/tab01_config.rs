@@ -1,0 +1,90 @@
+//! Table 1: processor parameters.
+//!
+//! Prints the simulated machine's configuration in the paper's layout so
+//! it can be diffed against Table 1 directly.
+
+use didt_bench::TextTable;
+use didt_uarch::ProcessorConfig;
+
+fn main() {
+    let c = ProcessorConfig::table1();
+    println!("== Table 1: Processor Parameters ==\n");
+    let mut t = TextTable::new(&["parameter", "value"]);
+    t.row_owned(vec![
+        "Clock Rate".into(),
+        format!("{:.1} GHz", c.clock_hz / 1e9),
+    ]);
+    t.row_owned(vec![
+        "Instruction Window".into(),
+        format!("{}-RUU, {}-LSQ", c.ruu_entries, c.lsq_entries),
+    ]);
+    t.row_owned(vec![
+        "Functional Units".into(),
+        format!(
+            "{} IntALU, {} IntMult/IntDiv, {} FPALU, {} FPMult/FPDiv, {} Memory Ports",
+            c.units.int_alu, c.units.int_mult, c.units.fp_alu, c.units.fp_mult, c.units.mem_ports
+        ),
+    ]);
+    t.row_owned(vec![
+        "Fetch/Decode Width".into(),
+        format!("{} inst, {} inst", c.fetch_width, c.decode_width),
+    ]);
+    t.row_owned(vec![
+        "Branch Penalty".into(),
+        format!("{} cycles", c.branch_penalty),
+    ]);
+    t.row_owned(vec![
+        "Branch Predictor".into(),
+        format!(
+            "Combined: {}K Bimod Chooser, {}K Bimod w/ {}K {}-bit Gshare",
+            c.predictor.chooser_entries / 1024,
+            c.predictor.bimodal_entries / 1024,
+            c.predictor.gshare_entries / 1024,
+            c.predictor.gshare_history_bits
+        ),
+    ]);
+    t.row_owned(vec![
+        "BTB".into(),
+        format!(
+            "{}K Entry, {}-way",
+            c.predictor.btb_entries / 1024,
+            c.predictor.btb_ways
+        ),
+    ]);
+    t.row_owned(vec![
+        "RAS".into(),
+        format!("{} Entry", c.predictor.ras_entries),
+    ]);
+    t.row_owned(vec![
+        "L1 I-Cache".into(),
+        format!(
+            "{}KB, {}-way, {} cycle latency",
+            c.l1i.size_bytes / 1024,
+            c.l1i.associativity,
+            c.l1i.latency
+        ),
+    ]);
+    t.row_owned(vec![
+        "L1 D-Cache".into(),
+        format!(
+            "{}KB, {}-way, {} cycle latency",
+            c.l1d.size_bytes / 1024,
+            c.l1d.associativity,
+            c.l1d.latency
+        ),
+    ]);
+    t.row_owned(vec![
+        "L2 I/D-Cache".into(),
+        format!(
+            "{}MB, {}-way, {} cycle latency",
+            c.l2.size_bytes / (1024 * 1024),
+            c.l2.associativity,
+            c.l2.latency
+        ),
+    ]);
+    t.row_owned(vec![
+        "Main Memory".into(),
+        format!("{} cycle latency", c.memory_latency),
+    ]);
+    print!("{}", t.render());
+}

@@ -1,0 +1,45 @@
+//! Standard experiment parameters and cached trace capture.
+
+use didt_core::DidtSystem;
+use didt_uarch::{capture_trace, Benchmark, CurrentTrace};
+
+/// Warmup cycles before every captured trace (fills caches, predictors,
+/// and lets the synthetic workload reach steady state).
+pub const TRACE_WARMUP: usize = 100_000;
+
+/// Captured cycles per benchmark trace for the figure experiments.
+pub const TRACE_CYCLES: usize = 1 << 19; // 524 288 cycles
+
+/// Workload seed used by all figure binaries.
+pub const TRACE_SEED: u64 = 0xD1D7_2004;
+
+/// Build the standard system, panicking with a clear message on failure
+/// (figure binaries are applications, not libraries).
+#[must_use]
+pub fn standard_system() -> DidtSystem {
+    DidtSystem::standard().expect("standard system calibration cannot fail")
+}
+
+/// Capture the standard-length current trace for one benchmark.
+#[must_use]
+pub fn benchmark_trace(sys: &DidtSystem, bench: Benchmark) -> CurrentTrace {
+    capture_trace(bench, sys.processor(), TRACE_SEED, TRACE_WARMUP, TRACE_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cycles_is_power_of_two() {
+        assert!(TRACE_CYCLES.is_power_of_two());
+        assert_eq!(TRACE_CYCLES % 256, 0);
+    }
+
+    #[test]
+    fn capture_small_smoke() {
+        let sys = standard_system();
+        let t = capture_trace(Benchmark::Gzip, sys.processor(), 1, 100, 512);
+        assert_eq!(t.len(), 512);
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! Shared experiment harness for the figure/table regeneration binaries
+//! and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates the data behind one figure or
+//! table of the paper; this library holds the shared plumbing: standard
+//! experiment parameters, trace capture with caching within a process,
+//! and plain-text table rendering.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{benchmark_trace, standard_system, TRACE_CYCLES, TRACE_WARMUP};
+pub use table::TextTable;

@@ -1,0 +1,284 @@
+//! Gaussianity classification of execution windows (paper §4.1,
+//! Figures 6, 7 and 12).
+
+use crate::characterize::WindowSampler;
+use crate::DidtError;
+use didt_stats::chi_squared::{ChiSquaredGof, GofOutcome, GofReport};
+use didt_stats::{jarque_bera, variance, LillieforsTest};
+
+/// Which normality test classifies the windows.
+///
+/// The paper uses the chi-squared goodness-of-fit test; Lilliefors
+/// (KS with estimated parameters) is provided for the classifier-choice
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NormalityTest {
+    /// Chi-squared with equiprobable bins (the paper's choice).
+    #[default]
+    ChiSquared,
+    /// Lilliefors / Kolmogorov–Smirnov.
+    Lilliefors,
+    /// Jarque–Bera (skewness + kurtosis).
+    JarqueBera,
+}
+
+/// Results of classifying one benchmark's windows at one window size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GaussianityReport {
+    /// Window length in cycles.
+    pub window: usize,
+    /// Windows tested.
+    pub tested: usize,
+    /// Windows accepted as Gaussian at the configured significance.
+    pub accepted: usize,
+    /// Windows rejected.
+    pub rejected: usize,
+    /// Degenerate (near-zero-variance) windows, counted as non-Gaussian.
+    pub degenerate: usize,
+    /// Mean current variance over the *non-Gaussian* windows (Figure 7's
+    /// quantity).
+    pub non_gaussian_variance: f64,
+    /// Mean current variance over all windows.
+    pub overall_variance: f64,
+}
+
+impl GaussianityReport {
+    /// Acceptance rate in [0, 1] (Figures 6 and 12's y-axis).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.tested == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.tested as f64
+        }
+    }
+}
+
+/// Chi-squared Gaussianity study over random execution windows.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_core::DidtError> {
+/// use didt_core::characterize::GaussianityStudy;
+///
+/// // A noisy but stationary "current trace".
+/// let mut state = 0x1234_5678_9ABC_DEFu64;
+/// let mut next = move || {
+///     state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+///     (0..8).map(|k| ((state >> (k * 8)) & 0xFF) as f64).sum::<f64>() / 8.0
+/// };
+/// let trace: Vec<f64> = (0..20_000).map(|_| next()).collect();
+/// let study = GaussianityStudy::new(0.95, 42);
+/// let report = study.classify(&trace, 64, 200)?;
+/// // CLT-ish byte sums: most windows accepted.
+/// assert!(report.acceptance_rate() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianityStudy {
+    significance: f64,
+    seed: u64,
+    test: NormalityTest,
+}
+
+impl GaussianityStudy {
+    /// Create a study at `significance` (the paper uses 0.95) with a
+    /// sampling seed, classifying with the paper's chi-squared test.
+    #[must_use]
+    pub fn new(significance: f64, seed: u64) -> Self {
+        GaussianityStudy {
+            significance,
+            seed,
+            test: NormalityTest::ChiSquared,
+        }
+    }
+
+    /// Use a different normality test (classifier ablation).
+    #[must_use]
+    pub fn with_test(mut self, test: NormalityTest) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// The classifier in use.
+    #[must_use]
+    pub fn test(&self) -> NormalityTest {
+        self.test
+    }
+
+    /// Bin count used for a given window length: a fixed 8 equiprobable
+    /// bins (dof 5) for windows of 64+ cycles — one procedure across the
+    /// paper's three window sizes — dropping to 4 bins for 32-cycle
+    /// windows where 8 bins would leave expected counts of only 4.
+    #[must_use]
+    pub fn bins_for(window: usize) -> usize {
+        if window >= 64 {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// Classify `count` random windows of length `window` from `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and test errors ([`DidtError`]).
+    pub fn classify(
+        &self,
+        trace: &[f64],
+        window: usize,
+        count: usize,
+    ) -> Result<GaussianityReport, DidtError> {
+        let sampler = WindowSampler::new(window, self.seed);
+        let windows = sampler.sample(trace, count)?;
+        let chi = ChiSquaredGof::new(Self::bins_for(window))?;
+        let classify = |w: &[f64]| -> Result<GofReport, DidtError> {
+            Ok(match self.test {
+                NormalityTest::ChiSquared => chi.test_normality(w, self.significance)?,
+                NormalityTest::Lilliefors => {
+                    LillieforsTest.test_normality(w, self.significance)?
+                }
+                NormalityTest::JarqueBera => jarque_bera(w, self.significance)?,
+            })
+        };
+        let mut report = GaussianityReport {
+            window,
+            tested: 0,
+            accepted: 0,
+            rejected: 0,
+            degenerate: 0,
+            non_gaussian_variance: 0.0,
+            overall_variance: 0.0,
+        };
+        let mut ng_var_sum = 0.0;
+        let mut ng_count = 0usize;
+        let mut var_sum = 0.0;
+        for w in windows {
+            let outcome = classify(w)?;
+            let v = variance(w);
+            var_sum += v;
+            report.tested += 1;
+            match outcome.decision {
+                GofOutcome::Accepted => report.accepted += 1,
+                GofOutcome::Rejected => {
+                    report.rejected += 1;
+                    ng_var_sum += v;
+                    ng_count += 1;
+                }
+                GofOutcome::Degenerate => {
+                    report.degenerate += 1;
+                    ng_var_sum += v;
+                    ng_count += 1;
+                }
+            }
+        }
+        report.overall_variance = if report.tested > 0 {
+            var_sum / report.tested as f64
+        } else {
+            0.0
+        };
+        report.non_gaussian_variance = if ng_count > 0 {
+            ng_var_sum / ng_count as f64
+        } else {
+            0.0
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_gaussianish(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..12).map(|_| next()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn gaussian_trace_mostly_accepted() {
+        let trace = xorshift_gaussianish(30_000, 99);
+        let study = GaussianityStudy::new(0.95, 1);
+        let r = study.classify(&trace, 64, 300).unwrap();
+        assert!(r.acceptance_rate() > 0.7, "rate {}", r.acceptance_rate());
+        assert_eq!(r.tested, 300);
+        assert_eq!(r.accepted + r.rejected + r.degenerate, 300);
+    }
+
+    #[test]
+    fn bursty_trace_mostly_rejected() {
+        // Long flat stretches with occasional spikes: mcf-like.
+        let trace: Vec<f64> = (0..30_000)
+            .map(|i| if i % 271 < 6 { 80.0 } else { 13.0 })
+            .collect();
+        let study = GaussianityStudy::new(0.95, 1);
+        let r = study.classify(&trace, 64, 300).unwrap();
+        assert!(r.acceptance_rate() < 0.2, "rate {}", r.acceptance_rate());
+    }
+
+    #[test]
+    fn constant_trace_is_degenerate() {
+        let trace = vec![20.0; 5000];
+        let study = GaussianityStudy::new(0.95, 1);
+        let r = study.classify(&trace, 64, 50).unwrap();
+        assert_eq!(r.degenerate, 50);
+        assert_eq!(r.acceptance_rate(), 0.0);
+        assert_eq!(r.non_gaussian_variance, 0.0);
+    }
+
+    #[test]
+    fn bins_scale_with_window() {
+        assert_eq!(GaussianityStudy::bins_for(32), 4);
+        assert_eq!(GaussianityStudy::bins_for(64), 8);
+        assert_eq!(GaussianityStudy::bins_for(128), 8);
+        assert_eq!(GaussianityStudy::bins_for(1024), 8);
+    }
+
+    #[test]
+    fn alternative_classifiers_agree_on_extremes() {
+        let gaussian = xorshift_gaussianish(20_000, 5);
+        let bursty: Vec<f64> = (0..20_000)
+            .map(|i| if i % 271 < 6 { 80.0 } else { 13.0 })
+            .collect();
+        for test in [NormalityTest::Lilliefors, NormalityTest::JarqueBera] {
+            let study = GaussianityStudy::new(0.95, 1).with_test(test);
+            let g = study.classify(&gaussian, 64, 200).unwrap();
+            let b = study.classify(&bursty, 64, 200).unwrap();
+            assert!(
+                g.acceptance_rate() > 0.5,
+                "{test:?} gaussian rate {}",
+                g.acceptance_rate()
+            );
+            assert!(
+                b.acceptance_rate() < 0.2,
+                "{test:?} bursty rate {}",
+                b.acceptance_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn non_gaussian_variance_excludes_accepted_windows() {
+        // Mix: mostly Gaussian segments plus flat (degenerate) segments.
+        let mut trace = xorshift_gaussianish(10_000, 3);
+        trace.extend(std::iter::repeat_n(5.0, 10_000));
+        let study = GaussianityStudy::new(0.95, 2);
+        let r = study.classify(&trace, 64, 400).unwrap();
+        // Flat windows have ~zero variance, dragging the non-Gaussian
+        // mean below the overall mean — the Figure 7 observation.
+        assert!(r.non_gaussian_variance < r.overall_variance);
+    }
+}

@@ -1,0 +1,110 @@
+//! Random execution-window sampling.
+//!
+//! "Following established statistical procedure, we chose these windows
+//! at random intervals throughout the execution of the benchmarks"
+//! (paper §4.1). The sampler draws seeded, uniformly-random window
+//! offsets from a trace.
+
+use crate::DidtError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws random fixed-length windows from a trace, deterministically in
+/// the seed.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_core::DidtError> {
+/// use didt_core::characterize::WindowSampler;
+///
+/// let trace: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+/// let sampler = WindowSampler::new(64, 42);
+/// let windows = sampler.sample(&trace, 10)?;
+/// assert_eq!(windows.len(), 10);
+/// assert!(windows.iter().all(|w| w.len() == 64));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSampler {
+    window: usize,
+    seed: u64,
+}
+
+impl WindowSampler {
+    /// Create a sampler for windows of `window` cycles.
+    #[must_use]
+    pub fn new(window: usize, seed: u64) -> Self {
+        WindowSampler { window, seed }
+    }
+
+    /// Window length in cycles.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Draw `count` windows (as slices into `trace`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DidtError::TraceTooShort`] when the trace cannot hold
+    /// even one window.
+    pub fn sample<'a>(&self, trace: &'a [f64], count: usize) -> Result<Vec<&'a [f64]>, DidtError> {
+        if trace.len() < self.window {
+            return Err(DidtError::TraceTooShort {
+                needed: self.window,
+                got: trace.len(),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (self.window as u64).rotate_left(17));
+        let max_start = trace.len() - self.window;
+        Ok((0..count)
+            .map(|_| {
+                let start = rng.random_range(0..=max_start);
+                &trace[start..start + self.window]
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let trace: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        let a = WindowSampler::new(32, 7).sample(&trace, 5).unwrap();
+        let b = WindowSampler::new(32, 7).sample(&trace, 5).unwrap();
+        assert_eq!(a, b);
+        let c = WindowSampler::new(32, 8).sample(&trace, 5).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_short_trace() {
+        let trace = vec![0.0; 10];
+        assert!(matches!(
+            WindowSampler::new(64, 0).sample(&trace, 1),
+            Err(DidtError::TraceTooShort { needed: 64, got: 10 })
+        ));
+    }
+
+    #[test]
+    fn exact_length_trace_single_window() {
+        let trace = vec![1.0; 64];
+        let w = WindowSampler::new(64, 0).sample(&trace, 3).unwrap();
+        assert!(w.iter().all(|s| s.len() == 64));
+    }
+
+    #[test]
+    fn windows_stay_in_bounds() {
+        let trace: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        for w in WindowSampler::new(50, 3).sample(&trace, 100).unwrap() {
+            assert_eq!(w.len(), 50);
+            assert!(w[0] >= 0.0 && w[49] <= 199.0);
+        }
+    }
+}

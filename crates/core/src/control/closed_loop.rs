@@ -1,0 +1,331 @@
+//! The closed-loop simulation harness: processor ⇄ controller ⇄ PDN.
+
+use crate::control::DidtController;
+use crate::monitor::CycleSense;
+use crate::DidtError;
+use didt_pdn::SecondOrderPdn;
+use didt_uarch::{Benchmark, ControlAction, Processor, ProcessorConfig, WorkloadGenerator};
+
+/// Configuration of one closed-loop experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClosedLoopConfig {
+    /// Benchmark to run.
+    pub benchmark: Benchmark,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warmup cycles before measurement (caches, predictors, PDN state).
+    pub warmup_cycles: u64,
+    /// Program instructions to commit in the measured region.
+    pub instructions: u64,
+    /// Absolute voltage fault band: a cycle outside
+    /// `[v_fault_low, v_fault_high]` is an emergency.
+    pub v_fault_low: f64,
+    /// Upper fault bound.
+    pub v_fault_high: f64,
+    /// Distance (volts) between the fault points and the controller's
+    /// control points; used to classify false positives.
+    pub control_margin: f64,
+    /// Guard (volts) beyond the control point: a stall (or no-op) cycle
+    /// whose true voltage sits more than `control_margin + fp_guard`
+    /// inside the fault band is a false positive — control engaged with
+    /// no emergency imminent.
+    pub fp_guard: f64,
+}
+
+impl ClosedLoopConfig {
+    /// Standard configuration for a benchmark: 20 k warmup cycles,
+    /// 100 k instructions, ±5 % band around 1.0 V, 10 mV guard.
+    #[must_use]
+    pub fn standard(benchmark: Benchmark) -> Self {
+        ClosedLoopConfig {
+            benchmark,
+            seed: 0xD1D7,
+            warmup_cycles: 20_000,
+            instructions: 100_000,
+            v_fault_low: 0.95,
+            v_fault_high: 1.05,
+            control_margin: 0.02,
+            fp_guard: 0.005,
+        }
+    }
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClosedLoopResult {
+    /// Cycles taken in the measured region.
+    pub cycles: u64,
+    /// Program instructions committed in the measured region.
+    pub instructions: u64,
+    /// Cycles with the true voltage below the lower fault bound.
+    pub low_emergencies: u64,
+    /// Cycles with the true voltage above the upper fault bound.
+    pub high_emergencies: u64,
+    /// Cycles where issue was stalled.
+    pub stall_cycles: u64,
+    /// Cycles where no-ops were injected.
+    pub nop_cycles: u64,
+    /// Stall/nop cycles engaged while the voltage was comfortably safe.
+    pub false_positives: u64,
+    /// Minimum true voltage observed.
+    pub v_min: f64,
+    /// Maximum true voltage observed.
+    pub v_max: f64,
+    /// Mean power over the measured region (watts).
+    pub mean_power: f64,
+}
+
+impl ClosedLoopResult {
+    /// Total emergencies (both polarities).
+    #[must_use]
+    pub fn emergencies(&self) -> u64 {
+        self.low_emergencies + self.high_emergencies
+    }
+
+    /// Fraction of cycles under control (stall or nop).
+    #[must_use]
+    pub fn control_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.stall_cycles + self.nop_cycles) as f64 / self.cycles as f64
+        }
+    }
+
+    /// False positives as a fraction of control engagements.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        let engaged = self.stall_cycles + self.nop_cycles;
+        if engaged == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / engaged as f64
+        }
+    }
+
+    /// Slowdown relative to a baseline run of the same instruction count:
+    /// `cycles / baseline_cycles - 1`.
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &ClosedLoopResult) -> f64 {
+        if baseline.cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / baseline.cycles as f64 - 1.0
+        }
+    }
+}
+
+/// The closed-loop harness.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> Result<(), didt_core::DidtError> {
+/// use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl, ThresholdController};
+/// use didt_core::monitor::AnalogSensor;
+/// use didt_core::DidtSystem;
+/// use didt_uarch::Benchmark;
+///
+/// let sys = DidtSystem::standard()?;
+/// let pdn = sys.pdn_at(150.0)?;
+/// let cfg = ClosedLoopConfig::standard(Benchmark::Gzip);
+/// let loop_ = ClosedLoop::new(*sys.processor(), pdn, cfg);
+/// let base = loop_.run(&mut NoControl)?;
+/// let mut ctl = ThresholdController::new(AnalogSensor::new(1.0, 2), 0.97, 1.03, 0.005);
+/// let controlled = loop_.run(&mut ctl)?;
+/// assert!(controlled.emergencies() <= base.emergencies());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    processor: ProcessorConfig,
+    pdn: SecondOrderPdn,
+    config: ClosedLoopConfig,
+}
+
+impl ClosedLoop {
+    /// Create a harness for a processor/PDN pair and experiment config.
+    #[must_use]
+    pub fn new(processor: ProcessorConfig, pdn: SecondOrderPdn, config: ClosedLoopConfig) -> Self {
+        ClosedLoop {
+            processor,
+            pdn,
+            config,
+        }
+    }
+
+    /// The experiment configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClosedLoopConfig {
+        &self.config
+    }
+
+    /// Run the loop under `controller` until the configured instruction
+    /// count commits, returning the measured metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DidtError::InvalidConfig`] when the run fails to make
+    /// forward progress (a pathological controller that stalls forever).
+    pub fn run(&self, controller: &mut dyn DidtController) -> Result<ClosedLoopResult, DidtError> {
+        let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
+        let mut cpu = Processor::new(self.processor, gen);
+        let mut pdn_sim = self.pdn.simulator();
+        let mut sense = CycleSense {
+            current: 0.0,
+            voltage: self.pdn.vdd(),
+        };
+        // Warmup: run uncontrolled to populate caches, predictors and the
+        // PDN filter state.
+        for _ in 0..self.config.warmup_cycles {
+            let out = cpu.step(ControlAction::Normal);
+            let v = pdn_sim.step(out.current);
+            sense = CycleSense {
+                current: out.current,
+                voltage: v,
+            };
+        }
+        let mut result = ClosedLoopResult {
+            v_min: f64::INFINITY,
+            v_max: f64::NEG_INFINITY,
+            ..ClosedLoopResult::default()
+        };
+        let mut power_accum = 0.0;
+        let start_committed = cpu.stats().committed;
+        let cycle_budget = self.config.instructions * 400 + 1_000_000;
+        while cpu.stats().committed - start_committed < self.config.instructions {
+            if result.cycles > cycle_budget {
+                return Err(DidtError::InvalidConfig {
+                    name: "controller",
+                    reason: "closed loop made no forward progress within budget",
+                });
+            }
+            let action = controller.decide(sense);
+            let out = cpu.step(action);
+            let v = pdn_sim.step(out.current);
+            result.cycles += 1;
+            power_accum += out.power;
+            result.v_min = result.v_min.min(v);
+            result.v_max = result.v_max.max(v);
+            if v < self.config.v_fault_low {
+                result.low_emergencies += 1;
+            } else if v > self.config.v_fault_high {
+                result.high_emergencies += 1;
+            }
+            match action {
+                ControlAction::StallIssue => {
+                    result.stall_cycles += 1;
+                    // Engaged while the voltage sat comfortably above even
+                    // the control point: no emergency was imminent.
+                    let fp_line = self.config.v_fault_low
+                        + self.config.control_margin
+                        + self.config.fp_guard;
+                    if v > fp_line {
+                        result.false_positives += 1;
+                    }
+                }
+                ControlAction::InjectNops => {
+                    result.nop_cycles += 1;
+                    let fp_line = self.config.v_fault_high
+                        - self.config.control_margin
+                        - self.config.fp_guard;
+                    if v < fp_line {
+                        result.false_positives += 1;
+                    }
+                }
+                ControlAction::Normal => {}
+            }
+            sense = CycleSense {
+                current: out.current,
+                voltage: v,
+            };
+        }
+        result.instructions = cpu.stats().committed - start_committed;
+        result.mean_power = if result.cycles > 0 {
+            power_accum / result.cycles as f64
+        } else {
+            0.0
+        };
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{NoControl, ThresholdController};
+    use crate::monitor::AnalogSensor;
+    use crate::system::DidtSystem;
+
+    fn small_cfg(benchmark: Benchmark) -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            warmup_cycles: 5_000,
+            instructions: 10_000,
+            ..ClosedLoopConfig::standard(benchmark)
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_metrics() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Gzip));
+        let r = harness.run(&mut NoControl).unwrap();
+        assert!(r.instructions >= 10_000);
+        assert!(r.cycles > 0);
+        assert!(r.v_min < r.v_max);
+        assert!(r.mean_power > 10.0);
+        assert_eq!(r.control_fraction(), 0.0);
+    }
+
+    #[test]
+    fn analog_control_never_slower_than_50_percent_and_caps_droop() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(200.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Mgrid));
+        let base = harness.run(&mut NoControl).unwrap();
+        let mut ctl = ThresholdController::new(AnalogSensor::new(1.0, 1), 0.97, 1.03, 0.004);
+        let controlled = harness.run(&mut ctl).unwrap();
+        assert!(controlled.low_emergencies <= base.low_emergencies);
+        assert!(controlled.slowdown_vs(&base) < 0.5);
+        // Control perturbs execution timing, so the exact minimum can
+        // shift a little; it must not get *materially* worse.
+        assert!(
+            controlled.v_min >= base.v_min - 0.005,
+            "controlled v_min {} vs base {}",
+            controlled.v_min,
+            base.v_min
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Twolf));
+        let a = harness.run(&mut NoControl).unwrap();
+        let b = harness.run(&mut NoControl).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn result_helper_math() {
+        let base = ClosedLoopResult {
+            cycles: 1000,
+            ..ClosedLoopResult::default()
+        };
+        let slow = ClosedLoopResult {
+            cycles: 1100,
+            stall_cycles: 50,
+            nop_cycles: 50,
+            false_positives: 25,
+            ..ClosedLoopResult::default()
+        };
+        assert!((slow.slowdown_vs(&base) - 0.1).abs() < 1e-12);
+        assert!((slow.control_fraction() - 100.0 / 1100.0).abs() < 1e-12);
+        assert!((slow.false_positive_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Closed-loop dI/dt control (paper §5.3).
+//!
+//! A [`DidtController`] watches each cycle's sense data and decides
+//! whether the pipeline should run normally, stall issue (voltage
+//! heading low) or inject no-ops (voltage heading high). The
+//! [`ClosedLoop`] harness wires a controller between the simulated
+//! processor and the PDN and measures what the paper's Figure 15 and
+//! Table 2 report: slowdown, remaining voltage emergencies, control
+//! engagement and false positives.
+
+mod closed_loop;
+mod controllers;
+
+pub use closed_loop::{ClosedLoop, ClosedLoopConfig, ClosedLoopResult};
+pub use controllers::{NoControl, PipelineDamping, ThresholdController};
+
+use crate::monitor::CycleSense;
+use didt_uarch::ControlAction;
+
+/// A microarchitectural dI/dt controller.
+pub trait DidtController {
+    /// Decide the action for the next cycle from the latest sense data.
+    fn decide(&mut self, sense: CycleSense) -> ControlAction;
+
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn super::DidtController) {}
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+use didt_dsp::DspError;
+use didt_pdn::PdnError;
+use didt_stats::StatsError;
+
+/// Error type for dI/dt characterization and control.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DidtError {
+    /// An underlying signal-processing operation failed.
+    Dsp(DspError),
+    /// An underlying statistics operation failed.
+    Stats(StatsError),
+    /// An underlying PDN-model operation failed.
+    Pdn(PdnError),
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the constraint violated.
+        reason: &'static str,
+    },
+    /// A trace was too short for the requested analysis.
+    TraceTooShort {
+        /// Cycles required.
+        needed: usize,
+        /// Cycles available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DidtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DidtError::Dsp(e) => write!(f, "signal processing error: {e}"),
+            DidtError::Stats(e) => write!(f, "statistics error: {e}"),
+            DidtError::Pdn(e) => write!(f, "pdn model error: {e}"),
+            DidtError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
+            DidtError::TraceTooShort { needed, got } => {
+                write!(f, "trace too short: needed {needed} cycles, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for DidtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DidtError::Dsp(e) => Some(e),
+            DidtError::Stats(e) => Some(e),
+            DidtError::Pdn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for DidtError {
+    fn from(e: DspError) -> Self {
+        DidtError::Dsp(e)
+    }
+}
+
+impl From<StatsError> for DidtError {
+    fn from(e: StatsError) -> Self {
+        DidtError::Stats(e)
+    }
+}
+
+impl From<PdnError> for DidtError {
+    fn from(e: PdnError) -> Self {
+        DidtError::Pdn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DidtError::from(DspError::EmptySignal);
+        assert!(e.to_string().contains("signal processing"));
+        assert!(e.source().is_some());
+        let e = DidtError::TraceTooShort { needed: 10, got: 2 };
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DidtError>();
+    }
+}

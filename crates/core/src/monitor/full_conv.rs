@@ -1,0 +1,158 @@
+//! The full time-domain convolution monitor (Grochowski et al., HPCA-8).
+//!
+//! Computes the droop as a complete windowed convolution of the current
+//! history with the PDN impulse response — the most accurate
+//! current-based estimate, but it needs one multiply-accumulate per
+//! impulse-response tap every cycle (hundreds), which is why the paper
+//! (and Grochowski) consider a 1–2-cycle hardware implementation
+//! impractical; the default models this with a 3-cycle latency.
+
+use crate::monitor::shift_register::HistoryRing;
+use crate::monitor::{CycleSense, VoltageMonitor};
+use didt_pdn::SecondOrderPdn;
+use std::collections::VecDeque;
+
+/// Full-convolution voltage monitor.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_pdn::PdnError> {
+/// use didt_core::monitor::{CycleSense, FullConvolutionMonitor, VoltageMonitor};
+/// use didt_pdn::SecondOrderPdn;
+///
+/// let pdn = SecondOrderPdn::from_resonance(100e6, 2.2, 4e-4, 1.0, 3e9)?;
+/// let mut mon = FullConvolutionMonitor::new(&pdn, 512, 0);
+/// let mut sim = pdn.simulator();
+/// for n in 0..2000 {
+///     let i = 30.0 + 10.0 * ((n as f64) * 0.3).sin();
+///     let v = sim.step(i);
+///     let est = mon.observe(CycleSense { current: i, voltage: v });
+///     if n > 600 {
+///         assert!((est - v).abs() < 1e-3);
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullConvolutionMonitor {
+    ring: HistoryRing,
+    impulse: Vec<f64>,
+    vdd: f64,
+    delay: usize,
+    pipeline: VecDeque<f64>,
+}
+
+impl FullConvolutionMonitor {
+    /// Build a monitor convolving over `taps` impulse-response samples
+    /// with the given output `delay` in cycles.
+    #[must_use]
+    pub fn new(pdn: &SecondOrderPdn, taps: usize, delay: usize) -> Self {
+        FullConvolutionMonitor {
+            ring: HistoryRing::new(taps.max(1)),
+            impulse: pdn.impulse_response(taps.max(1)),
+            vdd: pdn.vdd(),
+            delay,
+            pipeline: VecDeque::from(vec![pdn.vdd(); delay]),
+        }
+    }
+
+    /// The paper-default configuration: enough taps to cover the ringing
+    /// tail and a 3-cycle pipeline latency.
+    #[must_use]
+    pub fn paper_default(pdn: &SecondOrderPdn) -> Self {
+        let taps = pdn.settle_length(0.005).next_power_of_two();
+        FullConvolutionMonitor::new(pdn, taps, 3)
+    }
+}
+
+impl VoltageMonitor for FullConvolutionMonitor {
+    fn observe(&mut self, sense: CycleSense) -> f64 {
+        self.ring.push(sense.current);
+        let mut droop = 0.0;
+        for (m, &h) in self.impulse.iter().enumerate() {
+            droop += h * self.ring.lag(m);
+        }
+        let est = self.vdd - droop;
+        if self.delay == 0 {
+            return est;
+        }
+        self.pipeline.push_back(est);
+        self.pipeline.pop_front().unwrap_or(est)
+    }
+
+    fn name(&self) -> &'static str {
+        "full-convolution"
+    }
+
+    fn term_count(&self) -> usize {
+        self.impulse.len()
+    }
+
+    fn delay(&self) -> usize {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdn() -> SecondOrderPdn {
+        SecondOrderPdn::from_resonance(100e6, 2.2, 4e-4, 1.0, 3e9).unwrap()
+    }
+
+    #[test]
+    fn tracks_true_voltage_closely() {
+        let p = pdn();
+        let mut mon = FullConvolutionMonitor::new(&p, 1024, 0);
+        let mut sim = p.simulator();
+        let period = p.resonant_period_cycles() as usize;
+        for n in 0..5000 {
+            let i = if (n / (period / 2)).is_multiple_of(2) { 55.0 } else { 12.0 };
+            let v = sim.step(i);
+            let est = mon.observe(CycleSense {
+                current: i,
+                voltage: v,
+            });
+            if n > 1100 {
+                assert!((est - v).abs() < 1e-3, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_has_hundreds_of_taps_and_latency() {
+        let mon = FullConvolutionMonitor::paper_default(&pdn());
+        assert!(mon.term_count() >= 128, "taps {}", mon.term_count());
+        assert_eq!(mon.delay(), 3);
+        assert_eq!(mon.name(), "full-convolution");
+    }
+
+    #[test]
+    fn short_tap_budget_loses_accuracy() {
+        let p = pdn();
+        let mut short = FullConvolutionMonitor::new(&p, 16, 0);
+        let mut long = FullConvolutionMonitor::new(&p, 1024, 0);
+        let mut sim = p.simulator();
+        let mut err_short = 0.0f64;
+        let mut err_long = 0.0f64;
+        let period = p.resonant_period_cycles() as usize;
+        for n in 0..4000 {
+            let i = if (n / (period / 2)).is_multiple_of(2) { 50.0 } else { 15.0 };
+            let v = sim.step(i);
+            let s = CycleSense {
+                current: i,
+                voltage: v,
+            };
+            let es = short.observe(s);
+            let el = long.observe(s);
+            if n > 1100 {
+                err_short = err_short.max((es - v).abs());
+                err_long = err_long.max((el - v).abs());
+            }
+        }
+        assert!(err_short > 4.0 * err_long, "{err_short} vs {err_long}");
+    }
+}

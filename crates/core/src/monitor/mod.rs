@@ -1,0 +1,74 @@
+//! On-line voltage monitors (paper §5).
+//!
+//! A voltage monitor watches the machine cycle by cycle and produces a
+//! supply-voltage estimate that a comparator can act on. Four designs are
+//! provided, matching the paper's Table 2 comparison:
+//!
+//! | monitor | senses | terms/cycle | delay |
+//! |---|---|---|---|
+//! | [`WaveletMonitor`] | current → truncated wavelet convolution | K (9–20) | 1 |
+//! | [`FullConvolutionMonitor`] | current → full convolution | window (256+) | 3 |
+//! | [`AnalogSensor`] | voltage directly (analog circuit) | — | 2 |
+//! | (pipeline damping) | current deltas, no voltage estimate — see [`crate::control`] | — | 0 |
+
+mod analog;
+mod full_conv;
+mod shift_register;
+mod wavelet_monitor;
+
+pub use analog::AnalogSensor;
+pub use full_conv::FullConvolutionMonitor;
+pub use shift_register::{HistoryRing, SlidingTerm, TermKind};
+pub use wavelet_monitor::{TermWeight, WaveletMonitor, WaveletMonitorDesign};
+
+/// What a monitor can sense in one cycle: the current the core drew and
+/// the true die voltage (only analog sensors may read the latter;
+/// estimation-based monitors must ignore it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleSense {
+    /// Core current this cycle (amperes).
+    pub current: f64,
+    /// True die voltage this cycle (volts).
+    pub voltage: f64,
+}
+
+/// A cycle-by-cycle supply-voltage monitor.
+///
+/// `observe` is called once per cycle with that cycle's sense data and
+/// returns the monitor's best voltage estimate *available* this cycle
+/// (i.e. internal pipeline delays are part of the contract: a monitor
+/// with a 2-cycle delay returns an estimate of the voltage two cycles
+/// ago).
+pub trait VoltageMonitor {
+    /// Feed one cycle; returns the voltage estimate available this cycle.
+    fn observe(&mut self, sense: CycleSense) -> f64;
+
+    /// Short scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of per-cycle arithmetic terms (hardware-cost proxy).
+    fn term_count(&self) -> usize;
+
+    /// Estimate latency in cycles.
+    fn delay(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn VoltageMonitor) {}
+    }
+
+    #[test]
+    fn sense_is_copy() {
+        let s = CycleSense {
+            current: 1.0,
+            voltage: 1.0,
+        };
+        let t = s;
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the dI/dt core: the hardware shift-register
+//! terms must track the exact dot products under arbitrary inputs, the
+//! full-term wavelet monitor must equal windowed convolution, and the
+//! estimators must be well-behaved probabilities.
+
+use didt_core::characterize::{ScaleGainModel, VarianceModel};
+use didt_core::monitor::{
+    CycleSense, FullConvolutionMonitor, HistoryRing, SlidingTerm, TermKind, VoltageMonitor,
+    WaveletMonitorDesign,
+};
+use didt_pdn::SecondOrderPdn;
+use proptest::prelude::*;
+
+fn pdn() -> SecondOrderPdn {
+    SecondOrderPdn::from_resonance(100e6, 2.2, 4e-4, 1.0, 3e9).expect("pdn")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sliding_terms_track_exact_dot_products(
+        samples in prop::collection::vec(0.0..100.0f64, 50..400),
+        level in 1usize..7,
+        index in 0usize..4,
+        detail in any::<bool>(),
+    ) {
+        let kind = if detail { TermKind::Detail } else { TermKind::Approximation };
+        let mut term = SlidingTerm::new(kind, level, index);
+        let mut ring = HistoryRing::new(term.max_lag() + 1);
+        for &x in &samples {
+            ring.push(x);
+            term.update(&ring);
+        }
+        let exact = term.recompute(&ring);
+        prop_assert!((term.value() - exact).abs() < 1e-8, "{} vs {exact}", term.value());
+    }
+
+    #[test]
+    fn full_term_wavelet_monitor_equals_windowed_convolution(
+        currents in prop::collection::vec(0.0..80.0f64, 600),
+    ) {
+        let p = pdn();
+        let design = WaveletMonitorDesign::new(&p, 128).expect("design");
+        let mut wavelet = design.build(128, 0).expect("all terms");
+        let mut timedom = FullConvolutionMonitor::new(&p, 128, 0);
+        for &i in &currents {
+            let s = CycleSense { current: i, voltage: 1.0 };
+            let a = wavelet.observe(s);
+            let b = timedom.observe(s);
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_monitor_error_bounded_by_design_bound(
+        currents in prop::collection::vec(20.0..60.0f64, 400),
+        k in 4usize..64,
+    ) {
+        let p = pdn();
+        let design = WaveletMonitorDesign::new(&p, 128).expect("design");
+        let mut truncated = design.build(k, 0).expect("monitor");
+        let mut exact = design.build(128, 0).expect("monitor");
+        // Bound for deviations up to 40 A around any mean.
+        let bound = design.truncation_error_bound(k, 40.0) + 1e-9;
+        for &i in &currents {
+            let s = CycleSense { current: i, voltage: 1.0 };
+            let a = truncated.observe(s);
+            let b = exact.observe(s);
+            prop_assert!((a - b).abs() <= bound + 40.0 * 1e-9, "err {} > bound {bound}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn window_estimates_are_valid_probabilities(
+        window in prop::collection::vec(5.0..90.0f64, 64),
+        threshold in 0.9..1.1f64,
+    ) {
+        let gains = ScaleGainModel::calibrate(&pdn(), 64, 3).expect("gains");
+        let model = VarianceModel::new(gains);
+        let est = model.estimate(&window).expect("estimate");
+        prop_assert!(est.v_variance >= 0.0);
+        let p = est.probability_below(threshold);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let q = est.probability_above(threshold);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimated_variance_monotone_under_amplitude_scaling(
+        base in prop::collection::vec(-1.0..1.0f64, 64),
+        amp in 1.0..10.0f64,
+    ) {
+        let gains = ScaleGainModel::calibrate(&pdn(), 64, 3).expect("gains");
+        let model = VarianceModel::new(gains);
+        let small: Vec<f64> = base.iter().map(|x| 40.0 + x).collect();
+        let large: Vec<f64> = base.iter().map(|x| 40.0 + amp * x).collect();
+        let vs = model.estimate(&small).expect("estimate").v_variance;
+        let vl = model.estimate(&large).expect("estimate").v_variance;
+        prop_assert!(vl >= vs * 0.99, "amp {amp}: {vl} < {vs}");
+    }
+}

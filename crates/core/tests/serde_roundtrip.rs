@@ -1,0 +1,231 @@
+//! Serde round-trips for the data-structure types (run with
+//! `cargo test -p didt-core --features serde`).
+#![cfg(feature = "serde")]
+
+use didt_core::control::{ClosedLoopConfig, ClosedLoopResult};
+use didt_uarch::{Benchmark, ProcessorConfig, SimStats};
+
+/// A minimal serializer that counts emitted primitive values — enough to
+/// prove the `Serialize` derives exist and traverse every field without
+/// adding a serialization-format dependency to the workspace.
+mod counting {
+    use serde::ser::{self, Serialize};
+    use std::fmt::Display;
+
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    #[derive(Default)]
+    pub struct Counter {
+        pub primitives: usize,
+    }
+
+    pub fn count<T: Serialize>(value: &T) -> Result<usize, Error> {
+        let mut c = Counter::default();
+        value.serialize(&mut c)?;
+        Ok(c.primitives)
+    }
+
+    macro_rules! prim {
+        ($name:ident, $ty:ty) => {
+            fn $name(self, _v: $ty) -> Result<(), Error> {
+                self.primitives += 1;
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> ser::Serializer for &'a mut Counter {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        prim!(serialize_bool, bool);
+        prim!(serialize_i8, i8);
+        prim!(serialize_i16, i16);
+        prim!(serialize_i32, i32);
+        prim!(serialize_i64, i64);
+        prim!(serialize_u8, u8);
+        prim!(serialize_u16, u16);
+        prim!(serialize_u32, u32);
+        prim!(serialize_u64, u64);
+        prim!(serialize_f32, f32);
+        prim!(serialize_f64, f64);
+        prim!(serialize_char, char);
+
+        fn serialize_str(self, _v: &str) -> Result<(), Error> {
+            self.primitives += 1;
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+            self.primitives += 1;
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _n: &'static str) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+        ) -> Result<(), Error> {
+            self.primitives += 1;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _n: &'static str, _l: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            _l: usize,
+        ) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct(self, _n: &'static str, _l: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            _l: usize,
+        ) -> Result<Self, Error> {
+            Ok(self)
+        }
+    }
+
+    macro_rules! agg {
+        ($tr:path, $f:ident) => {
+            impl<'a> $tr for &'a mut Counter {
+                type Ok = ();
+                type Error = Error;
+                fn $f<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+                    v.serialize(&mut **self)
+                }
+                fn end(self) -> Result<(), Error> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    agg!(ser::SerializeSeq, serialize_element);
+    agg!(ser::SerializeTuple, serialize_element);
+    agg!(ser::SerializeTupleStruct, serialize_field);
+    agg!(ser::SerializeTupleVariant, serialize_field);
+
+    impl<'a> ser::SerializeMap for &'a mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Error> {
+            k.serialize(&mut **self)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl<'a> ser::SerializeStruct for &'a mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _k: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl<'a> ser::SerializeStructVariant for &'a mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _k: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn processor_config_serializes_every_field() {
+    let n = counting::count(&ProcessorConfig::table1()).expect("serialize");
+    // Table 1 has > 25 primitive leaves (widths, sizes, latencies, ...).
+    assert!(n > 25, "only {n} primitives serialized");
+}
+
+#[test]
+fn closed_loop_types_serialize() {
+    let cfg = ClosedLoopConfig::standard(Benchmark::Gzip);
+    assert!(counting::count(&cfg).expect("cfg") >= 8);
+    let result = ClosedLoopResult::default();
+    assert!(counting::count(&result).expect("result") >= 10);
+    let stats = SimStats::default();
+    assert!(counting::count(&stats).expect("stats") >= 10);
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for signal-processing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The signal length is incompatible with the requested transform,
+    /// e.g. not divisible by `2^levels` for a `levels`-deep DWT.
+    BadLength {
+        /// The length supplied.
+        len: usize,
+        /// Human-readable requirement that was violated.
+        requirement: &'static str,
+    },
+    /// A requested decomposition level does not exist.
+    BadLevel {
+        /// The level requested.
+        level: usize,
+        /// Number of levels available.
+        available: usize,
+    },
+    /// The number of decomposition levels must be at least 1.
+    ZeroLevels,
+    /// The input signal was empty.
+    EmptySignal,
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::BadLength { len, requirement } => {
+                write!(f, "bad signal length {len}: {requirement}")
+            }
+            DspError::BadLevel { level, available } => {
+                write!(f, "level {level} out of range, {available} available")
+            }
+            DspError::ZeroLevels => write!(f, "decomposition requires at least one level"),
+            DspError::EmptySignal => write!(f, "signal is empty"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            DspError::BadLength {
+                len: 3,
+                requirement: "must be even",
+            },
+            DspError::BadLevel {
+                level: 9,
+                available: 3,
+            },
+            DspError::ZeroLevels,
+            DspError::EmptySignal,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

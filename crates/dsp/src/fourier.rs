@@ -1,0 +1,303 @@
+//! Discrete Fourier analysis: radix-2 FFT and power spectra.
+//!
+//! The paper contrasts wavelet analysis with Fourier analysis (§2): the
+//! DFT's coefficients describe *global* frequency behaviour while the
+//! DWT's are time-localized. This module provides the Fourier side of
+//! that comparison, and is also used to validate the PDN model's
+//! frequency response against its analytic impedance curve.
+
+use crate::DspError;
+
+/// A complex number (cartesian form), minimal and `Copy`.
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert!((i * i - Complex::new(-1.0, 0.0)).norm() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex exponential `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl std::ops::Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT of a real signal.
+///
+/// Returns the full complex spectrum `X[n] = Σ x[t] e^{-2πi nt/N}`
+/// (paper equation 1).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] unless `signal.len()` is a nonzero
+/// power of two.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_dsp::DspError> {
+/// // A pure cosine concentrates its energy in two bins.
+/// let n = 64;
+/// let s: Vec<f64> = (0..n)
+///     .map(|t| (2.0 * std::f64::consts::PI * 4.0 * t as f64 / n as f64).cos())
+///     .collect();
+/// let spec = didt_dsp::fft(&s)?;
+/// assert!((spec[4].norm() - n as f64 / 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft(signal: &[f64]) -> Result<Vec<Complex>, DspError> {
+    let buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_complex(buf, false)
+}
+
+/// Inverse FFT, returning a complex time series (imaginary parts are
+/// round-off for spectra of real signals).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] unless the spectrum length is a
+/// nonzero power of two.
+pub fn ifft(spectrum: &[Complex]) -> Result<Vec<Complex>, DspError> {
+    let n = spectrum.len() as f64;
+    let out = fft_complex(spectrum.to_vec(), true)?;
+    Ok(out.into_iter().map(|z| z / n).collect())
+}
+
+fn fft_complex(mut buf: Vec<Complex>, inverse: bool) -> Result<Vec<Complex>, DspError> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(DspError::BadLength {
+            len: n,
+            requirement: "FFT length must be a nonzero power of two",
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(buf)
+}
+
+/// One-sided power spectrum of a real signal: `|X[k]|² / N` for
+/// `k = 0..=N/2`.
+///
+/// # Errors
+///
+/// Same conditions as [`fft`].
+pub fn power_spectrum(signal: &[f64]) -> Result<Vec<f64>, DspError> {
+    let spec = fft(signal)?;
+    let n = signal.len();
+    Ok(spec[..=n / 2]
+        .iter()
+        .map(|z| z.norm_sq() / n as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut s = vec![0.0; 16];
+        s[0] = 1.0;
+        let spec = fft(&s).unwrap();
+        for z in spec {
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let spec = fft(&[2.0; 8]).unwrap();
+        assert!((spec[0].norm() - 16.0).abs() < 1e-12);
+        for z in &spec[1..] {
+            assert!(z.norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let s: Vec<f64> = (0..32).map(|i| ((i * 7 % 11) as f64) - 3.0).collect();
+        let fast = fft(&s).unwrap();
+        // Naive O(N²) DFT for cross-checking.
+        let n = s.len();
+        for (k, z) in fast.iter().enumerate() {
+            let mut acc = Complex::default();
+            for (t, &x) in s.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc + Complex::from_polar_unit(ang) * x;
+            }
+            assert!((acc - *z).norm() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn ifft_roundtrip() {
+        let s: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let spec = fft(&s).unwrap();
+        let back = ifft(&spec).unwrap();
+        for (a, b) in s.iter().zip(&back) {
+            assert!((a - b.re).abs() < 1e-9);
+            assert!(b.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        assert!(fft(&[1.0; 12]).is_err());
+        assert!(fft(&[]).is_err());
+    }
+
+    #[test]
+    fn parseval_for_fft() {
+        let s: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).cos()).collect();
+        let time_energy: f64 = s.iter().map(|x| x * x).sum();
+        let spec = fft(&s).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / s.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn power_spectrum_peak_at_tone() {
+        let n = 256;
+        let f = 17;
+        let s: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * f as f64 * t as f64 / n as f64).sin())
+            .collect();
+        let ps = power_spectrum(&s).unwrap();
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, f);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).norm() < 1e-12);
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! Signal processing for wavelet-based dI/dt analysis.
+//!
+//! This crate implements the signal-processing substrate of the HPCA 2004
+//! paper *"Wavelet Analysis for Microprocessor Design"* (Joseph, Hu,
+//! Martonosi):
+//!
+//! * [`wavelet`] — wavelet bases: the [`wavelet::Haar`] basis the paper
+//!   uses (Figure 1) and [`wavelet::Daubechies4`] for basis ablations.
+//! * [`transform`] — the fast discrete wavelet transform (`O(N)` pyramid
+//!   algorithm, paper §2.1) and its inverse, producing a
+//!   [`transform::WaveletDecomposition`] (the coefficient matrix of
+//!   Figure 2).
+//! * [`subband`] — projection of wavelet coefficients back into
+//!   time-domain subband signals (paper §2.2, equations 4–5), the
+//!   machinery behind per-scale voltage superposition.
+//! * [`variance`] — per-scale wavelet variance via Parseval's relation
+//!   (paper §4.1, step 2).
+//! * [`scalogram`] — scalogram visualisation of detail coefficients
+//!   (paper Figure 4).
+//! * [`fourier`] — radix-2 FFT and power spectra, for the Fourier-vs-
+//!   wavelet comparisons of paper §2.
+//! * [`convolution`] — direct/FIR convolution used to model linear
+//!   systems (paper equation 6).
+//!
+//! # Examples
+//!
+//! Decompose the paper's Figure 3 example signal and reconstruct it:
+//!
+//! ```
+//! use didt_dsp::{dwt, idwt, wavelet::Haar};
+//!
+//! # fn main() -> Result<(), didt_dsp::DspError> {
+//! let signal = [4.0, 2.0, 4.0, 0.0, 2.0, 2.0, 2.0, 0.0];
+//! let decomp = dwt(&signal, &Haar, 2)?;
+//! let rebuilt = idwt(&decomp)?;
+//! for (a, b) in signal.iter().zip(&rebuilt) {
+//!     assert!((a - b).abs() < 1e-12);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod convolution;
+pub mod fourier;
+pub mod packet;
+pub mod scalogram;
+pub mod streaming;
+pub mod subband;
+pub mod transform;
+pub mod variance;
+pub mod wavelet;
+
+mod error;
+
+pub use convolution::{convolve_full, fir_filter};
+pub use error::DspError;
+pub use fourier::{fft, ifft, power_spectrum, Complex};
+pub use packet::{wavelet_packet, WaveletPacket};
+pub use scalogram::Scalogram;
+pub use streaming::{StreamCoefficient, StreamingHaar};
+pub use subband::{approximation_signal, detail_signal, subband_decompose};
+pub use transform::{dwt, idwt, WaveletDecomposition};
+pub use variance::{scale_variances, wavelet_variance, ScaleVariance};
+pub use wavelet::{Daubechies4, Haar, Wavelet};

@@ -1,0 +1,257 @@
+//! Streaming (online) Haar DWT.
+//!
+//! The batch [`crate::dwt`] needs the whole signal in memory. For on-line
+//! analyses — per-sample coefficient emission as a trace is produced —
+//! [`StreamingHaar`] maintains the pyramid incrementally: every pair of
+//! samples completes a level-1 coefficient pair, every pair of level-1
+//! approximations completes a level-2 pair, and so on. Coefficients are
+//! identical (to round-off) to the batch transform of any aligned prefix.
+
+use crate::wavelet::FRAC_1_SQRT_2;
+use crate::DspError;
+
+/// A detail coefficient emitted by the streaming transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamCoefficient {
+    /// Decomposition level (1 = finest).
+    pub level: usize,
+    /// Index of this coefficient within its level (0-based).
+    pub index: usize,
+    /// The coefficient value.
+    pub value: f64,
+}
+
+/// Incremental Haar analysis pyramid.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_dsp::DspError> {
+/// use didt_dsp::streaming::StreamingHaar;
+/// use didt_dsp::{dwt, wavelet::Haar};
+///
+/// let signal: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let mut stream = StreamingHaar::new(3)?;
+/// let mut emitted = Vec::new();
+/// for &x in &signal {
+///     emitted.extend(stream.push(x));
+/// }
+/// // Every detail coefficient matches the batch transform.
+/// let batch = dwt(&signal, &Haar, 3)?;
+/// for c in &emitted {
+///     let want = batch.detail(c.level)?[c.index];
+///     assert!((c.value - want).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingHaar {
+    levels: usize,
+    /// Pending first-of-pair sample per level (`None` = level empty).
+    pending: Vec<Option<f64>>,
+    /// Coefficients emitted so far per level.
+    emitted: Vec<usize>,
+    samples: u64,
+}
+
+impl StreamingHaar {
+    /// Create a pyramid with `levels` decomposition levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ZeroLevels`] for `levels == 0` and
+    /// [`DspError::BadLength`] for `levels >= 32`.
+    pub fn new(levels: usize) -> Result<Self, DspError> {
+        if levels == 0 {
+            return Err(DspError::ZeroLevels);
+        }
+        if levels >= 32 {
+            return Err(DspError::BadLength {
+                len: levels,
+                requirement: "levels must be below 32",
+            });
+        }
+        Ok(StreamingHaar {
+            levels,
+            pending: vec![None; levels],
+            emitted: vec![0; levels],
+            samples: 0,
+        })
+    }
+
+    /// Number of decomposition levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Samples consumed so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Push one sample; returns the detail coefficients completed by it
+    /// (at most one per level, finest first). A sample at an odd position
+    /// completes level 1; positions divisible by 4 complete level 2 on
+    /// the following pair boundary, and so on.
+    pub fn push(&mut self, x: f64) -> Vec<StreamCoefficient> {
+        self.samples += 1;
+        let mut out = Vec::new();
+        let mut carry = x;
+        for level in 0..self.levels {
+            match self.pending[level].take() {
+                None => {
+                    self.pending[level] = Some(carry);
+                    break;
+                }
+                Some(first) => {
+                    let detail = (first - carry) * FRAC_1_SQRT_2;
+                    let approx = (first + carry) * FRAC_1_SQRT_2;
+                    out.push(StreamCoefficient {
+                        level: level + 1,
+                        index: self.emitted[level],
+                        value: detail,
+                    });
+                    self.emitted[level] += 1;
+                    carry = approx;
+                    // The approximation propagates to the next level; if
+                    // this was the deepest level it is simply dropped
+                    // (the caller tracks approximations via `push`'s
+                    // sibling, `push_with_approx`, when needed).
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`StreamingHaar::push`], additionally returning the deepest-
+    /// level approximation coefficient when one completes.
+    pub fn push_with_approx(&mut self, x: f64) -> (Vec<StreamCoefficient>, Option<f64>) {
+        // Re-implement rather than call push(): we need the carry of the
+        // deepest completed level.
+        self.samples += 1;
+        let mut out = Vec::new();
+        let mut carry = x;
+        for level in 0..self.levels {
+            match self.pending[level].take() {
+                None => {
+                    self.pending[level] = Some(carry);
+                    return (out, None);
+                }
+                Some(first) => {
+                    let detail = (first - carry) * FRAC_1_SQRT_2;
+                    let approx = (first + carry) * FRAC_1_SQRT_2;
+                    out.push(StreamCoefficient {
+                        level: level + 1,
+                        index: self.emitted[level],
+                        value: detail,
+                    });
+                    self.emitted[level] += 1;
+                    carry = approx;
+                }
+            }
+        }
+        (out, Some(carry))
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self) {
+        self.pending.fill(None);
+        self.emitted.fill(0);
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::dwt;
+    use crate::wavelet::Haar;
+
+    #[test]
+    fn rejects_bad_levels() {
+        assert!(StreamingHaar::new(0).is_err());
+        assert!(StreamingHaar::new(32).is_err());
+        assert!(StreamingHaar::new(31).is_ok());
+    }
+
+    #[test]
+    fn matches_batch_on_aligned_signal() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let mut s = StreamingHaar::new(5).unwrap();
+        let mut got: Vec<StreamCoefficient> = Vec::new();
+        for &x in &signal {
+            got.extend(s.push(x));
+        }
+        let batch = dwt(&signal, &Haar, 5).unwrap();
+        // Same count of detail coefficients per level.
+        for level in 1..=5 {
+            let want = batch.detail(level).unwrap();
+            let mine: Vec<f64> = got
+                .iter()
+                .filter(|c| c.level == level)
+                .map(|c| c.value)
+                .collect();
+            assert_eq!(mine.len(), want.len(), "level {level}");
+            for (a, b) in mine.iter().zip(want) {
+                assert!((a - b).abs() < 1e-10, "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximations_match_batch() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos() * 4.0).collect();
+        let mut s = StreamingHaar::new(4).unwrap();
+        let mut approxs = Vec::new();
+        for &x in &signal {
+            let (_, a) = s.push_with_approx(x);
+            if let Some(a) = a {
+                approxs.push(a);
+            }
+        }
+        let batch = dwt(&signal, &Haar, 4).unwrap();
+        assert_eq!(approxs.len(), batch.approximation().len());
+        for (a, b) in approxs.iter().zip(batch.approximation()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn emission_schedule_is_dyadic() {
+        let mut s = StreamingHaar::new(3).unwrap();
+        let mut per_push = Vec::new();
+        for i in 0..16 {
+            per_push.push(s.push(i as f64).len());
+        }
+        // Coefficients complete at odd positions: level 1 every 2 samples,
+        // +level 2 every 4, +level 3 every 8.
+        assert_eq!(per_push, vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 3]);
+    }
+
+    #[test]
+    fn reset_restarts_indices() {
+        let mut s = StreamingHaar::new(2).unwrap();
+        for i in 0..8 {
+            s.push(i as f64);
+        }
+        s.reset();
+        assert_eq!(s.samples(), 0);
+        let out = s.push(1.0);
+        assert!(out.is_empty());
+        let out = s.push(2.0);
+        assert_eq!(out[0].index, 0);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_details() {
+        let mut s = StreamingHaar::new(4).unwrap();
+        for _ in 0..64 {
+            for c in s.push(5.0) {
+                assert!(c.value.abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-scale wavelet variance via Parseval's relation.
+//!
+//! Paper §4.1, step 2: "the variance of the wavelet subband for scale j is
+//! equal to the sum of squared detail coefficients on that scale" —
+//! Parseval's equation for an orthonormal basis. This module computes the
+//! per-scale variance decomposition that drives the offline voltage-
+//! variance model, together with the adjacent-coefficient correlation of
+//! step 3.
+
+use crate::transform::WaveletDecomposition;
+use crate::DspError;
+use didt_stats::lag_correlation;
+
+/// Variance attributed to one wavelet scale, plus the adjacency
+/// correlation of its detail coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleVariance {
+    /// Detail level (1 = finest scale, i.e. 2-cycle features for Haar).
+    pub level: usize,
+    /// Time span of one coefficient at this level, in samples (`2^level`).
+    pub span: usize,
+    /// Variance contribution of this scale: `Σ d[k]² / N` where `N` is the
+    /// original signal length.
+    pub variance: f64,
+    /// Lag-1 correlation between adjacent detail coefficients — strong
+    /// values flag pulse trains able to build resonance (paper §4.1 step 3).
+    pub adjacent_correlation: f64,
+}
+
+/// Per-scale variance of a single detail level.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLevel`] for an out-of-range level.
+pub fn wavelet_variance(decomp: &WaveletDecomposition, level: usize) -> Result<f64, DspError> {
+    Ok(decomp.detail_energy(level)? / decomp.signal_len() as f64)
+}
+
+/// Variance decomposition across all detail scales.
+///
+/// The sum of the returned variances equals the *population variance* of
+/// the original signal when the decomposition is full depth (a single
+/// approximation coefficient holding the mean); otherwise it equals the
+/// variance of the signal minus the variance of the coarse approximation
+/// subband.
+///
+/// # Errors
+///
+/// Propagates [`DspError::BadLevel`] (unreachable for well-formed
+/// decompositions).
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::{dwt, scale_variances, wavelet::Haar};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s: Vec<f64> = (0..256).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let d = dwt(&s, &Haar, 8)?; // full depth: 256 = 2^8
+/// let scales = scale_variances(&d)?;
+/// let total: f64 = scales.iter().map(|s| s.variance).sum();
+/// let sig_var = didt_stats::variance(&s);
+/// assert!((total - sig_var).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scale_variances(decomp: &WaveletDecomposition) -> Result<Vec<ScaleVariance>, DspError> {
+    let n = decomp.signal_len() as f64;
+    let mut out = Vec::with_capacity(decomp.levels());
+    for level in 1..=decomp.levels() {
+        let d = decomp.detail(level)?;
+        let variance = d.iter().map(|x| x * x).sum::<f64>() / n;
+        // Correlation needs at least 3 coefficients; coarser rows report 0.
+        let adjacent_correlation = if d.len() >= 3 {
+            lag_correlation(d).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        out.push(ScaleVariance {
+            level,
+            span: 1usize << level,
+            variance,
+            adjacent_correlation,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::dwt;
+    use crate::wavelet::Haar;
+    use didt_stats::variance;
+
+    #[test]
+    fn full_depth_variances_sum_to_signal_variance() {
+        let s: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.13).sin() * 2.0 + (i % 10) as f64 * 0.1)
+            .collect();
+        let d = dwt(&s, &Haar, 7).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        let total: f64 = scales.iter().map(|s| s.variance).sum();
+        assert!((total - variance(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_scale_signal_concentrates_variance() {
+        // Period-2 alternation: all variance on level 1.
+        let s: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let d = dwt(&s, &Haar, 6).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        assert!((scales[0].variance - 1.0).abs() < 1e-10);
+        for sv in &scales[1..] {
+            assert!(sv.variance < 1e-12, "level {}", sv.level);
+        }
+    }
+
+    #[test]
+    fn period4_square_concentrates_on_level2() {
+        // +1 +1 -1 -1 repeating: pure level-2 Haar content.
+        let s: Vec<f64> = (0..64)
+            .map(|i| if i % 4 < 2 { 1.0 } else { -1.0 })
+            .collect();
+        let d = dwt(&s, &Haar, 6).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        assert!(scales[0].variance < 1e-12);
+        assert!((scales[1].variance - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn span_doubles_per_level() {
+        let d = dwt(&[0.0; 64], &Haar, 4).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        let spans: Vec<usize> = scales.iter().map(|s| s.span).collect();
+        assert_eq!(spans, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn adjacent_correlation_detects_pulse_train() {
+        // Same-sign consecutive detail coefficients: a sustained
+        // resonance-building pulse pattern at level 1.
+        // Signal: +1 -1 repeated means d1 coefficients all equal — but a
+        // constant row has zero variance so correlation is 0. Instead use
+        // a slowly-AM-modulated alternation so coefficients trend.
+        let s: Vec<f64> = (0..128)
+            .map(|i| {
+                let env = (i as f64 * 0.05).sin();
+                if i % 2 == 0 {
+                    env
+                } else {
+                    -env
+                }
+            })
+            .collect();
+        let d = dwt(&s, &Haar, 4).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        // Envelope varies slowly → adjacent d1 coefficients near-equal →
+        // strong positive correlation.
+        assert!(
+            scales[0].adjacent_correlation > 0.8,
+            "corr = {}",
+            scales[0].adjacent_correlation
+        );
+    }
+
+    #[test]
+    fn wavelet_variance_matches_scale_variances() {
+        let s: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64).collect();
+        let d = dwt(&s, &Haar, 4).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        for sv in &scales {
+            let v = wavelet_variance(&d, sv.level).unwrap();
+            assert!((v - sv.variance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coarse_levels_report_zero_correlation() {
+        // Level with < 3 coefficients cannot estimate correlation.
+        let d = dwt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &Haar, 3).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        assert_eq!(scales[2].adjacent_correlation, 0.0); // 1 coefficient
+        assert_eq!(scales[1].adjacent_correlation, 0.0); // 2 coefficients
+    }
+}

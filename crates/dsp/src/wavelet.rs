@@ -1,0 +1,170 @@
+//! Wavelet bases.
+//!
+//! A wavelet basis is described here by its orthonormal analysis filter
+//! pair: the scaling (low-pass) filter `h` and the wavelet (high-pass)
+//! filter `g`. The paper works exclusively with the Haar basis (Figure 1)
+//! because it matches the sharp discontinuities of processor current
+//! waveforms and admits a trivially cheap hardware implementation
+//! (shift-register sums, Figure 14). [`Daubechies4`] is provided for the
+//! "which basis?" ablation the paper alludes to in §2.1.
+
+/// An orthonormal wavelet basis, defined by its analysis filter pair.
+///
+/// Implementations must satisfy the orthonormality conditions
+/// `Σ h[k]² = 1` and `g[k] = (-1)^k h[L-1-k]` (quadrature mirror), which
+/// the provided tests verify for both built-in bases. The synthesis
+/// filters of an orthonormal basis are the time-reverses of the analysis
+/// filters, so the inverse transform needs no extra data.
+pub trait Wavelet {
+    /// Scaling (low-pass) analysis filter coefficients.
+    fn lowpass(&self) -> &[f64];
+
+    /// Wavelet (high-pass) analysis filter coefficients.
+    fn highpass(&self) -> &[f64];
+
+    /// Short human-readable basis name (e.g. `"haar"`).
+    fn name(&self) -> &'static str;
+
+    /// Filter length.
+    fn filter_len(&self) -> usize {
+        self.lowpass().len()
+    }
+}
+
+/// The Haar wavelet basis (paper Figure 1).
+///
+/// The scaling function is a unit box; the wavelet function is a
+/// positive pulse followed by a negative pulse. Orthonormal filter
+/// coefficients are `[1/√2, 1/√2]` and `[1/√2, -1/√2]`.
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::wavelet::{Haar, Wavelet};
+///
+/// let h = Haar.lowpass();
+/// assert!((h[0] - 0.5f64.sqrt()).abs() < 1e-15);
+/// assert_eq!(Haar.filter_len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Haar;
+
+/// `1/sqrt(2)`, the Haar filter coefficient.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+const HAAR_LO: [f64; 2] = [FRAC_1_SQRT_2, FRAC_1_SQRT_2];
+const HAAR_HI: [f64; 2] = [FRAC_1_SQRT_2, -FRAC_1_SQRT_2];
+
+impl Wavelet for Haar {
+    fn lowpass(&self) -> &[f64] {
+        &HAAR_LO
+    }
+
+    fn highpass(&self) -> &[f64] {
+        &HAAR_HI
+    }
+
+    fn name(&self) -> &'static str {
+        "haar"
+    }
+}
+
+/// The Daubechies-4 wavelet basis (two vanishing moments).
+///
+/// Smoother than Haar; used in the basis-choice ablation benches to show
+/// why the paper's Haar choice is appropriate for bursty current traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Daubechies4;
+
+// h = [(1+√3), (3+√3), (3−√3), (1−√3)] / (4√2)
+const D4_LO: [f64; 4] = [
+    0.482_962_913_144_690_2,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_44,
+];
+// g[k] = (−1)^k h[3−k]
+const D4_HI: [f64; 4] = [
+    -0.129_409_522_550_921_44,
+    -0.224_143_868_041_857_35,
+    0.836_516_303_737_469,
+    -0.482_962_913_144_690_2,
+];
+
+impl Wavelet for Daubechies4 {
+    fn lowpass(&self) -> &[f64] {
+        &D4_LO
+    }
+
+    fn highpass(&self) -> &[f64] {
+        &D4_HI
+    }
+
+    fn name(&self) -> &'static str {
+        "db4"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_orthonormal(w: &dyn Wavelet) {
+        let h = w.lowpass();
+        let g = w.highpass();
+        assert_eq!(h.len(), g.len());
+        // Unit energy.
+        let eh: f64 = h.iter().map(|x| x * x).sum();
+        let eg: f64 = g.iter().map(|x| x * x).sum();
+        assert!((eh - 1.0).abs() < 1e-12, "{} lowpass energy {eh}", w.name());
+        assert!((eg - 1.0).abs() < 1e-12, "{} highpass energy {eg}", w.name());
+        // Low/high orthogonality.
+        let dot: f64 = h.iter().zip(g).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-12, "{} h·g = {dot}", w.name());
+        // QMF relation g[k] = (-1)^k h[L-1-k].
+        let l = h.len();
+        for k in 0..l {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            assert!(
+                (g[k] - sign * h[l - 1 - k]).abs() < 1e-12,
+                "{} QMF at {k}",
+                w.name()
+            );
+        }
+        // Low-pass sums to sqrt(2) (preserves DC), high-pass sums to 0.
+        let sh: f64 = h.iter().sum();
+        let sg: f64 = g.iter().sum();
+        assert!((sh - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(sg.abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        check_orthonormal(&Haar);
+    }
+
+    #[test]
+    fn db4_is_orthonormal() {
+        check_orthonormal(&Daubechies4);
+    }
+
+    #[test]
+    fn db4_has_vanishing_first_moment() {
+        // Two vanishing moments: Σ k·g[k] = 0 as well as Σ g[k] = 0.
+        let g = Daubechies4.highpass();
+        let m1: f64 = g.iter().enumerate().map(|(k, &v)| k as f64 * v).sum();
+        assert!(m1.abs() < 1e-10, "first moment {m1}");
+    }
+
+    #[test]
+    fn names_distinct() {
+        assert_ne!(Haar.name(), Daubechies4.name());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let bases: Vec<Box<dyn Wavelet>> = vec![Box::new(Haar), Box::new(Daubechies4)];
+        assert_eq!(bases[0].filter_len(), 2);
+        assert_eq!(bases[1].filter_len(), 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the DSP invariants the dI/dt methodology
+//! rests on: perfect reconstruction, Parseval, subband additivity,
+//! transform linearity and FFT consistency.
+
+use didt_dsp::{
+    convolve_full, dwt, fft, fir_filter, idwt, ifft, scale_variances, subband_decompose,
+    wavelet::Daubechies4, wavelet::Haar,
+};
+use proptest::prelude::*;
+
+/// Signals of power-of-two length 8..=256 with bounded values.
+fn signal_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (3u32..=8).prop_flat_map(|log_n| {
+        prop::collection::vec(-100.0..100.0f64, 1usize << log_n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dwt_idwt_roundtrip_haar(s in signal_strategy()) {
+        let levels = s.len().trailing_zeros() as usize;
+        let d = dwt(&s, &Haar, levels).expect("dwt");
+        let r = idwt(&d).expect("idwt");
+        for (a, b) in s.iter().zip(&r) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dwt_idwt_roundtrip_db4(s in signal_strategy()) {
+        // db4 needs at least 4 samples per pyramid step.
+        let levels = (s.len().trailing_zeros() as usize).saturating_sub(2).max(1);
+        let d = dwt(&s, &Daubechies4, levels).expect("dwt");
+        let r = idwt(&d).expect("idwt");
+        for (a, b) in s.iter().zip(&r) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation(s in signal_strategy()) {
+        let levels = s.len().trailing_zeros() as usize;
+        let d = dwt(&s, &Haar, levels).expect("dwt");
+        let sig_energy: f64 = s.iter().map(|x| x * x).sum();
+        prop_assert!((d.energy() - sig_energy).abs() <= 1e-7 * sig_energy.max(1.0));
+    }
+
+    #[test]
+    fn subbands_sum_to_signal(s in signal_strategy()) {
+        let levels = (s.len().trailing_zeros() as usize).min(5);
+        let d = dwt(&s, &Haar, levels).expect("dwt");
+        let bands = subband_decompose(&d).expect("subbands");
+        for t in 0..s.len() {
+            let sum: f64 = bands.iter().map(|b| b[t]).sum();
+            prop_assert!((sum - s[t]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn full_depth_scale_variances_sum_to_population_variance(s in signal_strategy()) {
+        let levels = s.len().trailing_zeros() as usize;
+        let d = dwt(&s, &Haar, levels).expect("dwt");
+        let scales = scale_variances(&d).expect("variances");
+        let total: f64 = scales.iter().map(|sv| sv.variance).sum();
+        let var = didt_stats::variance(&s);
+        prop_assert!((total - var).abs() <= 1e-7 * var.max(1.0), "{total} vs {var}");
+        for sv in &scales {
+            prop_assert!(sv.variance >= 0.0);
+            prop_assert!((-1.0..=1.0).contains(&sv.adjacent_correlation));
+        }
+    }
+
+    #[test]
+    fn dwt_is_linear(
+        a in prop::collection::vec(-50.0..50.0f64, 64),
+        b in prop::collection::vec(-50.0..50.0f64, 64),
+        alpha in -3.0..3.0f64,
+    ) {
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let da = dwt(&a, &Haar, 4).expect("dwt");
+        let db = dwt(&b, &Haar, 4).expect("dwt");
+        let dc = dwt(&combo, &Haar, 4).expect("dwt");
+        for lvl in 1..=4 {
+            let ra = da.detail(lvl).expect("detail");
+            let rb = db.detail(lvl).expect("detail");
+            let rc = dc.detail(lvl).expect("detail");
+            for k in 0..ra.len() {
+                prop_assert!((rc[k] - (alpha * ra[k] + rb[k])).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip(s in signal_strategy()) {
+        let spec = fft(&s).expect("fft");
+        let back = ifft(&spec).expect("ifft");
+        for (a, b) in s.iter().zip(&back) {
+            prop_assert!((a - b.re).abs() < 1e-7);
+            prop_assert!(b.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(s in signal_strategy()) {
+        let spec = fft(&s).expect("fft");
+        let t_energy: f64 = s.iter().map(|x| x * x).sum();
+        let f_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / s.len() as f64;
+        prop_assert!((t_energy - f_energy).abs() <= 1e-6 * t_energy.max(1.0));
+    }
+
+    #[test]
+    fn convolution_commutes(
+        a in prop::collection::vec(-10.0..10.0f64, 1..20),
+        b in prop::collection::vec(-10.0..10.0f64, 1..20),
+    ) {
+        let ab = convolve_full(&a, &b);
+        let ba = convolve_full(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fir_is_prefix_of_full_convolution(
+        x in prop::collection::vec(-10.0..10.0f64, 1..50),
+        h in prop::collection::vec(-5.0..5.0f64, 1..10),
+    ) {
+        let fir = fir_filter(&x, &h);
+        let full = convolve_full(&x, &h);
+        for t in 0..x.len() {
+            prop_assert!((fir[t] - full[t]).abs() < 1e-9);
+        }
+    }
+}
+
+mod packet_and_streaming {
+    use didt_dsp::packet::wavelet_packet;
+    use didt_dsp::wavelet::Haar;
+    use didt_dsp::{dwt, StreamingHaar};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn packet_energy_conserved_and_invertible(
+            s in (3u32..=7).prop_flat_map(|log_n| {
+                prop::collection::vec(-50.0..50.0f64, 1usize << log_n)
+            }),
+        ) {
+            let depth = (s.len().trailing_zeros() as usize - 1).clamp(1, 4);
+            let wp = wavelet_packet(&s, &Haar, depth).expect("packet");
+            let e_sig: f64 = s.iter().map(|x| x * x).sum();
+            let e_bands: f64 = (0..wp.num_bands()).map(|b| wp.band_energy(b)).sum();
+            prop_assert!((e_sig - e_bands).abs() <= 1e-7 * e_sig.max(1.0));
+            let r = wp.inverse();
+            for (a, b) in s.iter().zip(&r) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn streaming_matches_batch_for_arbitrary_signals(
+            s in (3u32..=7).prop_flat_map(|log_n| {
+                prop::collection::vec(-50.0..50.0f64, 1usize << log_n)
+            }),
+        ) {
+            let levels = (s.len().trailing_zeros() as usize).min(5);
+            let mut stream = StreamingHaar::new(levels).expect("pyramid");
+            let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); levels];
+            for &x in &s {
+                for c in stream.push(x) {
+                    per_level[c.level - 1].push(c.value);
+                }
+            }
+            let batch = dwt(&s, &Haar, levels).expect("dwt");
+            for level in 1..=levels {
+                let want = batch.detail(level).expect("detail");
+                prop_assert_eq!(per_level[level - 1].len(), want.len());
+                for (a, b) in per_level[level - 1].iter().zip(want) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

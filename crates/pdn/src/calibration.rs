@@ -1,0 +1,266 @@
+//! Target-impedance calibration.
+//!
+//! Paper §3.1: "we model the power supply network as a second-order
+//! system and calculate the maximum impedance necessary to keep the
+//! voltage level within +/-5 % of Vdd under a worst-case execution
+//! sequence". That maximum is the **target impedance**; networks with
+//! larger impedance ("150 % target impedance") see voltage faults unless
+//! microarchitectural control steps in.
+
+use crate::model::SecondOrderPdn;
+use crate::stressor::resonant_square_wave;
+use crate::PdnError;
+
+/// A PDN calibrated so the worst-case stressor exactly grazes the
+/// allowed voltage band, together with the calibration inputs.
+///
+/// Obtain via [`calibrate_target_impedance`]; derive weaker networks
+/// with [`CalibratedPdn::at_percent`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_pdn::PdnError> {
+/// use didt_pdn::calibrate_target_impedance;
+///
+/// let cal = calibrate_target_impedance(100e6, 10.0, 1.0, 3e9, 0.05, 80.0, 10.0)?;
+/// // At 100 % the worst case just touches the band; at 150 % it violates.
+/// let v150 = cal.at_percent(150.0)?.simulate(&cal.stressor());
+/// let min150 = v150.iter().copied().fold(f64::INFINITY, f64::min);
+/// assert!(min150 < 0.95);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedPdn {
+    baseline: SecondOrderPdn,
+    tolerance: f64,
+    i_high: f64,
+    i_low: f64,
+    stressor_cycles: usize,
+}
+
+impl CalibratedPdn {
+    /// The 100 %-target-impedance network.
+    #[must_use]
+    pub fn baseline(&self) -> &SecondOrderPdn {
+        &self.baseline
+    }
+
+    /// Voltage tolerance as a fraction of Vdd (0.05 for ±5 %).
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The minimum allowed voltage, `Vdd · (1 − tolerance)`.
+    #[must_use]
+    pub fn v_min(&self) -> f64 {
+        self.baseline.vdd() * (1.0 - self.tolerance)
+    }
+
+    /// The maximum allowed voltage, `Vdd · (1 + tolerance)`.
+    #[must_use]
+    pub fn v_max(&self) -> f64 {
+        self.baseline.vdd() * (1.0 + self.tolerance)
+    }
+
+    /// The network at `percent` of target impedance (e.g. `150.0` gives
+    /// the 1.5× network that *needs* architectural dI/dt control).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] for a non-positive percent.
+    pub fn at_percent(&self, percent: f64) -> Result<SecondOrderPdn, PdnError> {
+        self.baseline.scaled(percent / 100.0)
+    }
+
+    /// The worst-case current stressor used during calibration.
+    #[must_use]
+    pub fn stressor(&self) -> Vec<f64> {
+        resonant_square_wave(
+            self.stressor_cycles,
+            self.baseline.resonant_period_cycles().round() as usize,
+            self.i_high,
+            self.i_low,
+        )
+    }
+}
+
+/// Worst-case voltage excursion (as a deviation fraction of Vdd) of a
+/// network under the given stressor.
+fn worst_excursion(pdn: &SecondOrderPdn, stressor: &[f64]) -> f64 {
+    let v = pdn.simulate(stressor);
+    let vdd = pdn.vdd();
+    v.iter()
+        .map(|&x| (x - vdd).abs() / vdd)
+        .fold(0.0f64, f64::max)
+}
+
+/// Calibrate the 100 %-target-impedance network: find the DC resistance
+/// (holding `f0` and `q` fixed, which scales the whole impedance curve)
+/// such that a worst-case resonant square wave between `i_low` and
+/// `i_high` amps produces a maximum voltage excursion of exactly
+/// `tolerance · Vdd`.
+///
+/// # Errors
+///
+/// Returns [`PdnError::InvalidParameter`] for invalid inputs and
+/// [`PdnError::CalibrationFailed`] if no bracketing resistance exists in
+/// a very wide search range (not reachable for sane inputs).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_pdn::PdnError> {
+/// let cal = didt_pdn::calibrate_target_impedance(
+///     100e6, 10.0, 1.0, 3e9, 0.05, 80.0, 10.0)?;
+/// let v = cal.baseline().simulate(&cal.stressor());
+/// let worst = v.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
+/// assert!((worst - 0.05).abs() < 0.002);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate_target_impedance(
+    f0_hz: f64,
+    q: f64,
+    vdd: f64,
+    clock_hz: f64,
+    tolerance: f64,
+    i_high: f64,
+    i_low: f64,
+) -> Result<CalibratedPdn, PdnError> {
+    if !(tolerance > 0.0 && tolerance < 1.0) {
+        return Err(PdnError::InvalidParameter {
+            name: "tolerance",
+            value: tolerance,
+        });
+    }
+    if i_high <= i_low {
+        return Err(PdnError::InvalidParameter {
+            name: "i_high",
+            value: i_high,
+        });
+    }
+    // Long enough to reach steady-state resonance buildup: many Q worth
+    // of ring cycles.
+    let period = (clock_hz / f0_hz).round() as usize;
+    let stressor_cycles = (period * (q as usize + 2) * 12).max(4096);
+    let probe = |r: f64| -> Result<f64, PdnError> {
+        let pdn = SecondOrderPdn::from_resonance(f0_hz, q, r, vdd, clock_hz)?;
+        let s = resonant_square_wave(stressor_cycles, period, i_high, i_low);
+        Ok(worst_excursion(&pdn, &s))
+    };
+    // Excursion is monotone in R (uniform impedance scale): bisection.
+    let mut r_lo = 1e-9;
+    let mut r_hi = 1e-9;
+    let mut found = false;
+    for _ in 0..60 {
+        if probe(r_hi)? > tolerance {
+            found = true;
+            break;
+        }
+        r_lo = r_hi;
+        r_hi *= 2.0;
+    }
+    if !found {
+        return Err(PdnError::CalibrationFailed {
+            reason: "could not bracket target impedance",
+        });
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (r_lo + r_hi);
+        if probe(mid)? > tolerance {
+            r_hi = mid;
+        } else {
+            r_lo = mid;
+        }
+    }
+    let r = 0.5 * (r_lo + r_hi);
+    let baseline = SecondOrderPdn::from_resonance(f0_hz, q, r, vdd, clock_hz)?;
+    Ok(CalibratedPdn {
+        baseline,
+        tolerance,
+        i_high,
+        i_low,
+        stressor_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrated() -> CalibratedPdn {
+        calibrate_target_impedance(100e6, 10.0, 1.0, 3e9, 0.05, 80.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn baseline_grazes_the_band() {
+        let cal = calibrated();
+        let v = cal.baseline().simulate(&cal.stressor());
+        let worst = v
+            .iter()
+            .map(|&x| (x - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!((worst - 0.05).abs() < 1e-3, "worst excursion {worst}");
+    }
+
+    #[test]
+    fn weaker_networks_violate() {
+        let cal = calibrated();
+        for pct in [125.0, 150.0, 200.0] {
+            let pdn = cal.at_percent(pct).unwrap();
+            let v = pdn.simulate(&cal.stressor());
+            let vmin = v.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(vmin < cal.v_min(), "{pct}%: vmin {vmin}");
+        }
+    }
+
+    #[test]
+    fn stronger_network_is_safe() {
+        let cal = calibrated();
+        let pdn = cal.at_percent(80.0).unwrap();
+        let v = pdn.simulate(&cal.stressor());
+        let worst = v.iter().map(|&x| (x - 1.0).abs()).fold(0.0f64, f64::max);
+        assert!(worst < 0.05);
+    }
+
+    #[test]
+    fn band_edges() {
+        let cal = calibrated();
+        assert!((cal.v_min() - 0.95).abs() < 1e-12);
+        assert!((cal.v_max() - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(calibrate_target_impedance(100e6, 10.0, 1.0, 3e9, 0.0, 80.0, 10.0).is_err());
+        assert!(calibrate_target_impedance(100e6, 10.0, 1.0, 3e9, 1.5, 80.0, 10.0).is_err());
+        assert!(calibrate_target_impedance(100e6, 10.0, 1.0, 3e9, 0.05, 10.0, 80.0).is_err());
+    }
+
+    #[test]
+    fn scaling_relation_on_excursion() {
+        // Excursion scales linearly with impedance percent (linear system).
+        let cal = calibrated();
+        let s = cal.stressor();
+        let e100 = {
+            let v = cal.baseline().simulate(&s);
+            v.iter().map(|&x| (x - 1.0).abs()).fold(0.0f64, f64::max)
+        };
+        let e200 = {
+            let v = cal.at_percent(200.0).unwrap().simulate(&s);
+            v.iter().map(|&x| (x - 1.0).abs()).fold(0.0f64, f64::max)
+        };
+        assert!((e200 / e100 - 2.0).abs() < 0.02, "ratio {}", e200 / e100);
+    }
+
+    #[test]
+    fn resistance_is_physically_plausible() {
+        // Sub-milliohm range for an 80 A swing and 50 mV budget.
+        let cal = calibrated();
+        let r = cal.baseline().resistance();
+        assert!((1e-6..1e-2).contains(&r), "r = {r}");
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for PDN model construction and calibration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdnError {
+    /// A circuit or model parameter was not a positive finite number.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The resonant frequency must lie below the Nyquist rate of the
+    /// discretization clock.
+    ResonanceAboveNyquist {
+        /// Requested resonant frequency (Hz).
+        resonance_hz: f64,
+        /// Clock frequency (Hz).
+        clock_hz: f64,
+    },
+    /// Target-impedance calibration failed to bracket a solution.
+    CalibrationFailed {
+        /// Explanation of the failure.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::InvalidParameter { name, value } => {
+                write!(f, "invalid PDN parameter {name}: {value}")
+            }
+            PdnError::ResonanceAboveNyquist {
+                resonance_hz,
+                clock_hz,
+            } => write!(
+                f,
+                "resonance {resonance_hz} Hz not below Nyquist of {clock_hz} Hz clock"
+            ),
+            PdnError::CalibrationFailed { reason } => {
+                write!(f, "target impedance calibration failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let vs = [
+            PdnError::InvalidParameter {
+                name: "r",
+                value: -1.0,
+            },
+            PdnError::ResonanceAboveNyquist {
+                resonance_hz: 2e9,
+                clock_hz: 3e9,
+            },
+            PdnError::CalibrationFailed { reason: "test" },
+        ];
+        for v in vs {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PdnError>();
+    }
+}

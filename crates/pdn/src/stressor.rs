@@ -1,0 +1,68 @@
+//! Worst-case dI/dt current stressors.
+//!
+//! Commercial designers benchmark supply networks with custom-crafted
+//! microbenchmarks that alternate the machine between maximum and minimum
+//! activity at the PDN's resonant frequency (paper §3.1, citing Bannon's
+//! personal communication). The synthetic equivalent is a square wave in
+//! current at the resonant period.
+
+/// Generate a worst-case resonant square wave: `cycles` samples
+/// alternating between `i_high` and `i_low` with period `period_cycles`
+/// (half high, half low). Starts high.
+///
+/// A `period_cycles` of 0 or 1 yields a constant `i_high` trace.
+///
+/// # Examples
+///
+/// ```
+/// let i = didt_pdn::resonant_square_wave(8, 4, 10.0, 2.0);
+/// assert_eq!(i, vec![10.0, 10.0, 2.0, 2.0, 10.0, 10.0, 2.0, 2.0]);
+/// ```
+#[must_use]
+pub fn resonant_square_wave(cycles: usize, period_cycles: usize, i_high: f64, i_low: f64) -> Vec<f64> {
+    if period_cycles < 2 {
+        return vec![i_high; cycles];
+    }
+    let half = period_cycles / 2;
+    (0..cycles)
+        .map(|n| {
+            if (n / half).is_multiple_of(2) {
+                i_high
+            } else {
+                i_low
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_is_half_for_even_periods() {
+        let i = resonant_square_wave(3000, 30, 80.0, 10.0);
+        let high = i.iter().filter(|&&x| x == 80.0).count();
+        assert_eq!(high, 1500);
+    }
+
+    #[test]
+    fn degenerate_period_is_constant() {
+        assert!(resonant_square_wave(16, 0, 5.0, 1.0).iter().all(|&x| x == 5.0));
+        assert!(resonant_square_wave(16, 1, 5.0, 1.0).iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    fn period_matches_request() {
+        let i = resonant_square_wave(100, 10, 1.0, 0.0);
+        for n in 0..90 {
+            assert_eq!(i[n], i[n + 10], "n = {n}");
+        }
+        assert_ne!(i[0], i[5]);
+    }
+
+    #[test]
+    fn empty_request() {
+        assert!(resonant_square_wave(0, 10, 1.0, 0.0).is_empty());
+    }
+}

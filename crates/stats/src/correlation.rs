@@ -1,0 +1,195 @@
+//! Correlation measures.
+//!
+//! Step 3 of the paper's offline methodology (§4.1) computes the
+//! correlation between *adjacent* wavelet detail coefficients on each
+//! scale: strong positive or negative correlation corresponds to pulse
+//! trains that can build constructive interference at the power supply's
+//! resonant frequency.
+
+use crate::{mean, StatsError};
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns a value in [-1, 1]. When either sample has zero variance the
+/// correlation is defined here as `0.0` (no linear relationship can be
+/// asserted), which is the behaviour the variance model wants: a flat
+/// coefficient row contributes no resonance amplification.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ and
+/// [`StatsError::InsufficientData`] for samples shorter than 2.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_stats::StatsError> {
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((didt_stats::pearson(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Lag-`k` sample autocorrelation of a series.
+///
+/// Normalized by the series' own variance, so a white-noise series gives
+/// values near zero at every nonzero lag and a period-`2k` square wave
+/// gives -1 at lag `k`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when the series is shorter
+/// than `lag + 2`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_stats::StatsError> {
+/// // Alternating series is perfectly anti-correlated at lag 1.
+/// let alt: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r = didt_stats::autocorrelation(&alt, 1)?;
+/// assert!(r < -0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn autocorrelation(series: &[f64], lag: usize) -> Result<f64, StatsError> {
+    if series.len() < lag + 2 {
+        return Err(StatsError::InsufficientData {
+            needed: lag + 2,
+            got: series.len(),
+        });
+    }
+    if lag == 0 {
+        return Ok(1.0);
+    }
+    let m = mean(series);
+    let mut num = 0.0;
+    for i in 0..series.len() - lag {
+        num += (series[i] - m) * (series[i + lag] - m);
+    }
+    let den: f64 = series.iter().map(|&x| (x - m) * (x - m)).sum();
+    if den <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((num / den).clamp(-1.0, 1.0))
+}
+
+/// Correlation between adjacent elements, i.e. lag-1 autocorrelation.
+///
+/// This is the quantity the paper's step 3 computes on each wavelet
+/// detail scale.
+///
+/// # Errors
+///
+/// Propagates [`autocorrelation`]'s error conditions.
+pub fn lag_correlation(series: &[f64]) -> Result<f64, StatsError> {
+    autocorrelation(series, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 30.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [3.0, 5.0, 7.0];
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let s = [1.0, 5.0, 2.0, 8.0];
+        assert_eq!(autocorrelation(&s, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_constant_is_zero() {
+        let s = [4.0; 32];
+        assert_eq!(autocorrelation(&s, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_period_two() {
+        let s: Vec<f64> = (0..128).map(|i| if i % 2 == 0 { 2.0 } else { -2.0 }).collect();
+        assert!(autocorrelation(&s, 1).unwrap() < -0.95);
+        assert!(autocorrelation(&s, 2).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_short_series_errors() {
+        assert!(autocorrelation(&[1.0, 2.0], 4).is_err());
+    }
+
+    #[test]
+    fn lag_correlation_matches_lag1() {
+        let s = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert_eq!(
+            lag_correlation(&s).unwrap(),
+            autocorrelation(&s, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn values_bounded() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 31) % 17) as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 13) % 23) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+        for lag in 0..10 {
+            let a = autocorrelation(&x, lag).unwrap();
+            assert!((-1.0..=1.0).contains(&a), "lag {lag}");
+        }
+    }
+}

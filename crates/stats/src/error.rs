@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for statistical computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty or too short for the requested operation.
+    InsufficientData {
+        /// Number of data points required.
+        needed: usize,
+        /// Number of data points provided.
+        got: usize,
+    },
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// The two input slices must have equal length.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine did not converge: {routine}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            StatsError::InsufficientData { needed: 2, got: 0 },
+            StatsError::InvalidParameter {
+                name: "k",
+                value: -1.0,
+            },
+            StatsError::LengthMismatch { left: 3, right: 4 },
+            StatsError::NoConvergence { routine: "gamma_p" },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

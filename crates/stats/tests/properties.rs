@@ -1,0 +1,111 @@
+//! Property-based tests of the statistical primitives.
+
+use didt_stats::chi_squared::{ChiSquared, ChiSquaredGof};
+use didt_stats::normal::{erf, erfc};
+use didt_stats::{autocorrelation, mean, pearson, variance, Histogram, Normal, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erf_is_odd_bounded_monotone(x in -5.0..5.0f64, dx in 0.001..1.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&erf(x)));
+        prop_assert!(erf(x + dx) >= erf(x));
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_properties(mean_v in -10.0..10.0f64, sd in 0.01..10.0f64, x in -50.0..50.0f64) {
+        let n = Normal::new(mean_v, sd).expect("normal");
+        let c = n.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-9);
+        // Symmetry about the mean.
+        let lo = n.cdf(mean_v - (x - mean_v));
+        prop_assert!((c + lo - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_inverts(mean_v in -5.0..5.0f64, sd in 0.1..5.0f64, p in 0.001..0.999f64) {
+        let n = Normal::new(mean_v, sd).expect("normal");
+        let x = n.quantile(p).expect("quantile");
+        prop_assert!((n.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn chi_squared_cdf_monotone(dof in 1.0..30.0f64, x in 0.0..100.0f64, dx in 0.01..10.0f64) {
+        let chi = ChiSquared::new(dof).expect("chi");
+        prop_assert!(chi.cdf(x + dx) >= chi.cdf(x));
+        prop_assert!((0.0..=1.0).contains(&chi.cdf(x)));
+    }
+
+    #[test]
+    fn variance_shift_invariant_scale_quadratic(
+        data in prop::collection::vec(-100.0..100.0f64, 2..64),
+        shift in -50.0..50.0f64,
+        scale in -4.0..4.0f64,
+    ) {
+        let v = variance(&data);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&shifted) - v).abs() < 1e-7 * v.max(1.0) + 1e-7);
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        prop_assert!((variance(&scaled) - scale * scale * v).abs() < 1e-6 * (v + 1.0));
+    }
+
+    #[test]
+    fn summary_matches_batch_functions(data in prop::collection::vec(-100.0..100.0f64, 1..128)) {
+        let s = Summary::from_slice(&data);
+        prop_assert!((s.mean - mean(&data)).abs() < 1e-9);
+        prop_assert!((s.variance - variance(&data)).abs() < 1e-7);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn correlations_bounded(
+        x in prop::collection::vec(-10.0..10.0f64, 4..64),
+        lag in 0usize..3,
+    ) {
+        let r = autocorrelation(&x, lag).expect("autocorr");
+        prop_assert!((-1.0..=1.0).contains(&r));
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let p = pearson(&x, &y).expect("pearson");
+        prop_assert!((-1.0..=1.0).contains(&p));
+        // Self-correlation is 1 unless degenerate.
+        if variance(&x) > 1e-12 {
+            prop_assert!((pearson(&x, &x).expect("pearson") - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        xs in prop::collection::vec(-2.0..2.0f64, 0..200),
+        bins in 1usize..20,
+    ) {
+        let mut h = Histogram::new(-1.0, 1.0, bins).expect("histogram");
+        h.record_all(&xs);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned, xs.len() as u64);
+        // fraction_below is monotone in the threshold.
+        let f_lo = h.fraction_below(-0.5);
+        let f_mid = h.fraction_below(0.0);
+        let f_hi = h.fraction_below(0.5);
+        prop_assert!(f_lo <= f_mid && f_mid <= f_hi);
+    }
+
+    #[test]
+    fn gof_never_accepts_two_point_masses(n in 16usize..64) {
+        // Deterministic bimodal data must never classify Gaussian.
+        let mut data = Vec::new();
+        for i in 0..n {
+            data.push(if i % 2 == 0 { 0.0 } else { 10.0 });
+            data.push(if i % 3 == 0 { 0.1 } else { 9.9 });
+        }
+        let test = ChiSquaredGof::new(4).expect("test");
+        if let Ok(r) = test.test_normality(&data, 0.95) {
+            prop_assert!(!r.is_gaussian(), "bimodal data accepted");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Processor configuration (paper Table 1).
+
+/// Cache geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.associativity * self.line_bytes)
+    }
+}
+
+/// Branch-predictor configuration: the paper's combined predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PredictorConfig {
+    /// Entries in the bimodal table.
+    pub bimodal_entries: usize,
+    /// Entries in the gshare table.
+    pub gshare_entries: usize,
+    /// Gshare global-history bits.
+    pub gshare_history_bits: u32,
+    /// Entries in the chooser table.
+    pub chooser_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+}
+
+/// Functional-unit pool sizes and operation latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FunctionalUnits {
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiplier/dividers.
+    pub int_mult: u32,
+    /// Floating-point adders.
+    pub fp_alu: u32,
+    /// Floating-point multiplier/dividers.
+    pub fp_mult: u32,
+    /// Cache ports for loads/stores.
+    pub mem_ports: u32,
+}
+
+/// Full processor configuration.
+///
+/// [`ProcessorConfig::table1`] reproduces the paper's Table 1 exactly:
+/// a 3.0 GHz, 4-wide machine with an 80-entry RUU, 40-entry LSQ,
+/// 12-cycle branch penalty and a 64 KB/64 KB/2 MB cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use didt_uarch::ProcessorConfig;
+///
+/// let cfg = ProcessorConfig::table1();
+/// assert_eq!(cfg.ruu_entries, 80);
+/// assert_eq!(cfg.l2.size_bytes, 2 * 1024 * 1024);
+/// assert_eq!(cfg.clock_hz, 3.0e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessorConfig {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd: f64,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded/dispatched per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Register update unit (instruction window) entries.
+    pub ruu_entries: usize,
+    /// Load/store queue entries.
+    pub lsq_entries: usize,
+    /// Front-end depth in cycles (fetch → earliest issue), modeling the
+    /// deep pipeline's multiple fetch/decode stages.
+    pub frontend_depth: u32,
+    /// Minimum branch misprediction penalty in cycles.
+    pub branch_penalty: u32,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+    /// Functional units.
+    pub units: FunctionalUnits,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u32,
+    /// Enable the hardware stream prefetcher on the data side.
+    pub stream_prefetch: bool,
+}
+
+impl ProcessorConfig {
+    /// The paper's Table 1 configuration.
+    #[must_use]
+    pub fn table1() -> Self {
+        ProcessorConfig {
+            clock_hz: 3.0e9,
+            vdd: 1.0,
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            ruu_entries: 80,
+            lsq_entries: 40,
+            frontend_depth: 6,
+            branch_penalty: 12,
+            predictor: PredictorConfig {
+                bimodal_entries: 4096,
+                gshare_entries: 4096,
+                gshare_history_bits: 12,
+                chooser_entries: 4096,
+                btb_entries: 1024,
+                btb_ways: 2,
+                ras_entries: 32,
+            },
+            units: FunctionalUnits {
+                int_alu: 4,
+                int_mult: 1,
+                fp_alu: 2,
+                fp_mult: 1,
+                mem_ports: 2,
+            },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                associativity: 4,
+                line_bytes: 64,
+                latency: 16,
+            },
+            memory_latency: 250,
+            stream_prefetch: true,
+        }
+    }
+}
+
+impl ProcessorConfig {
+    /// A variant of Table 1 scaled to a different superscalar width:
+    /// fetch/decode/issue/commit widths, ALU counts, memory ports and
+    /// window/LSQ capacity all scale with `width / 4`. Used by the
+    /// width-sensitivity ablation (wider machines swing more current and
+    /// stress the supply harder).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is 1-16.
+    #[must_use]
+    pub fn with_width(width: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be 1-16");
+        let base = Self::table1();
+        let scale = |x: u32| (x * width).div_ceil(4).max(1);
+        ProcessorConfig {
+            fetch_width: width,
+            decode_width: width,
+            issue_width: width,
+            commit_width: width,
+            ruu_entries: (base.ruu_entries * width as usize).div_ceil(4).max(8),
+            lsq_entries: (base.lsq_entries * width as usize).div_ceil(4).max(4),
+            units: FunctionalUnits {
+                int_alu: scale(base.units.int_alu),
+                int_mult: scale(base.units.int_mult),
+                fp_alu: scale(base.units.fp_alu),
+                fp_mult: scale(base.units.fp_mult),
+                mem_ports: scale(base.units.mem_ports),
+            },
+            ..base
+        }
+    }
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = ProcessorConfig::table1();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.ruu_entries, 80);
+        assert_eq!(c.lsq_entries, 40);
+        assert_eq!(c.branch_penalty, 12);
+        assert_eq!(c.units.int_alu, 4);
+        assert_eq!(c.units.int_mult, 1);
+        assert_eq!(c.units.fp_alu, 2);
+        assert_eq!(c.units.fp_mult, 1);
+        assert_eq!(c.units.mem_ports, 2);
+        assert_eq!(c.predictor.bimodal_entries, 4096);
+        assert_eq!(c.predictor.gshare_history_bits, 12);
+        assert_eq!(c.predictor.btb_entries, 1024);
+        assert_eq!(c.predictor.ras_entries, 32);
+        assert_eq!(c.l1i.latency, 3);
+        assert_eq!(c.l2.latency, 16);
+        assert_eq!(c.memory_latency, 250);
+        assert_eq!(c.vdd, 1.0);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = ProcessorConfig::table1();
+        assert_eq!(c.l1d.sets(), 512); // 64 KB / (2 × 64 B)
+        assert_eq!(c.l2.sets(), 8192); // 2 MB / (4 × 64 B)
+    }
+
+    #[test]
+    fn with_width_scales_resources() {
+        let narrow = ProcessorConfig::with_width(2);
+        assert_eq!(narrow.fetch_width, 2);
+        assert_eq!(narrow.ruu_entries, 40);
+        assert_eq!(narrow.units.int_alu, 2);
+        assert_eq!(narrow.units.int_mult, 1); // never below 1
+        let wide = ProcessorConfig::with_width(8);
+        assert_eq!(wide.issue_width, 8);
+        assert_eq!(wide.ruu_entries, 160);
+        assert_eq!(wide.units.mem_ports, 4);
+        // Width 4 matches Table 1 resources.
+        let four = ProcessorConfig::with_width(4);
+        assert_eq!(four.units, ProcessorConfig::table1().units);
+        assert_eq!(four.ruu_entries, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1-16")]
+    fn with_width_rejects_zero() {
+        let _ = ProcessorConfig::with_width(0);
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(ProcessorConfig::default(), ProcessorConfig::table1());
+    }
+}

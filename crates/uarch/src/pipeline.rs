@@ -1,0 +1,892 @@
+//! The cycle-level out-of-order core.
+//!
+//! A SimpleScalar-RUU-style machine: a unified instruction window (RUU)
+//! with a load/store queue, fetched from a synthetic instruction stream,
+//! issued out of order to the Table 1 functional-unit pool, committed in
+//! order. Every cycle produces a [`CycleOutput`] with the Wattch-style
+//! power/current draw — the signal all dI/dt analysis consumes.
+//!
+//! The pipeline accepts an external [`ControlAction`] each cycle, which
+//! is how microarchitectural dI/dt control couples in: `StallIssue`
+//! suppresses instruction issue (cutting current draw), `InjectNops`
+//! replaces fetched instructions with no-ops (raising current draw when
+//! the machine is otherwise idle).
+
+use crate::branch::BranchPredictor;
+use crate::cache::{AccessLevel, Cache, Hierarchy};
+use crate::config::ProcessorConfig;
+use crate::op::{MicroOp, OpClass};
+use crate::power::{CycleActivity, PowerModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Per-cycle control input from a dI/dt controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlAction {
+    /// Run normally.
+    #[default]
+    Normal,
+    /// Suppress instruction issue this cycle (voltage-low response).
+    StallIssue,
+    /// Fill idle issue slots with injected no-ops (voltage-high
+    /// response: keeps current draw up without displacing program work).
+    InjectNops,
+}
+
+/// What one simulated cycle produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleOutput {
+    /// Current drawn this cycle, in amperes.
+    pub current: f64,
+    /// Power drawn this cycle, in watts.
+    pub power: f64,
+    /// Program (non-nop) instructions committed this cycle.
+    pub committed: u32,
+}
+
+/// Aggregate statistics for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Program instructions committed.
+    pub committed: u64,
+    /// No-ops injected into idle issue slots by dI/dt control.
+    pub nops_injected: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branches mispredicted.
+    pub branch_mispredicts: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L2 misses (data side).
+    pub l2_misses: u64,
+    /// L2 accesses (data side).
+    pub l2_accesses: u64,
+    /// I-cache misses.
+    pub l1i_misses: u64,
+    /// Mean power over the run, in watts.
+    pub mean_power: f64,
+}
+
+impl SimStats {
+    /// Committed program instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 misses per 1000 committed instructions — the paper's axis for
+    /// separating Figures 10 and 11.
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    op: OpClass,
+    dep1: Option<u64>,
+    dep2: Option<u64>,
+    frontend_ready: u64,
+    state: EntryState,
+    done_at: u64,
+    addr: u64,
+    mispredicted: bool,
+}
+
+/// Completion-time ring capacity; must exceed max dependency distance +
+/// window size (64 + 80) and be a power of two.
+const RING: usize = 256;
+
+/// Cycles over which one cycle's event power is spread (deep-pipeline
+/// power staging, per the paper's Wattch modification).
+const POWER_SPREAD: usize = 4;
+
+/// The simulated processor, generic over its instruction source.
+///
+/// # Examples
+///
+/// ```
+/// use didt_uarch::{Benchmark, Processor, ProcessorConfig, WorkloadGenerator};
+/// use didt_uarch::pipeline::ControlAction;
+///
+/// let gen = WorkloadGenerator::new(Benchmark::Gzip.profile(), 1);
+/// let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+/// let mut total = 0u32;
+/// for _ in 0..30_000 {
+///     total += cpu.step(ControlAction::Normal).committed;
+/// }
+/// assert!(total > 6_000); // sustains real throughput from a cold start
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor<W> {
+    config: ProcessorConfig,
+    power_model: PowerModel,
+    workload: W,
+    icache: Cache,
+    data: Hierarchy,
+    bpred: BranchPredictor,
+    rob: VecDeque<RobEntry>,
+    lsq_occupancy: usize,
+    completed_at: Vec<u64>,
+    next_seq: u64,
+    cycle: u64,
+    /// Cycle at which fetch may resume; `u64::MAX` while waiting on an
+    /// unresolved mispredicted branch.
+    fetch_resume_at: u64,
+    int_div_busy_until: u64,
+    fp_div_busy_until: u64,
+    /// Instruction that could not enter the LSQ last cycle, retried first.
+    pending: Option<MicroOp>,
+    /// Data-dependent switching-activity noise source (deterministic).
+    jitter_rng: SmallRng,
+    /// Pipelined-structure power spreading: event energy of a cycle is
+    /// charged over this many consecutive cycles (the paper's Wattch
+    /// modification "to spread the power usage of pipelined structures
+    /// over multiple stages").
+    spread: [f64; POWER_SPREAD],
+    spread_idx: usize,
+    stats: SimStats,
+    power_accum: f64,
+}
+
+impl<W: Iterator<Item = MicroOp>> Processor<W> {
+    /// Build a processor running the given instruction stream.
+    #[must_use]
+    pub fn new(config: ProcessorConfig, workload: W) -> Self {
+        Processor {
+            config,
+            power_model: PowerModel::table1(),
+            workload,
+            icache: Cache::new(config.l1i),
+            data: {
+                let mut h = Hierarchy::new(config.l1d, config.l2, config.memory_latency);
+                h.set_prefetch(config.stream_prefetch);
+                h
+            },
+            bpred: BranchPredictor::new(config.predictor),
+            rob: VecDeque::with_capacity(config.ruu_entries),
+            lsq_occupancy: 0,
+            completed_at: vec![u64::MAX; RING],
+            next_seq: 0,
+            cycle: 0,
+            fetch_resume_at: 0,
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+            pending: None,
+            jitter_rng: SmallRng::seed_from_u64(0x57A7_1CAC_u64),
+            spread: [0.0; POWER_SPREAD],
+            spread_idx: 0,
+            stats: SimStats::default(),
+            power_accum: 0.0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `true` while the front end is blocked (mispredict recovery or
+    /// I-cache refill) — a diagnostic hook for tests and tools.
+    #[must_use]
+    pub fn fetch_blocked(&self) -> bool {
+        self.cycle < self.fetch_resume_at
+    }
+
+    /// Occupied instruction-window entries — diagnostic hook.
+    #[must_use]
+    pub fn window_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Statistics so far (mean power is finalized on read).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.mean_power = if s.cycles == 0 {
+            0.0
+        } else {
+            self.power_accum / s.cycles as f64
+        };
+        s
+    }
+
+    fn dep_satisfied(&self, dep: Option<u64>) -> bool {
+        match dep {
+            None => true,
+            Some(seq) => {
+                let t = self.completed_at[(seq as usize) & (RING - 1)];
+                t != u64::MAX && t <= self.cycle
+            }
+        }
+    }
+
+    /// Advance the machine one cycle under `action`, returning the
+    /// cycle's power/current draw.
+    pub fn step(&mut self, action: ControlAction) -> CycleOutput {
+        let mut activity = CycleActivity {
+            window_occupancy: self.rob.len() as u32,
+            lsq_occupancy: self.lsq_occupancy as u32,
+            ..CycleActivity::default()
+        };
+
+        self.commit(&mut activity);
+        self.writeback();
+        let issued = if action == ControlAction::StallIssue {
+            0
+        } else {
+            self.issue(&mut activity)
+        };
+        if action == ControlAction::InjectNops {
+            // The no-op injector drives otherwise-idle issue slots with
+            // dummy operations, lifting current draw without perturbing
+            // the program in the window (paper §5: "no-ops are issued to
+            // functional units to increase the current consumption").
+            let free = self.config.issue_width - issued.min(self.config.issue_width);
+            activity.nops += free;
+            self.stats.nops_injected += u64::from(free);
+        }
+        self.fetch(&mut activity);
+
+        // Wrong-path front-end toggling while recovering from a
+        // mispredict (fetch blocked on an unresolved branch).
+        if self.fetch_resume_at > self.cycle {
+            activity.wrong_path_fetch = self.config.fetch_width / 2;
+        }
+
+        let raw_power = self.power_model.cycle_power(&activity);
+        // Occupancy/CAM and clock-tree power are deterministic, so a
+        // fully stalled cycle draws exactly the same power every time —
+        // which is what makes long memory-stall windows non-Gaussian and
+        // low-variance, as the paper observes (§4.1, Figures 7 and 11).
+        let idle_power = self.power_model.base
+            + self.power_model.window_entry * f64::from(activity.window_occupancy)
+            + self.power_model.lsq_entry * f64::from(activity.lsq_occupancy);
+        let mut event_power = raw_power - idle_power;
+        // Data-dependent switching: jitter the event-driven share of the
+        // power (operand-dependent datapath activity).
+        if self.power_model.data_jitter > 0.0 && event_power > 0.0 {
+            // Unit-variance CLT pseudo-Gaussian from six uniforms.
+            let g: f64 = ((0..6).map(|_| self.jitter_rng.random::<f64>()).sum::<f64>() - 3.0)
+                / (0.5f64).sqrt();
+            event_power = (event_power * (1.0 + self.power_model.data_jitter * g)).max(0.0);
+        }
+        // Spread event energy across the deep pipeline's stages: charge
+        // 1/POWER_SPREAD now and in each of the next stages' cycles.
+        let share = event_power / POWER_SPREAD as f64;
+        for k in 0..POWER_SPREAD {
+            self.spread[(self.spread_idx + k) % POWER_SPREAD] += share;
+        }
+        let power = idle_power + self.spread[self.spread_idx];
+        self.spread[self.spread_idx] = 0.0;
+        self.spread_idx = (self.spread_idx + 1) % POWER_SPREAD;
+        let current = power / self.config.vdd;
+        self.power_accum += power;
+        self.stats.cycles += 1;
+        self.cycle += 1;
+        CycleOutput {
+            current,
+            power,
+            committed: activity.committed,
+        }
+    }
+
+    fn commit(&mut self, activity: &mut CycleActivity) {
+        let mut committed = 0;
+        while committed < self.config.commit_width {
+            match self.rob.front() {
+                Some(head) if head.state == EntryState::Done => {
+                    let head = self.rob.pop_front().expect("nonempty");
+                    if head.op.is_memory() {
+                        self.lsq_occupancy -= 1;
+                    }
+                    self.stats.committed += 1;
+                    committed += 1;
+                }
+                _ => break,
+            }
+        }
+        activity.committed = committed;
+    }
+
+    fn writeback(&mut self) {
+        let cycle = self.cycle;
+        let mut resolve_mispredict = None;
+        for e in &mut self.rob {
+            if e.state == EntryState::Executing && e.done_at <= cycle {
+                e.state = EntryState::Done;
+                self.completed_at[(e.seq as usize) & (RING - 1)] = e.done_at;
+                if e.mispredicted {
+                    resolve_mispredict = Some(e.done_at);
+                }
+            }
+        }
+        if let Some(done) = resolve_mispredict {
+            // Front-end refill after redirect.
+            self.fetch_resume_at = done + u64::from(self.config.frontend_depth);
+        }
+    }
+
+    fn issue(&mut self, activity: &mut CycleActivity) -> u32 {
+        let mut issued = 0;
+        let mut int_alu = 0;
+        let mut int_mult = 0;
+        let mut fp_alu = 0;
+        let mut fp_mult = 0;
+        let mut mem_ports = 0;
+        let cycle = self.cycle;
+        let units = self.config.units;
+        // Oldest-first issue priority over the whole window.
+        for idx in 0..self.rob.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let e = self.rob[idx];
+            if e.state != EntryState::Waiting || e.frontend_ready > cycle {
+                continue;
+            }
+            if !(self.dep_satisfied(e.dep1) && self.dep_satisfied(e.dep2)) {
+                continue;
+            }
+            // Functional-unit availability.
+            let lat: u32 = match e.op {
+                OpClass::IntAlu | OpClass::Branch | OpClass::Nop => {
+                    if int_alu >= units.int_alu {
+                        continue;
+                    }
+                    int_alu += 1;
+                    match e.op {
+                        OpClass::Branch => activity.int_alu += 1,
+                        OpClass::Nop => activity.nops += 1,
+                        _ => activity.int_alu += 1,
+                    }
+                    e.op.base_latency()
+                }
+                OpClass::IntMult => {
+                    if int_mult >= units.int_mult || self.int_div_busy_until > cycle {
+                        continue;
+                    }
+                    int_mult += 1;
+                    activity.int_mult += 1;
+                    e.op.base_latency()
+                }
+                OpClass::IntDiv => {
+                    if int_mult >= units.int_mult || self.int_div_busy_until > cycle {
+                        continue;
+                    }
+                    int_mult += 1;
+                    self.int_div_busy_until = cycle + u64::from(e.op.base_latency());
+                    activity.int_div += 1;
+                    e.op.base_latency()
+                }
+                OpClass::FpAlu => {
+                    if fp_alu >= units.fp_alu {
+                        continue;
+                    }
+                    fp_alu += 1;
+                    activity.fp_alu += 1;
+                    e.op.base_latency()
+                }
+                OpClass::FpMult => {
+                    if fp_mult >= units.fp_mult || self.fp_div_busy_until > cycle {
+                        continue;
+                    }
+                    fp_mult += 1;
+                    activity.fp_mult += 1;
+                    e.op.base_latency()
+                }
+                OpClass::FpDiv => {
+                    if fp_mult >= units.fp_mult || self.fp_div_busy_until > cycle {
+                        continue;
+                    }
+                    fp_mult += 1;
+                    self.fp_div_busy_until = cycle + u64::from(e.op.base_latency());
+                    activity.fp_div += 1;
+                    e.op.base_latency()
+                }
+                OpClass::Load => {
+                    if mem_ports >= units.mem_ports {
+                        continue;
+                    }
+                    mem_ports += 1;
+                    let (level, lat) = self.data.access(e.addr);
+                    activity.loads += 1;
+                    self.stats.l1d_accesses += 1;
+                    match level {
+                        AccessLevel::L1 => {}
+                        AccessLevel::L2 => {
+                            self.stats.l1d_misses += 1;
+                            self.stats.l2_accesses += 1;
+                            activity.l2_accesses += 1;
+                        }
+                        AccessLevel::Memory => {
+                            self.stats.l1d_misses += 1;
+                            self.stats.l2_accesses += 1;
+                            self.stats.l2_misses += 1;
+                            activity.l2_accesses += 1;
+                            activity.mem_accesses += 1;
+                        }
+                    }
+                    lat
+                }
+                OpClass::Store => {
+                    if mem_ports >= units.mem_ports {
+                        continue;
+                    }
+                    mem_ports += 1;
+                    // Stores complete into the store buffer; the line fill
+                    // still exercises the hierarchy for power/miss stats.
+                    let (level, _) = self.data.access(e.addr);
+                    activity.stores += 1;
+                    self.stats.l1d_accesses += 1;
+                    match level {
+                        AccessLevel::L1 => {}
+                        AccessLevel::L2 => {
+                            self.stats.l1d_misses += 1;
+                            self.stats.l2_accesses += 1;
+                            activity.l2_accesses += 1;
+                        }
+                        AccessLevel::Memory => {
+                            self.stats.l1d_misses += 1;
+                            self.stats.l2_accesses += 1;
+                            self.stats.l2_misses += 1;
+                            activity.l2_accesses += 1;
+                            activity.mem_accesses += 1;
+                        }
+                    }
+                    1
+                }
+            };
+            let e = &mut self.rob[idx];
+            e.state = EntryState::Executing;
+            e.done_at = cycle + u64::from(lat);
+            issued += 1;
+        }
+        issued
+    }
+
+    fn fetch(&mut self, activity: &mut CycleActivity) {
+        if self.cycle < self.fetch_resume_at {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width {
+            if self.rob.len() >= self.config.ruu_entries {
+                break;
+            }
+            let uop = if let Some(p) = self.pending.take() {
+                p
+            } else {
+                match self.workload.next() {
+                    Some(u) => u,
+                    None => break,
+                }
+            };
+            if uop.op.is_memory() && self.lsq_occupancy >= self.config.lsq_entries {
+                // Structural stall: buffer the instruction and retry it
+                // at the head of the next fetch group.
+                self.pending = Some(uop);
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.completed_at[(seq as usize) & (RING - 1)] = u64::MAX;
+            let dep = |dist: u32| -> Option<u64> {
+                if dist == 0 || u64::from(dist) > seq {
+                    None
+                } else {
+                    Some(seq - u64::from(dist))
+                }
+            };
+            let mut entry = RobEntry {
+                seq,
+                op: uop.op,
+                dep1: dep(uop.dep1),
+                dep2: dep(uop.dep2),
+                frontend_ready: self.cycle + u64::from(self.config.frontend_depth),
+                state: EntryState::Waiting,
+                done_at: u64::MAX,
+                addr: uop.addr,
+                mispredicted: false,
+            };
+            // I-cache.
+            if !uop.is_nop_pc() && !self.icache.access(uop.pc) {
+                self.stats.l1i_misses += 1;
+                // Refill from L2 stalls the front end.
+                self.fetch_resume_at = self.cycle + u64::from(self.config.l2.latency);
+            }
+            activity.fetched += 1;
+            self.stats.fetched += 1;
+            if uop.op.is_memory() {
+                self.lsq_occupancy += 1;
+            }
+            let mut stop_group = false;
+            if uop.op == OpClass::Branch {
+                activity.branches += 1;
+                self.stats.branches += 1;
+                let predicted = self.bpred.predict(uop.pc);
+                self.bpred.update(uop.pc, uop.taken, predicted);
+                if uop.taken {
+                    if !self.bpred.btb_lookup(uop.pc) {
+                        self.bpred.btb_insert(uop.pc);
+                    }
+                    stop_group = true; // taken branch ends the fetch group
+                }
+                if predicted != uop.taken {
+                    self.stats.branch_mispredicts += 1;
+                    entry.mispredicted = true;
+                    // Block fetch until the branch resolves.
+                    self.fetch_resume_at = u64::MAX;
+                    stop_group = true;
+                }
+            }
+            self.rob.push_back(entry);
+            fetched += 1;
+            if stop_group || self.cycle < self.fetch_resume_at {
+                break;
+            }
+        }
+        activity.dispatched = fetched;
+    }
+}
+
+// Small extension so fetch() can skip I-cache traffic for injected nops.
+impl MicroOp {
+    fn is_nop_pc(&self) -> bool {
+        self.op == OpClass::Nop
+    }
+}
+
+impl<W: Iterator<Item = MicroOp>> Processor<W> {
+    /// Diagnostic: fetch is blocked specifically on an unresolved branch.
+    #[must_use]
+    #[doc(hidden)]
+    pub fn fetch_block_is_unresolved_branch(&self) -> bool {
+        self.fetch_resume_at == u64::MAX
+    }
+}
+
+impl<W: Iterator<Item = MicroOp>> Processor<W> {
+    /// Diagnostic: ROB head snapshot `(op, state_code, wait_cycles)` where
+    /// state_code is 0=waiting, 1=executing, 2=done.
+    #[must_use]
+    #[doc(hidden)]
+    pub fn head_snapshot(&self) -> Option<(OpClass, u8, u64)> {
+        self.rob.front().map(|e| {
+            let code = match e.state {
+                EntryState::Waiting => 0,
+                EntryState::Executing => 1,
+                EntryState::Done => 2,
+            };
+            let wait = if e.state == EntryState::Executing && e.done_at != u64::MAX {
+                e.done_at.saturating_sub(self.cycle)
+            } else {
+                0
+            };
+            (e.op, code, wait)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Benchmark, WorkloadGenerator};
+
+    fn run(bench: Benchmark, cycles: u64) -> (SimStats, Vec<f64>) {
+        let gen = WorkloadGenerator::new(bench.profile(), 11);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        let mut trace = Vec::with_capacity(cycles as usize);
+        for _ in 0..cycles {
+            trace.push(cpu.step(ControlAction::Normal).current);
+        }
+        (cpu.stats(), trace)
+    }
+
+    #[test]
+    fn reaches_reasonable_ipc_on_cache_friendly_load() {
+        // Warm caches/predictors, then measure steady state.
+        let gen = WorkloadGenerator::new(Benchmark::Gzip.profile(), 11);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        for _ in 0..30_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let before = cpu.stats().committed;
+        for _ in 0..30_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let ipc = (cpu.stats().committed - before) as f64 / 30_000.0;
+        assert!(ipc > 0.4, "gzip steady-state ipc {ipc}");
+        assert!(ipc <= 4.0);
+    }
+
+    #[test]
+    fn memory_bound_benchmark_has_low_ipc_and_high_mpki() {
+        let (mcf, _) = run(Benchmark::Mcf, 60_000);
+        let (gzip, _) = run(Benchmark::Gzip, 60_000);
+        assert!(mcf.ipc() < gzip.ipc(), "mcf {} vs gzip {}", mcf.ipc(), gzip.ipc());
+        assert!(
+            mcf.l2_mpki() > 3.0 * gzip.l2_mpki().max(0.01),
+            "mcf mpki {} gzip mpki {}",
+            mcf.l2_mpki(),
+            gzip.l2_mpki()
+        );
+    }
+
+    #[test]
+    fn current_trace_is_bounded_and_varies() {
+        let (_, trace) = run(Benchmark::Gcc, 20_000);
+        let min = trace.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min >= 9.0, "min current {min}");
+        assert!(max <= 120.0, "max current {max}");
+        assert!(max - min > 10.0, "no variation: {min}..{max}");
+    }
+
+    #[test]
+    fn stall_issue_cuts_current() {
+        let gen = WorkloadGenerator::new(Benchmark::Sixtrack.profile(), 5);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        for _ in 0..20_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let mut normal = 0.0;
+        for _ in 0..5000 {
+            normal += cpu.step(ControlAction::Normal).current;
+        }
+        normal /= 5000.0;
+        let mut stalled = 0.0;
+        for _ in 0..200 {
+            stalled += cpu.step(ControlAction::StallIssue).current;
+        }
+        stalled /= 200.0;
+        assert!(
+            stalled < normal * 0.85,
+            "stalled {stalled} vs normal {normal}"
+        );
+    }
+
+    #[test]
+    fn stall_issue_stops_commits() {
+        let gen = WorkloadGenerator::new(Benchmark::Gzip.profile(), 5);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        for _ in 0..2000 {
+            cpu.step(ControlAction::Normal);
+        }
+        // After draining in-flight work, stalling issue halts commits.
+        let mut committed = 0;
+        for _ in 0..300 {
+            committed += cpu.step(ControlAction::StallIssue).committed;
+        }
+        // In-flight instructions may drain early in the stall window, but
+        // the tail must be fully quiet.
+        let mut tail = 0;
+        for _ in 0..100 {
+            tail += cpu.step(ControlAction::StallIssue).committed;
+        }
+        assert_eq!(tail, 0, "commits during sustained stall (drain saw {committed})");
+    }
+
+    #[test]
+    fn inject_nops_raises_current_when_memory_bound() {
+        // Park the machine on a memory-bound workload, then inject nops:
+        // current must rise (idle issue slots get filled).
+        let gen = WorkloadGenerator::new(Benchmark::Mcf.profile(), 5);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        for _ in 0..20_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let mut normal = 0.0;
+        for _ in 0..500 {
+            normal += cpu.step(ControlAction::Normal).current;
+        }
+        normal /= 500.0;
+        let mut with_nops = 0.0;
+        for _ in 0..500 {
+            with_nops += cpu.step(ControlAction::InjectNops).current;
+        }
+        with_nops /= 500.0;
+        assert!(
+            with_nops > normal + 2.0,
+            "nops {with_nops} vs normal {normal}"
+        );
+    }
+
+    #[test]
+    fn nop_injection_is_tracked_and_does_not_block_program() {
+        let gen = WorkloadGenerator::new(Benchmark::Gzip.profile(), 5);
+        let mut cpu = Processor::new(ProcessorConfig::table1(), gen);
+        for _ in 0..2000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let before = cpu.stats();
+        for _ in 0..2000 {
+            cpu.step(ControlAction::InjectNops);
+        }
+        let s = cpu.stats();
+        // Idle slots got filled...
+        assert!(s.nops_injected > 1000, "nops injected {}", s.nops_injected);
+        // ...while the program kept committing at a similar rate.
+        assert!(s.committed > before.committed);
+    }
+
+    #[test]
+    fn branch_mispredicts_happen_and_stall_fetch() {
+        let (stats, _) = run(Benchmark::Gcc, 60_000);
+        assert!(stats.branches > 500, "branches {}", stats.branches);
+        let rate = stats.mispredict_rate();
+        assert!(
+            (0.01..0.4).contains(&rate),
+            "mispredict rate {rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = run(Benchmark::Vpr, 5000);
+        let (_, b) = run(Benchmark::Vpr, 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_workload_idles() {
+        let mut cpu = Processor::new(ProcessorConfig::table1(), std::iter::empty());
+        let mut last = 0.0;
+        for _ in 0..100 {
+            last = cpu.step(ControlAction::Normal).current;
+        }
+        // Only base power.
+        assert!((last - 10.0).abs() < 1.0, "idle current {last}");
+        assert_eq!(cpu.stats().committed, 0);
+    }
+
+    #[test]
+    fn unpipelined_divides_serialize() {
+        // A stream of only IntDiv ops: the single unpipelined divider
+        // bounds throughput at one per 20 cycles.
+        let stream = std::iter::repeat(MicroOp {
+            op: OpClass::IntDiv,
+            dep1: 0,
+            dep2: 0,
+            addr: 0,
+            taken: false,
+            branch_site: 0,
+            pc: 0x40_0000,
+        });
+        let mut cpu = Processor::new(ProcessorConfig::table1(), stream);
+        for _ in 0..4_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let ipc = cpu.stats().ipc();
+        assert!(ipc < 0.06, "div-only ipc {ipc} exceeds the divider bound");
+        assert!(ipc > 0.03, "div-only ipc {ipc} below the divider bound");
+    }
+
+    #[test]
+    fn lsq_full_stalls_but_preserves_instructions() {
+        // All loads that miss to memory: the 40-entry LSQ fills, fetch
+        // stalls via the pending-retry path, and every instruction still
+        // commits exactly once (none dropped or duplicated).
+        let mut n = 0u64;
+        let stream = std::iter::from_fn(move || {
+            n += 1;
+            Some(MicroOp {
+                op: OpClass::Load,
+                dep1: 0,
+                dep2: 0,
+                // New line every access, 64 MB apart reuse: always misses.
+                addr: 0x8000_0000 + n * 64 * 131,
+                taken: false,
+                branch_site: 0,
+                pc: 0x40_0000,
+            })
+        });
+        let mut cfg = ProcessorConfig::table1();
+        cfg.stream_prefetch = false;
+        let mut cpu = Processor::new(cfg, stream);
+        let mut committed = 0u64;
+        for _ in 0..60_000 {
+            committed += u64::from(cpu.step(ControlAction::Normal).committed);
+        }
+        assert_eq!(committed, cpu.stats().committed);
+        // Rough bandwidth check: 2 ports, 269-cycle misses, 40-entry LSQ
+        // allows ~40 outstanding → IPC around 40/269 ≈ 0.15.
+        let ipc = cpu.stats().ipc();
+        assert!((0.05..0.4).contains(&ipc), "mem-bound load ipc {ipc}");
+    }
+
+    #[test]
+    fn icache_misses_stall_fetch() {
+        // Jump over a large code footprint: I-cache misses must register
+        // and fetch must stall (low IPC despite trivial instructions).
+        let mut n = 0u64;
+        let stream = std::iter::from_fn(move || {
+            n += 1;
+            Some(MicroOp {
+                op: OpClass::IntAlu,
+                dep1: 0,
+                dep2: 0,
+                addr: 0,
+                taken: false,
+                branch_site: 0,
+                // stride through 1 MB of code
+                pc: 0x40_0000 + (n * 64) % (1 << 20),
+            })
+        });
+        let mut cpu = Processor::new(ProcessorConfig::table1(), stream);
+        for _ in 0..30_000 {
+            cpu.step(ControlAction::Normal);
+        }
+        let s = cpu.stats();
+        assert!(s.l1i_misses > 1_000, "i$ misses {}", s.l1i_misses);
+    }
+
+    #[test]
+    fn lsq_bounded() {
+        let (stats, _) = run(Benchmark::Swim, 20_000);
+        // Sanity: the run completes without panicking and commits work.
+        assert!(stats.committed > 1000);
+    }
+}

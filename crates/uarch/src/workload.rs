@@ -1,0 +1,978 @@
+//! Synthetic SPEC CPU2000 workloads.
+//!
+//! The paper evaluates on all 26 SPEC2000 benchmarks compiled for Alpha
+//! and simulated at SimPoints. Licensed SPEC binaries are not available
+//! here, so each benchmark is modeled as a **statistical instruction-
+//! stream profile**: operation mix, dependency-distance distribution,
+//! memory working sets (which the real cache hierarchy then turns into
+//! L1/L2 miss rates), branch-site behaviour, and coarse program phases.
+//! The profiles are tuned so the *classes* the paper's evaluation depends
+//! on are reproduced:
+//!
+//! * low-L2-miss, smooth benchmarks (gzip, mesa, crafty, eon, …) whose
+//!   per-cycle current windows are frequently Gaussian (Figures 10, 12);
+//! * high-L2-miss, bursty benchmarks (swim, lucas, mcf, art) with long
+//!   memory stalls and activity spikes (Figure 11);
+//! * mid-frequency oscillators whose hot working set thrashes L1 into L2
+//!   (mgrid, gcc, galgel, apsi) — the dI/dt troublemakers of Figure 9.
+//!
+//! Every generator is seeded; a given `(benchmark, seed)` pair always
+//! produces the identical instruction stream.
+
+use crate::op::{MicroOp, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which SPEC suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Suite {
+    /// SPECint 2000.
+    Int,
+    /// SPECfp 2000.
+    Fp,
+}
+
+/// Fractions of each operation class in the dynamic instruction mix.
+/// Fields need not be normalized; the generator normalizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpMix {
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+    /// Integer ALU ops.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mult: f64,
+    /// Integer divides.
+    pub int_div: f64,
+    /// FP adds.
+    pub fp_alu: f64,
+    /// FP multiplies.
+    pub fp_mult: f64,
+    /// FP divides.
+    pub fp_div: f64,
+}
+
+impl OpMix {
+    fn cumulative(&self) -> [(OpClass, f64); 9] {
+        let raw = [
+            (OpClass::Load, self.load),
+            (OpClass::Store, self.store),
+            (OpClass::Branch, self.branch),
+            (OpClass::IntAlu, self.int_alu),
+            (OpClass::IntMult, self.int_mult),
+            (OpClass::IntDiv, self.int_div),
+            (OpClass::FpAlu, self.fp_alu),
+            (OpClass::FpMult, self.fp_mult),
+            (OpClass::FpDiv, self.fp_div),
+        ];
+        let total: f64 = raw.iter().map(|(_, f)| f).sum();
+        let mut acc = 0.0;
+        raw.map(|(op, f)| {
+            acc += f / total;
+            (op, acc)
+        })
+    }
+}
+
+/// A statistical workload profile: everything needed to generate an
+/// instruction stream resembling one SPEC benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (SPEC 2000 naming).
+    pub name: &'static str,
+    /// Integer or floating-point suite.
+    pub suite: Suite,
+    /// Dynamic operation mix.
+    pub mix: OpMix,
+    /// Probability an instruction depends on a recent producer.
+    pub dep_density: f64,
+    /// Mean dependency distance in instructions (geometric).
+    pub dep_mean_distance: f64,
+    /// Hot data working set, in 64-byte lines.
+    pub hot_ws_lines: u64,
+    /// Cold data working set, in 64-byte lines.
+    pub cold_ws_lines: u64,
+    /// Fraction of memory accesses to the cold set.
+    pub cold_frac: f64,
+    /// Fraction of memory accesses that stream sequentially.
+    pub stream_frac: f64,
+    /// Instruction footprint, in 64-byte lines.
+    pub code_lines: u64,
+    /// Number of static branch sites.
+    pub branch_sites: u32,
+    /// Fraction of branch sites that behave as regular loop branches.
+    pub loop_site_frac: f64,
+    /// Fraction of branch sites that are data-dependent and hard to
+    /// predict (taken bias near 0.5); the rest of the non-loop sites are
+    /// strongly biased and easily predicted.
+    pub hard_site_frac: f64,
+    /// Loop trip count for loop-patterned sites (taken `n-1` of `n`).
+    pub loop_period: u32,
+    /// Program phase length in instructions (0 = single phase).
+    pub phase_period: u64,
+    /// Multiplier applied to `cold_frac` in the alternate phase.
+    pub phase_mem_boost: f64,
+}
+
+/// The 26 SPEC CPU2000 benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Gzip,
+    Vpr,
+    Gcc,
+    Mcf,
+    Crafty,
+    Parser,
+    Eon,
+    Perlbmk,
+    Gap,
+    Vortex,
+    Bzip2,
+    Twolf,
+    Wupwise,
+    Swim,
+    Mgrid,
+    Applu,
+    Mesa,
+    Galgel,
+    Art,
+    Equake,
+    Facerec,
+    Ammp,
+    Lucas,
+    Fma3d,
+    Sixtrack,
+    Apsi,
+}
+
+impl Benchmark {
+    /// All 26 benchmarks in the paper's figure order (gzip … apsi).
+    #[must_use]
+    pub fn all() -> [Benchmark; 26] {
+        use Benchmark::*;
+        [
+            Gzip, Wupwise, Swim, Mgrid, Applu, Vpr, Gcc, Mesa, Galgel, Art, Mcf, Equake, Crafty,
+            Facerec, Ammp, Lucas, Fma3d, Parser, Sixtrack, Eon, Perlbmk, Gap, Vortex, Bzip2,
+            Twolf, Apsi,
+        ]
+    }
+
+    /// Benchmark name as used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+
+    /// Suite membership.
+    #[must_use]
+    pub fn suite(self) -> Suite {
+        self.profile().suite
+    }
+
+    /// The calibrated statistical profile for this benchmark.
+    #[must_use]
+    pub fn profile(self) -> WorkloadProfile {
+        use Benchmark::*;
+        // Mix shorthands.
+        let int_mix = |ld, st, br| OpMix {
+            load: ld,
+            store: st,
+            branch: br,
+            int_alu: 1.0 - ld - st - br,
+            int_mult: 0.01,
+            int_div: 0.002,
+            fp_alu: 0.0,
+            fp_mult: 0.0,
+            fp_div: 0.0,
+        };
+        let fp_mix = |ld: f64, st: f64, br: f64, fdiv: f64| OpMix {
+            load: ld,
+            store: st,
+            branch: br,
+            int_alu: (1.0 - ld - st - br) * 0.35,
+            int_mult: 0.005,
+            int_div: 0.0,
+            fp_alu: (1.0 - ld - st - br) * 0.38,
+            fp_mult: (1.0 - ld - st - br) * 0.27,
+            fp_div: fdiv,
+        };
+        // A baseline profile; per-benchmark entries override.
+        let base = WorkloadProfile {
+            name: "",
+            suite: Suite::Int,
+            mix: int_mix(0.25, 0.10, 0.15),
+            dep_density: 0.75,
+            dep_mean_distance: 4.0,
+            hot_ws_lines: 512,   // 32 KB: fits L1
+            cold_ws_lines: 65_536, // 4 MB
+            cold_frac: 0.02,
+            stream_frac: 0.20,
+            code_lines: 256,
+            branch_sites: 512,
+            loop_site_frac: 0.7,
+            hard_site_frac: 0.06,
+            loop_period: 16,
+            phase_period: 0,
+            phase_mem_boost: 1.0,
+        };
+        match self {
+            // ---- SPEC Int ----
+            Gzip => WorkloadProfile {
+                name: "gzip",
+                hard_site_frac: 0.07,
+                mix: int_mix(0.22, 0.10, 0.14),
+                hot_ws_lines: 700,
+                stream_frac: 0.35,
+                cold_frac: 0.003,
+                loop_site_frac: 0.8,
+                ..base
+            },
+            Vpr => WorkloadProfile {
+                name: "vpr",
+                hard_site_frac: 0.15,
+                mix: int_mix(0.28, 0.09, 0.13),
+                hot_ws_lines: 900,
+                cold_frac: 0.008,
+                dep_density: 0.8,
+                dep_mean_distance: 3.0,
+                ..base
+            },
+            Gcc => WorkloadProfile {
+                name: "gcc",
+                hard_site_frac: 0.18,
+                // L1-thrashing hot set that lives in L2: mid-frequency
+                // stall/run oscillation, a dI/dt stressor (Figure 9).
+                mix: int_mix(0.30, 0.12, 0.17),
+                hot_ws_lines: 3000, // ~190 KB: misses L1, hits L2
+                cold_frac: 0.006,
+                code_lines: 1536, // large code footprint
+                branch_sites: 2048,
+                loop_site_frac: 0.55,
+                phase_period: 400_000,
+                phase_mem_boost: 1.6,
+                ..base
+            },
+            Mcf => WorkloadProfile {
+                name: "mcf",
+                hard_site_frac: 0.16,
+                // Pointer chasing over a huge structure: memory-bound.
+                mix: int_mix(0.34, 0.09, 0.16),
+                hot_ws_lines: 256,
+                cold_ws_lines: 1_500_000, // ~96 MB
+                cold_frac: 0.38,
+                dep_density: 0.9,
+                dep_mean_distance: 2.0, // serial chains
+                loop_site_frac: 0.45,
+                ..base
+            },
+            Crafty => WorkloadProfile {
+                name: "crafty",
+                hard_site_frac: 0.08,
+                mix: int_mix(0.24, 0.08, 0.12),
+                hot_ws_lines: 600,
+                cold_frac: 0.003,
+                dep_density: 0.65,
+                dep_mean_distance: 5.0, // good ILP
+                loop_site_frac: 0.75,
+                ..base
+            },
+            Parser => WorkloadProfile {
+                name: "parser",
+                hard_site_frac: 0.12,
+                mix: int_mix(0.27, 0.10, 0.16),
+                hot_ws_lines: 1100,
+                cold_frac: 0.015,
+                loop_site_frac: 0.5,
+                ..base
+            },
+            Eon => WorkloadProfile {
+                name: "eon",
+                hard_site_frac: 0.03,
+                mix: int_mix(0.25, 0.12, 0.11),
+                hot_ws_lines: 500,
+                cold_frac: 0.002,
+                dep_density: 0.6,
+                dep_mean_distance: 5.0,
+                loop_site_frac: 0.8,
+                ..base
+            },
+            Perlbmk => WorkloadProfile {
+                name: "perlbmk",
+                hard_site_frac: 0.10,
+                mix: int_mix(0.26, 0.12, 0.15),
+                hot_ws_lines: 800,
+                cold_frac: 0.005,
+                code_lines: 1024,
+                ..base
+            },
+            Gap => WorkloadProfile {
+                name: "gap",
+                hard_site_frac: 0.06,
+                mix: int_mix(0.26, 0.10, 0.13),
+                hot_ws_lines: 900,
+                cold_frac: 0.006,
+                stream_frac: 0.3,
+                ..base
+            },
+            Vortex => WorkloadProfile {
+                name: "vortex",
+                hard_site_frac: 0.08,
+                mix: int_mix(0.28, 0.13, 0.14),
+                hot_ws_lines: 1000,
+                cold_frac: 0.012,
+                code_lines: 1536,
+                ..base
+            },
+            Bzip2 => WorkloadProfile {
+                name: "bzip2",
+                hard_site_frac: 0.08,
+                mix: int_mix(0.24, 0.10, 0.13),
+                hot_ws_lines: 1200,
+                stream_frac: 0.4,
+                cold_frac: 0.008,
+                ..base
+            },
+            Twolf => WorkloadProfile {
+                name: "twolf",
+                hard_site_frac: 0.15,
+                mix: int_mix(0.27, 0.09, 0.14),
+                hot_ws_lines: 1000,
+                cold_frac: 0.012,
+                loop_site_frac: 0.55,
+                ..base
+            },
+            // ---- SPEC FP ----
+            Wupwise => WorkloadProfile {
+                name: "wupwise",
+                hard_site_frac: 0.02,
+                suite: Suite::Fp,
+                mix: fp_mix(0.24, 0.10, 0.05, 0.002),
+                hot_ws_lines: 900,
+                stream_frac: 0.45,
+                cold_frac: 0.02,
+                dep_density: 0.6,
+                dep_mean_distance: 6.0,
+                loop_period: 32,
+                ..base
+            },
+            Swim => WorkloadProfile {
+                name: "swim",
+                hard_site_frac: 0.02,
+                suite: Suite::Fp,
+                // Streaming through arrays far larger than L2.
+                mix: fp_mix(0.30, 0.14, 0.03, 0.001),
+                hot_ws_lines: 512,
+                cold_ws_lines: 3_000_000,
+                cold_frac: 0.30,
+                stream_frac: 0.5,
+                dep_density: 0.5,
+                dep_mean_distance: 8.0,
+                loop_period: 64,
+                loop_site_frac: 0.9,
+                ..base
+            },
+            Mgrid => WorkloadProfile {
+                name: "mgrid",
+                hard_site_frac: 0.02,
+                suite: Suite::Fp,
+                // Multigrid stencil: hot set thrashes L1 into L2 —
+                // mid-frequency oscillator, a Figure 9 troublemaker.
+                mix: fp_mix(0.33, 0.09, 0.03, 0.001),
+                hot_ws_lines: 3500, // ~224 KB
+                cold_frac: 0.008,
+                dep_density: 0.85,
+                dep_mean_distance: 2.5,
+                loop_period: 32,
+                loop_site_frac: 0.9,
+                phase_period: 250_000,
+                phase_mem_boost: 1.8,
+                ..base
+            },
+            Applu => WorkloadProfile {
+                name: "applu",
+                hard_site_frac: 0.04,
+                suite: Suite::Fp,
+                mix: fp_mix(0.28, 0.12, 0.03, 0.004),
+                hot_ws_lines: 2200,
+                cold_ws_lines: 500_000,
+                cold_frac: 0.06,
+                dep_density: 0.7,
+                loop_period: 32,
+                ..base
+            },
+            Mesa => WorkloadProfile {
+                name: "mesa",
+                hard_site_frac: 0.04,
+                suite: Suite::Fp,
+                mix: fp_mix(0.24, 0.12, 0.08, 0.002),
+                hot_ws_lines: 600,
+                cold_frac: 0.003,
+                dep_density: 0.6,
+                dep_mean_distance: 5.0,
+                ..base
+            },
+            Galgel => WorkloadProfile {
+                name: "galgel",
+                hard_site_frac: 0.02,
+                suite: Suite::Fp,
+                // Dense linear algebra with an L2-resident blocked set.
+                mix: fp_mix(0.30, 0.08, 0.04, 0.001),
+                hot_ws_lines: 2800,
+                cold_frac: 0.006,
+                dep_density: 0.85,
+                dep_mean_distance: 2.5,
+                loop_period: 24,
+                loop_site_frac: 0.9,
+                phase_period: 300_000,
+                phase_mem_boost: 1.5,
+                ..base
+            },
+            Art => WorkloadProfile {
+                name: "art",
+                hard_site_frac: 0.03,
+                suite: Suite::Fp,
+                // Neural-net scan of arrays exceeding L2 every pass.
+                mix: fp_mix(0.32, 0.06, 0.05, 0.001),
+                hot_ws_lines: 400,
+                cold_ws_lines: 2_000_000,
+                cold_frac: 0.34,
+                stream_frac: 0.35,
+                dep_density: 0.75,
+                dep_mean_distance: 3.0,
+                ..base
+            },
+            Equake => WorkloadProfile {
+                name: "equake",
+                hard_site_frac: 0.04,
+                suite: Suite::Fp,
+                mix: fp_mix(0.30, 0.08, 0.05, 0.003),
+                hot_ws_lines: 1200,
+                cold_ws_lines: 800_000,
+                cold_frac: 0.05,
+                dep_density: 0.7,
+                ..base
+            },
+            Facerec => WorkloadProfile {
+                name: "facerec",
+                hard_site_frac: 0.03,
+                suite: Suite::Fp,
+                mix: fp_mix(0.27, 0.09, 0.05, 0.002),
+                hot_ws_lines: 1500,
+                cold_frac: 0.04,
+                stream_frac: 0.35,
+                ..base
+            },
+            Ammp => WorkloadProfile {
+                name: "ammp",
+                hard_site_frac: 0.04,
+                suite: Suite::Fp,
+                mix: fp_mix(0.29, 0.09, 0.05, 0.006),
+                hot_ws_lines: 1800,
+                cold_ws_lines: 600_000,
+                cold_frac: 0.07,
+                dep_density: 0.8,
+                dep_mean_distance: 2.5,
+                ..base
+            },
+            Lucas => WorkloadProfile {
+                name: "lucas",
+                hard_site_frac: 0.02,
+                suite: Suite::Fp,
+                // FFT-like passes over arrays far beyond L2.
+                mix: fp_mix(0.28, 0.12, 0.02, 0.001),
+                hot_ws_lines: 512,
+                cold_ws_lines: 2_500_000,
+                cold_frac: 0.28,
+                stream_frac: 0.45,
+                dep_density: 0.55,
+                dep_mean_distance: 7.0,
+                loop_period: 64,
+                loop_site_frac: 0.95,
+                ..base
+            },
+            Fma3d => WorkloadProfile {
+                name: "fma3d",
+                hard_site_frac: 0.04,
+                suite: Suite::Fp,
+                mix: fp_mix(0.28, 0.11, 0.06, 0.003),
+                hot_ws_lines: 1600,
+                cold_ws_lines: 700_000,
+                cold_frac: 0.05,
+                ..base
+            },
+            Sixtrack => WorkloadProfile {
+                name: "sixtrack",
+                hard_site_frac: 0.03,
+                suite: Suite::Fp,
+                mix: fp_mix(0.22, 0.08, 0.05, 0.004),
+                hot_ws_lines: 800,
+                cold_frac: 0.004,
+                dep_density: 0.65,
+                dep_mean_distance: 5.0,
+                ..base
+            },
+            Apsi => WorkloadProfile {
+                name: "apsi",
+                hard_site_frac: 0.03,
+                suite: Suite::Fp,
+                // Blocked mesh sweeps with an L2-resident working set.
+                mix: fp_mix(0.29, 0.11, 0.04, 0.002),
+                hot_ws_lines: 3200,
+                cold_ws_lines: 400_000,
+                cold_frac: 0.008,
+                dep_density: 0.85,
+                dep_mean_distance: 2.5,
+                loop_period: 28,
+                loop_site_frac: 0.85,
+                phase_period: 350_000,
+                phase_mem_boost: 1.6,
+                ..base
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    name: String,
+}
+
+impl std::fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown SPEC2000 benchmark name: {}", self.name)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBenchmarkError { name: s.to_string() })
+    }
+}
+
+/// Per-site branch behaviour.
+#[derive(Debug, Clone, Copy)]
+struct BranchSite {
+    /// `Some(period)` for a loop site; `None` for a biased-random site.
+    loop_period: Option<u32>,
+    counter: u32,
+    taken_bias: f64,
+}
+
+/// Deterministic synthetic instruction-stream generator for one profile.
+///
+/// Implements [`Iterator`] over [`MicroOp`]s; the stream is infinite.
+///
+/// # Examples
+///
+/// ```
+/// use didt_uarch::{Benchmark, WorkloadGenerator};
+///
+/// let mut g = WorkloadGenerator::new(Benchmark::Gzip.profile(), 42);
+/// let ops: Vec<_> = (&mut g).take(1000).collect();
+/// assert_eq!(ops.len(), 1000);
+/// // Deterministic: same seed, same stream.
+/// let mut g2 = WorkloadGenerator::new(Benchmark::Gzip.profile(), 42);
+/// assert_eq!(g2.next().unwrap().op, ops[0].op);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    cumulative: [(OpClass, f64); 9],
+    sites: Vec<BranchSite>,
+    stream_ptr: u64,
+    pc: u64,
+    emitted: u64,
+    in_alt_phase: bool,
+}
+
+/// Base virtual address of the hot data region.
+const HOT_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the cold data region.
+const COLD_BASE: u64 = 0x8000_0000;
+/// Base virtual address of the streaming region.
+const STREAM_BASE: u64 = 0x4000_0000;
+/// Base virtual address of code.
+const CODE_BASE: u64 = 0x0040_0000;
+
+impl WorkloadGenerator {
+    /// Create a generator for `profile`, seeded deterministically.
+    #[must_use]
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_CAFE);
+        let sites = (0..profile.branch_sites.max(1))
+            .map(|_| {
+                let x: f64 = rng.random();
+                if x < profile.loop_site_frac {
+                    BranchSite {
+                        loop_period: Some(profile.loop_period.max(2)),
+                        counter: 0,
+                        taken_bias: 0.0,
+                    }
+                } else if x < profile.loop_site_frac + profile.hard_site_frac {
+                    // Data-dependent branch: outcome near-random.
+                    BranchSite {
+                        loop_period: None,
+                        counter: 0,
+                        taken_bias: 0.3 + 0.4 * rng.random::<f64>(),
+                    }
+                } else {
+                    // Strongly biased branch (error checks, dominant
+                    // paths): taken or not-taken with ~90-98 % bias.
+                    let b = 0.88 + 0.1 * rng.random::<f64>();
+                    BranchSite {
+                        loop_period: None,
+                        counter: 0,
+                        taken_bias: if rng.random::<bool>() { b } else { 1.0 - b },
+                    }
+                }
+            })
+            .collect();
+        let cumulative = profile.mix.cumulative();
+        WorkloadGenerator {
+            profile,
+            rng,
+            cumulative,
+            sites,
+            stream_ptr: STREAM_BASE,
+            pc: CODE_BASE,
+            emitted: 0,
+            in_alt_phase: false,
+        }
+    }
+
+    /// The profile driving this generator.
+    #[must_use]
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Instructions emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn pick_op(&mut self) -> OpClass {
+        let x: f64 = self.rng.random();
+        for &(op, cum) in &self.cumulative {
+            if x < cum {
+                return op;
+            }
+        }
+        OpClass::IntAlu
+    }
+
+    fn pick_dep(&mut self) -> u32 {
+        if self.rng.random::<f64>() >= self.profile.dep_density {
+            return 0;
+        }
+        // Geometric distance with the profile's mean, at least 1.
+        let p = 1.0 / self.profile.dep_mean_distance.max(1.0);
+        let u: f64 = self.rng.random::<f64>().max(1e-12);
+        let d = (u.ln() / (1.0 - p).ln()).ceil();
+        (d as u32).clamp(1, 64)
+    }
+
+    fn pick_addr(&mut self) -> u64 {
+        let mut cold_frac = self.profile.cold_frac;
+        if self.in_alt_phase {
+            cold_frac = (cold_frac * self.profile.phase_mem_boost).min(0.9);
+        }
+        let x: f64 = self.rng.random();
+        if x < self.profile.stream_frac {
+            // Sequential 8-byte stride through the stream region.
+            self.stream_ptr += 8;
+            if self.stream_ptr > STREAM_BASE + (1 << 28) {
+                self.stream_ptr = STREAM_BASE;
+            }
+            self.stream_ptr
+        } else if x < self.profile.stream_frac + cold_frac {
+            let line = self.rng.random_range(0..self.profile.cold_ws_lines.max(1));
+            COLD_BASE + line * 64 + self.rng.random_range(0..8u64) * 8
+        } else {
+            let line = self.rng.random_range(0..self.profile.hot_ws_lines.max(1));
+            HOT_BASE + line * 64 + self.rng.random_range(0..8u64) * 8
+        }
+    }
+
+    fn branch_outcome(&mut self, site_idx: usize) -> bool {
+        let site = &mut self.sites[site_idx];
+        match site.loop_period {
+            Some(period) => {
+                site.counter += 1;
+                if site.counter >= period {
+                    site.counter = 0;
+                    false // loop exit
+                } else {
+                    true
+                }
+            }
+            None => self.rng.random::<f64>() < site.taken_bias,
+        }
+    }
+}
+
+impl Iterator for WorkloadGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        self.emitted += 1;
+        if self.profile.phase_period > 0 && self.emitted.is_multiple_of(self.profile.phase_period) {
+            self.in_alt_phase = !self.in_alt_phase;
+        }
+        let op = self.pick_op();
+        let pc = self.pc;
+        self.pc += 4;
+        // Wrap the PC within the code footprint.
+        if self.pc >= CODE_BASE + self.profile.code_lines * 64 {
+            self.pc = CODE_BASE;
+        }
+        let mut uop = MicroOp {
+            op,
+            dep1: self.pick_dep(),
+            dep2: 0,
+            addr: 0,
+            taken: false,
+            branch_site: 0,
+            pc,
+        };
+        match op {
+            OpClass::Load | OpClass::Store => {
+                uop.addr = self.pick_addr();
+                // Stores often also carry a data dependence.
+                if op == OpClass::Store {
+                    uop.dep2 = self.pick_dep();
+                }
+            }
+            OpClass::Branch => {
+                // Branches test a freshly computed condition: depend on
+                // the immediately preceding instruction (the compare), so
+                // resolution latency tracks that producer — fast for ALU
+                // producers, slow when the condition chains to a miss.
+                uop.dep1 = if uop.dep1 > 0 { 1 } else { 0 };
+                let site = self.rng.random_range(0..self.sites.len());
+                uop.branch_site = site as u32;
+                // A static branch lives at a fixed PC: derive it from the
+                // site so the (PC-indexed) branch predictor can learn the
+                // site's behaviour, exactly as for real code.
+                let span = self.profile.code_lines * 64;
+                uop.pc = CODE_BASE + (((site as u64).wrapping_mul(2_654_435_761) % span) & !3);
+                uop.taken = self.branch_outcome(site);
+                if uop.taken {
+                    // Jump to the site's target within the code footprint.
+                    self.pc = CODE_BASE + (((site as u64).wrapping_mul(0x9E37_79B9) % span) & !3);
+                }
+            }
+            OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv => {
+                uop.dep2 = self.pick_dep();
+            }
+            _ => {}
+        }
+        Some(uop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_26_benchmarks_present() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 26);
+        let ints = all.iter().filter(|b| b.suite() == Suite::Int).count();
+        let fps = all.iter().filter(|b| b.suite() == Suite::Fp).count();
+        assert_eq!(ints, 12);
+        assert_eq!(fps, 14);
+        // Names unique.
+        let names: std::collections::HashSet<_> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn benchmark_parses_and_displays() {
+        use std::str::FromStr;
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::from_str(&b.to_string()), Ok(b));
+        }
+        assert!(Benchmark::from_str("nonsense").is_err());
+        assert!(Benchmark::from_str("nonsense")
+            .unwrap_err()
+            .to_string()
+            .contains("nonsense"));
+    }
+
+    #[test]
+    fn paper_figure_order_starts_with_gzip() {
+        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(&names[..5], &["gzip", "wupwise", "swim", "mgrid", "applu"]);
+        assert_eq!(names[25], "apsi");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a: Vec<_> = WorkloadGenerator::new(Benchmark::Gcc.profile(), 7)
+            .take(500)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::new(Benchmark::Gcc.profile(), 7)
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = WorkloadGenerator::new(Benchmark::Gcc.profile(), 1)
+            .take(200)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::new(Benchmark::Gcc.profile(), 2)
+            .take(200)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn op_mix_close_to_profile() {
+        let profile = Benchmark::Gzip.profile();
+        let n = 50_000;
+        let mut counts: HashMap<OpClass, usize> = HashMap::new();
+        for uop in WorkloadGenerator::new(profile, 3).take(n) {
+            *counts.entry(uop.op).or_default() += 1;
+        }
+        let load_frac = counts[&OpClass::Load] as f64 / n as f64;
+        assert!((load_frac - 0.22).abs() < 0.02, "load frac {load_frac}");
+        let br_frac = counts[&OpClass::Branch] as f64 / n as f64;
+        assert!((br_frac - 0.14).abs() < 0.02, "branch frac {br_frac}");
+    }
+
+    #[test]
+    fn fp_benchmarks_emit_fp_ops() {
+        let counts = WorkloadGenerator::new(Benchmark::Swim.profile(), 1)
+            .take(10_000)
+            .filter(|u| {
+                matches!(u.op, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv)
+            })
+            .count();
+        assert!(counts > 2000, "fp ops {counts}");
+    }
+
+    #[test]
+    fn int_benchmarks_emit_no_fp() {
+        let counts = WorkloadGenerator::new(Benchmark::Mcf.profile(), 1)
+            .take(10_000)
+            .filter(|u| matches!(u.op, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv))
+            .count();
+        assert_eq!(counts, 0);
+    }
+
+    #[test]
+    fn memory_benchmark_touches_cold_region() {
+        let cold = WorkloadGenerator::new(Benchmark::Mcf.profile(), 1)
+            .take(20_000)
+            .filter(|u| u.op.is_memory() && u.addr >= COLD_BASE)
+            .count();
+        let total_mem = WorkloadGenerator::new(Benchmark::Mcf.profile(), 1)
+            .take(20_000)
+            .filter(|u| u.op.is_memory())
+            .count();
+        let frac = cold as f64 / total_mem as f64;
+        assert!((frac - 0.38).abs() < 0.05, "cold frac {frac}");
+    }
+
+    #[test]
+    fn compute_benchmark_rarely_touches_cold() {
+        let cold = WorkloadGenerator::new(Benchmark::Eon.profile(), 1)
+            .take(20_000)
+            .filter(|u| u.op.is_memory() && u.addr >= COLD_BASE)
+            .count();
+        assert!(cold < 100, "cold accesses {cold}");
+    }
+
+    #[test]
+    fn dependency_distances_bounded_and_present() {
+        let g = WorkloadGenerator::new(Benchmark::Vpr.profile(), 1);
+        let mut with_dep = 0;
+        let mut n = 0;
+        for u in g.take(10_000) {
+            n += 1;
+            if u.dep1 > 0 {
+                with_dep += 1;
+                assert!(u.dep1 <= 64);
+            }
+        }
+        let frac = with_dep as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.05, "dep density {frac}");
+    }
+
+    #[test]
+    fn loop_branches_mostly_taken() {
+        // Swim has 90 % loop sites with period 64 → overwhelmingly taken.
+        let (mut taken, mut total) = (0, 0);
+        for u in WorkloadGenerator::new(Benchmark::Swim.profile(), 1).take(50_000) {
+            if u.op == OpClass::Branch {
+                total += 1;
+                if u.taken {
+                    taken += 1;
+                }
+            }
+        }
+        let frac = taken as f64 / total as f64;
+        assert!(frac > 0.85, "taken frac {frac}");
+    }
+
+    #[test]
+    fn phase_switching_changes_cold_traffic() {
+        // mgrid boosts cold traffic in its alternate phase.
+        let profile = Benchmark::Mgrid.profile();
+        assert!(profile.phase_period > 0);
+        let g = WorkloadGenerator::new(profile, 1);
+        let ops: Vec<_> = g.take(2 * profile.phase_period as usize).collect();
+        let half = profile.phase_period as usize;
+        let cold_a = ops[..half]
+            .iter()
+            .filter(|u| u.op.is_memory() && u.addr >= COLD_BASE)
+            .count();
+        let cold_b = ops[half..]
+            .iter()
+            .filter(|u| u.op.is_memory() && u.addr >= COLD_BASE)
+            .count();
+        // mgrid's boost is 1.8x; allow sampling noise.
+        assert!(
+            cold_b as f64 > cold_a as f64 * 1.3,
+            "phase A {cold_a}, phase B {cold_b}"
+        );
+    }
+
+    #[test]
+    fn pcs_stay_within_code_footprint() {
+        let profile = Benchmark::Gcc.profile();
+        for u in WorkloadGenerator::new(profile, 1).take(20_000) {
+            assert!(u.pc >= CODE_BASE);
+            assert!(u.pc < CODE_BASE + profile.code_lines * 64 + 64);
+        }
+    }
+}

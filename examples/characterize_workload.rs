@@ -1,0 +1,63 @@
+//! Offline characterization of one workload (paper §4).
+//!
+//! Captures a current trace for a benchmark (pass a SPEC name as the
+//! first argument; defaults to `crafty`), classifies its windows with
+//! the chi-squared Gaussianity test, estimates its voltage-emergency
+//! exposure with the wavelet variance model, and compares the estimate
+//! with a direct PDN simulation.
+//!
+//! Run with: `cargo run --release --example characterize_workload [name]`
+
+use didt_core::characterize::{
+    EmergencyEstimator, GaussianityStudy, ScaleGainModel, VarianceModel,
+};
+use didt_core::DidtSystem;
+use didt_uarch::{capture_trace, Benchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
+    let bench: Benchmark = name.parse()?;
+
+    let sys = DidtSystem::standard()?;
+    println!("characterizing {name} ...");
+    let trace = capture_trace(bench, sys.processor(), 0xD1D7, 100_000, 1 << 18);
+    println!(
+        "  trace: {} cycles, IPC {:.2}, L2 MPKI {:.1}, mean current {:.1} A",
+        trace.len(),
+        trace.stats.ipc(),
+        trace.stats.l2_mpki(),
+        trace.mean_current()
+    );
+
+    // Gaussianity of execution windows (paper Figures 6/12).
+    let study = GaussianityStudy::new(0.95, 1);
+    for window in [32, 64, 128] {
+        let r = study.classify(&trace.samples, window, 400)?;
+        println!(
+            "  {window:>3}-cycle windows: {:.1}% Gaussian ({} degenerate), non-Gaussian variance {:.1} A² vs overall {:.1} A²",
+            100.0 * r.acceptance_rate(),
+            r.degenerate,
+            r.non_gaussian_variance,
+            r.overall_variance
+        );
+    }
+
+    // Voltage-emergency estimate vs observation (paper Figure 9).
+    let pdn = sys.pdn_at(150.0)?;
+    let gains = ScaleGainModel::calibrate(&pdn, 64, 0xCAB1)?;
+    let estimator = EmergencyEstimator::new(VarianceModel::new(gains), 0.97);
+    let r = estimator.compare(&trace.samples, &pdn)?;
+    println!("\n  at 150% target impedance, threshold 0.97 V:");
+    println!("    estimated % cycles below: {:.2}%", 100.0 * r.estimated);
+    println!("    observed  % cycles below: {:.2}%", 100.0 * r.observed);
+    println!("    mean estimated voltage  : {:.4} V", r.mean_voltage);
+    let verdict = if r.observed > 0.03 {
+        "a dI/dt problem benchmark"
+    } else if r.observed > 0.005 {
+        "moderately exposed"
+    } else {
+        "benign for dI/dt"
+    };
+    println!("    verdict: {verdict}");
+    Ok(())
+}

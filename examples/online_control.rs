@@ -1,0 +1,82 @@
+//! Online wavelet dI/dt control (paper §5), end to end.
+//!
+//! Builds the 150 % target-impedance system, designs a 13-term wavelet
+//! voltage monitor for it, and runs a benchmark with and without
+//! closed-loop control, reporting emergencies, slowdown and false
+//! positives — one row of the paper's Figure 15 / Table 2.
+//!
+//! Run with: `cargo run --release --example online_control [name]`
+
+use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl, ThresholdController};
+use didt_core::monitor::{VoltageMonitor, WaveletMonitorDesign};
+use didt_core::DidtSystem;
+use didt_uarch::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".into());
+    let bench: Benchmark = name.parse()?;
+
+    let sys = DidtSystem::standard()?;
+    let pdn = sys.pdn_at(150.0)?;
+
+    // Design the monitor: DWT of the PDN impulse response, top-13 terms.
+    let design = WaveletMonitorDesign::new(&pdn, 256)?;
+    let monitor = design.build(13, 1)?;
+    println!(
+        "wavelet monitor: {} terms, {}-cycle latency",
+        monitor.term_count(),
+        monitor.delay()
+    );
+    println!("  top weights (kind, level, index, volts/unit):");
+    for w in &design.weights()[..6] {
+        println!(
+            "    {:?} level {} index {:>2}  w = {:+.5}",
+            w.kind, w.level, w.index, w.weight
+        );
+    }
+    println!(
+        "  truncation bound at 13 terms: {:.1} mV\n",
+        1000.0 * design.truncation_error_bound(13, 45.0)
+    );
+
+    let cfg = ClosedLoopConfig {
+        warmup_cycles: 30_000,
+        instructions: 100_000,
+        ..ClosedLoopConfig::standard(bench)
+    };
+    let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
+
+    println!("running {name} uncontrolled ...");
+    let base = harness.run(&mut NoControl)?;
+    println!(
+        "  {} cycles, v in [{:.4}, {:.4}] V, {} emergencies",
+        base.cycles,
+        base.v_min,
+        base.v_max,
+        base.emergencies()
+    );
+
+    println!("running {name} under wavelet control (0.975 / 1.025 V control points) ...");
+    let mut ctl = ThresholdController::new(monitor, 0.975, 1.025, 0.004);
+    let controlled = harness.run(&mut ctl)?;
+    println!(
+        "  {} cycles, v in [{:.4}, {:.4}] V, {} emergencies",
+        controlled.cycles,
+        controlled.v_min,
+        controlled.v_max,
+        controlled.emergencies()
+    );
+    println!(
+        "  slowdown {:.2}%, control on {:.2}% of cycles, false-positive rate {:.1}%",
+        100.0 * controlled.slowdown_vs(&base),
+        100.0 * controlled.control_fraction(),
+        100.0 * controlled.false_positive_rate()
+    );
+    if base.emergencies() > 0 {
+        println!(
+            "  emergencies eliminated: {:.1}%",
+            100.0 * (1.0 - controlled.emergencies() as f64 / base.emergencies() as f64)
+        );
+    }
+    Ok(())
+}

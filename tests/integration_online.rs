@@ -1,0 +1,97 @@
+//! Cross-crate integration: the online monitors against the real PDN and
+//! real benchmark current traces.
+
+use didt_core::monitor::{
+    AnalogSensor, CycleSense, FullConvolutionMonitor, VoltageMonitor, WaveletMonitorDesign,
+};
+use didt_core::DidtSystem;
+use didt_uarch::{capture_trace, Benchmark};
+
+/// Worst and RMS estimation error of a monitor over a benchmark trace.
+fn errors(monitor: &mut dyn VoltageMonitor, trace: &[f64], pdn: &didt_pdn::SecondOrderPdn) -> (f64, f64) {
+    let mut sim = pdn.simulator();
+    let mut worst = 0.0f64;
+    let mut sq = 0.0;
+    let mut n = 0usize;
+    for (i, &cur) in trace.iter().enumerate() {
+        let v = sim.step(cur);
+        let est = monitor.observe(CycleSense {
+            current: cur,
+            voltage: v,
+        });
+        if i > 1024 {
+            let e = (est - v).abs();
+            worst = worst.max(e);
+            sq += e * e;
+            n += 1;
+        }
+    }
+    (worst, (sq / n as f64).sqrt())
+}
+
+#[test]
+fn wavelet_monitor_tracks_real_benchmark_voltage() {
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(150.0).expect("pdn");
+    let trace = capture_trace(Benchmark::Gcc, sys.processor(), 5, 60_000, 32_768);
+    let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
+
+    let mut m13 = design.build(13, 0).expect("13 terms");
+    let (worst13, rms13) = errors(&mut m13, &trace.samples, &pdn);
+    assert!(worst13 < 0.025, "13-term worst error {worst13}");
+    assert!(rms13 < 0.008, "13-term rms {rms13}");
+
+    // Full-term monitor approaches the exact windowed convolution.
+    let mut mall = design.build(256, 0).expect("all terms");
+    let (worst_all, _) = errors(&mut mall, &trace.samples, &pdn);
+    assert!(worst_all < 0.004, "full-term worst error {worst_all}");
+    assert!(worst_all < worst13);
+}
+
+#[test]
+fn wavelet_matches_full_convolution_budget_for_budget() {
+    // The whole point of the paper: K wavelet terms beat a K-tap
+    // truncated time-domain convolution, because the wavelet basis
+    // compacts the impulse response.
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(150.0).expect("pdn");
+    let trace = capture_trace(Benchmark::Bzip2, sys.processor(), 9, 60_000, 16_384);
+    let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
+    for k in [8usize, 16, 32] {
+        let mut wavelet = design.build(k, 0).expect("wavelet");
+        let mut timedom = FullConvolutionMonitor::new(&pdn, k, 0);
+        let (w_err, _) = errors(&mut wavelet, &trace.samples, &pdn);
+        let (t_err, _) = errors(&mut timedom, &trace.samples, &pdn);
+        assert!(
+            w_err < t_err,
+            "k = {k}: wavelet {w_err} vs time-domain {t_err}"
+        );
+    }
+}
+
+#[test]
+fn analog_sensor_is_exact_up_to_delay() {
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(125.0).expect("pdn");
+    let trace = capture_trace(Benchmark::Eon, sys.processor(), 2, 30_000, 4096);
+    let mut sensor = AnalogSensor::new(pdn.vdd(), 0);
+    let (worst, _) = errors(&mut sensor, &trace.samples, &pdn);
+    assert_eq!(worst, 0.0);
+}
+
+#[test]
+fn monitor_error_scales_with_impedance() {
+    // Figure 13's other axis: the same K needs to summarize larger
+    // voltage excursions at higher impedance, so error grows.
+    let sys = DidtSystem::standard().expect("system");
+    let trace = capture_trace(Benchmark::Wupwise, sys.processor(), 4, 60_000, 16_384);
+    let mut errs = Vec::new();
+    for pct in [125.0, 150.0, 200.0] {
+        let pdn = sys.pdn_at(pct).expect("pdn");
+        let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
+        let mut m = design.build(10, 0).expect("monitor");
+        let (worst, _) = errors(&mut m, &trace.samples, &pdn);
+        errs.push(worst);
+    }
+    assert!(errs[0] < errs[1] && errs[1] < errs[2], "errors {errs:?}");
+}

@@ -1,0 +1,107 @@
+//! Cross-crate integration: closed-loop control around the live pipeline.
+
+use didt_core::control::{
+    ClosedLoop, ClosedLoopConfig, DidtController, NoControl, PipelineDamping,
+    ThresholdController,
+};
+use didt_core::monitor::{AnalogSensor, WaveletMonitorDesign};
+use didt_core::DidtSystem;
+use didt_uarch::Benchmark;
+
+fn harness(bench: Benchmark, pct: f64) -> (DidtSystem, ClosedLoop) {
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(pct).expect("pdn");
+    let cfg = ClosedLoopConfig {
+        warmup_cycles: 20_000,
+        instructions: 30_000,
+        ..ClosedLoopConfig::standard(bench)
+    };
+    let h = ClosedLoop::new(*sys.processor(), pdn, cfg);
+    (sys, h)
+}
+
+#[test]
+fn wavelet_control_reduces_emergencies_with_small_slowdown() {
+    let (sys, h) = harness(Benchmark::Swim, 150.0);
+    let base = h.run(&mut NoControl).expect("baseline");
+    assert!(base.emergencies() > 0, "swim must produce emergencies at 150%");
+    let design =
+        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let mut ctl = ThresholdController::new(design.build(13, 1).expect("monitor"), 0.975, 1.025, 0.004);
+    let controlled = h.run(&mut ctl).expect("controlled");
+    assert!(
+        (controlled.emergencies() as f64) < 0.5 * base.emergencies() as f64,
+        "controlled {} vs base {}",
+        controlled.emergencies(),
+        base.emergencies()
+    );
+    assert!(
+        controlled.slowdown_vs(&base) < 0.05,
+        "slowdown {}",
+        controlled.slowdown_vs(&base)
+    );
+}
+
+#[test]
+fn damping_engages_far_more_than_voltage_monitors() {
+    let (sys, h) = harness(Benchmark::Gzip, 150.0);
+    let design =
+        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let mut wavelet =
+        ThresholdController::new(design.build(13, 1).expect("monitor"), 0.97, 1.03, 0.004);
+    let mut damping = PipelineDamping::new(15, 6.0);
+    let rw = h.run(&mut wavelet).expect("wavelet run");
+    let rd = h.run(&mut damping).expect("damping run");
+    assert!(
+        rd.control_fraction() > 2.0 * rw.control_fraction(),
+        "damping {} vs wavelet {}",
+        rd.control_fraction(),
+        rw.control_fraction()
+    );
+    assert!(rd.false_positive_rate() > rw.false_positive_rate());
+}
+
+#[test]
+fn sensor_delay_costs_protection() {
+    let (_, h) = harness(Benchmark::Lucas, 200.0);
+    let run = |delay: usize, h: &ClosedLoop| {
+        let mut ctl = ThresholdController::new(AnalogSensor::new(1.0, delay), 0.97, 1.03, 0.004);
+        h.run(&mut ctl).expect("run").emergencies()
+    };
+    let fast = run(0, &h);
+    let slow = run(6, &h);
+    assert!(
+        fast <= slow,
+        "0-delay {fast} emergencies vs 6-delay {slow}"
+    );
+}
+
+#[test]
+fn control_is_reproducible() {
+    let (sys, h) = harness(Benchmark::Twolf, 150.0);
+    let design =
+        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let mut c1 = ThresholdController::new(design.build(13, 1).expect("m"), 0.97, 1.03, 0.004);
+    let mut c2 = ThresholdController::new(design.build(13, 1).expect("m"), 0.97, 1.03, 0.004);
+    let a = h.run(&mut c1).expect("run a");
+    let b = h.run(&mut c2).expect("run b");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn runaway_controller_is_rejected_not_hung() {
+    // A controller that stalls every cycle can never retire work; the
+    // harness must fail with an error instead of spinning forever.
+    struct AlwaysStall;
+    impl DidtController for AlwaysStall {
+        fn decide(&mut self, _s: didt_core::monitor::CycleSense) -> didt_uarch::ControlAction {
+            didt_uarch::ControlAction::StallIssue
+        }
+        fn name(&self) -> &'static str {
+            "always-stall"
+        }
+    }
+    let (_, h) = harness(Benchmark::Gzip, 150.0);
+    let err = h.run(&mut AlwaysStall);
+    assert!(err.is_err(), "always-stall must not complete");
+}
