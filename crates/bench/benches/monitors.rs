@@ -3,7 +3,9 @@
 //! hardware-complexity argument of paper §5.2, measured in software.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use didt_core::monitor::{CycleSense, FullConvolutionMonitor, VoltageMonitor, WaveletMonitorDesign};
+use didt_core::monitor::{
+    CycleSense, FullConvolutionMonitor, VoltageMonitor, WaveletMonitorDesign,
+};
 use didt_pdn::SecondOrderPdn;
 use std::hint::black_box;
 

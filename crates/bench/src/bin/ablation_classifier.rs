@@ -17,7 +17,13 @@ fn main() {
     let jb = GaussianityStudy::new(0.95, 0x6A55).with_test(NormalityTest::JarqueBera);
 
     println!("== ablation: window-Gaussianity classifier choice (64 cycles) ==\n");
-    let mut t = TextTable::new(&["bench", "chi-sq", "lilliefors", "jarque-bera", "agree on class"]);
+    let mut t = TextTable::new(&[
+        "bench",
+        "chi-sq",
+        "lilliefors",
+        "jarque-bera",
+        "agree on class",
+    ]);
     let mut rank_chi = Vec::new();
     let mut rank_ks = Vec::new();
     for bench in [

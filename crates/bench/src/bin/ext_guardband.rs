@@ -10,11 +10,15 @@
 //! 2. **impedance headroom**: the weakest supply (highest impedance
 //!    percentage) on which the machine stays essentially fault-free,
 //!    found by bisection, with and without control.
+//!
+//! Each `run_mix` evaluation fans its four benchmarks out on the shared
+//! sweep engine; the bisection itself is inherently serial, but every
+//! probe reuses the context's cached monitor designs and PDN models.
 
-use didt_bench::{standard_system, TextTable};
-use didt_core::control::{ClosedLoop, ClosedLoopConfig, DidtController, NoControl, ThresholdController};
-use didt_core::monitor::WaveletMonitorDesign;
-use didt_core::DidtSystem;
+use std::sync::Arc;
+
+use didt_bench::TextTable;
+use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext};
 use didt_uarch::Benchmark;
 
 const BENCHES: [Benchmark; 4] = [
@@ -23,49 +27,60 @@ const BENCHES: [Benchmark; 4] = [
     Benchmark::Swim,
     Benchmark::Gcc,
 ];
-const INSTRUCTIONS: u64 = 40_000;
+const RUN: RunParams = RunParams {
+    instructions: 40_000,
+    warmup_cycles: 30_000,
+};
+const WAVELET: ControllerSpec = ControllerSpec::WaveletThreshold {
+    low: 0.975,
+    high: 1.025,
+    hysteresis: 0.004,
+    delay: 1,
+};
 
 /// Worst-case low-voltage excursion and total emergencies across the mix.
-fn run_mix(sys: &DidtSystem, pct: f64, controlled: bool) -> (f64, u64) {
-    let pdn = sys.pdn_at(pct).expect("pdn");
-    let mut v_min = f64::INFINITY;
-    let mut emergencies = 0;
-    for bench in BENCHES {
-        let cfg = ClosedLoopConfig {
-            warmup_cycles: 30_000,
-            instructions: INSTRUCTIONS,
-            ..ClosedLoopConfig::standard(bench)
-        };
-        let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
-        let mut ctl: Box<dyn DidtController> = if controlled {
-            let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
-            Box::new(ThresholdController::new(
-                design.build(20, 1).expect("monitor"),
-                0.975,
-                1.025,
-                0.004,
-            ))
-        } else {
-            Box::new(NoControl)
-        };
-        let r = harness.run(ctl.as_mut()).expect("run");
-        v_min = v_min.min(r.v_min);
-        emergencies += r.emergencies();
-    }
+fn run_mix(
+    ctx: &Arc<SweepContext>,
+    runner: &ExperimentRunner,
+    pct: f64,
+    controlled: bool,
+) -> (f64, u64) {
+    let spec = if controlled {
+        WAVELET
+    } else {
+        ControllerSpec::None
+    };
+    let points = Sweep::new()
+        .benchmarks(&BENCHES)
+        .pdn_pcts(&[pct])
+        .monitor_terms(&[20])
+        .controllers(&[spec])
+        .points();
+    let results = ctx.run_sweep(runner, &points, RUN);
+    let v_min = results
+        .iter()
+        .map(|r| r.controlled.v_min)
+        .fold(f64::INFINITY, f64::min);
+    let emergencies = results.iter().map(|r| r.controlled.emergencies()).sum();
     (v_min, emergencies)
 }
 
 /// Highest impedance percentage at which the mix stays essentially
 /// fault-free (≤ `budget` emergency cycles), by bisection.
-fn max_safe_impedance(sys: &DidtSystem, controlled: bool, budget: u64) -> f64 {
+fn max_safe_impedance(
+    ctx: &Arc<SweepContext>,
+    runner: &ExperimentRunner,
+    controlled: bool,
+    budget: u64,
+) -> f64 {
     let (mut lo, mut hi) = (100.0f64, 400.0f64);
     // Ensure the bracket is valid.
-    if run_mix(sys, lo, controlled).1 > budget {
+    if run_mix(ctx, runner, lo, controlled).1 > budget {
         return lo;
     }
     for _ in 0..8 {
         let mid = 0.5 * (lo + hi);
-        if run_mix(sys, mid, controlled).1 <= budget {
+        if run_mix(ctx, runner, mid, controlled).1 <= budget {
             lo = mid;
         } else {
             hi = mid;
@@ -75,14 +90,20 @@ fn max_safe_impedance(sys: &DidtSystem, controlled: bool, budget: u64) -> f64 {
 }
 
 fn main() {
-    let sys = standard_system();
+    let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
+    let runner = ExperimentRunner::from_env();
     println!("== extension: supply-design relief from wavelet dI/dt control ==\n");
 
     println!("guardband (worst low excursion over crafty/eon/swim/gcc):\n");
-    let mut t = TextTable::new(&["impedance", "uncontrolled v_min", "controlled v_min", "margin saved"]);
+    let mut t = TextTable::new(&[
+        "impedance",
+        "uncontrolled v_min",
+        "controlled v_min",
+        "margin saved",
+    ]);
     for pct in [125.0, 150.0, 200.0] {
-        let (base, _) = run_mix(&sys, pct, false);
-        let (ctl, _) = run_mix(&sys, pct, true);
+        let (base, _) = run_mix(&ctx, &runner, pct, false);
+        let (ctl, _) = run_mix(&ctx, &runner, pct, true);
         t.row_owned(vec![
             format!("{pct}%"),
             format!("{base:.4} V"),
@@ -93,8 +114,8 @@ fn main() {
     print!("{}", t.render());
 
     println!("\nimpedance headroom (max % with <= 10 emergency cycles over the mix):\n");
-    let base = max_safe_impedance(&sys, false, 10);
-    let ctl = max_safe_impedance(&sys, true, 10);
+    let base = max_safe_impedance(&ctx, &runner, false, 10);
+    let ctl = max_safe_impedance(&ctx, &runner, true, 10);
     println!("  uncontrolled : {base:.0}% of target impedance");
     println!("  controlled   : {ctl:.0}% of target impedance");
     println!(

@@ -34,8 +34,7 @@ fn main() {
     // A 512-cycle window covers the slower board ringing (200-cycle
     // period) as well as the die resonance.
     let h = pdn.impulse_response(512);
-    let design =
-        WaveletMonitorDesign::from_impulse_response(&h, pdn.vdd(), 512).expect("design");
+    let design = WaveletMonitorDesign::from_impulse_response(&h, pdn.vdd(), 512).expect("design");
 
     // Stress with a mix of both resonant periods.
     let trace: Vec<f64> = (0..20_000)

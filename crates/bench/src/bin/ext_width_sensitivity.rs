@@ -5,15 +5,47 @@
 //! This ablation scales the Table 1 machine to 2/4/8-wide and measures,
 //! on a fixed 150 % supply, how the current envelope and the emergency
 //! exposure grow with width.
+//!
+//! The nine (width, benchmark) trace captures and PDN simulations are
+//! independent, so they run on the experiment worker pool; captures go
+//! through the context's trace cache.
 
-use didt_bench::{standard_system, TextTable};
+use didt_bench::{ExperimentRunner, SweepContext, TextTable};
 use didt_stats::variance;
-use didt_uarch::{capture_trace, Benchmark, ProcessorConfig};
+use didt_uarch::{Benchmark, ProcessorConfig};
+
+const WIDTHS: [u32; 3] = [2, 4, 8];
+const BENCHES: [Benchmark; 3] = [Benchmark::Crafty, Benchmark::Gcc, Benchmark::Swim];
 
 fn main() {
-    let sys = standard_system();
-    let pdn = sys.pdn_at(150.0).expect("pdn");
+    let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
+    let runner = ExperimentRunner::from_env();
+    let pdn = ctx.pdn(150.0).expect("pdn");
     println!("== extension: dI/dt severity vs machine width (150% impedance) ==\n");
+
+    let points: Vec<(u32, Benchmark)> = WIDTHS
+        .iter()
+        .flat_map(|&w| BENCHES.iter().map(move |&b| (w, b)))
+        .collect();
+    let rows = runner.run(&points, |_, &(width, bench)| {
+        let cfg = if width == 4 {
+            ProcessorConfig::table1()
+        } else {
+            ProcessorConfig::with_width(width)
+        };
+        let trace = ctx.trace(bench, &cfg, 0xD1D7, 100_000, 1 << 17);
+        let v = pdn.simulate(&trace.samples);
+        let below = v.iter().filter(|&&x| x < 0.97).count();
+        vec![
+            format!("{width}-wide"),
+            bench.name().to_string(),
+            format!("{:.2}", trace.stats.ipc()),
+            format!("{:5.1}", trace.mean_current()),
+            format!("{:7.1}", variance(&trace.samples)),
+            format!("{:5.2}%", 100.0 * below as f64 / v.len() as f64),
+        ]
+    });
+
     let mut t = TextTable::new(&[
         "width",
         "bench",
@@ -22,25 +54,8 @@ fn main() {
         "I var (A^2)",
         "% cycles < 0.97 V",
     ]);
-    for width in [2u32, 4, 8] {
-        let cfg = if width == 4 {
-            ProcessorConfig::table1()
-        } else {
-            ProcessorConfig::with_width(width)
-        };
-        for bench in [Benchmark::Crafty, Benchmark::Gcc, Benchmark::Swim] {
-            let trace = capture_trace(bench, &cfg, 0xD1D7, 100_000, 1 << 17);
-            let v = pdn.simulate(&trace.samples);
-            let below = v.iter().filter(|&&x| x < 0.97).count();
-            t.row_owned(vec![
-                format!("{width}-wide"),
-                bench.name().to_string(),
-                format!("{:.2}", trace.stats.ipc()),
-                format!("{:5.1}", trace.mean_current()),
-                format!("{:7.1}", variance(&trace.samples)),
-                format!("{:5.2}%", 100.0 * below as f64 / v.len() as f64),
-            ]);
-        }
+    for row in rows {
+        t.row_owned(row);
     }
     print!("{}", t.render());
     println!("\ntakeaway: width raises both the mean draw and (more steeply) its");

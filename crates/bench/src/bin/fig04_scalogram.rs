@@ -16,8 +16,15 @@ fn main() {
 
     // Render the waveform as a coarse ASCII strip chart (4 cycles/char).
     let min = trace.samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = trace.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    println!("current range: {min:.1} A .. {max:.1} A, mean {:.1} A", trace.mean_current());
+    let max = trace
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "current range: {min:.1} A .. {max:.1} A, mean {:.1} A",
+        trace.mean_current()
+    );
     let rows = 12;
     let cols = 64;
     let per_col = trace.samples.len() / cols;

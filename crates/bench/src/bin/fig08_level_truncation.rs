@@ -13,10 +13,7 @@ use didt_core::characterize::{ScaleGainModel, VarianceModel};
 use didt_pdn::SecondOrderPdn;
 use didt_uarch::Benchmark;
 
-fn truncation_errors(
-    pdn: &SecondOrderPdn,
-    traces: &[(String, Vec<f64>)],
-) -> Vec<(String, f64)> {
+fn truncation_errors(pdn: &SecondOrderPdn, traces: &[(String, Vec<f64>)]) -> Vec<(String, f64)> {
     let gains = ScaleGainModel::calibrate(pdn, 256, 0xCAB1).expect("calibration");
     let full = VarianceModel::new(gains.clone());
     let cut = VarianceModel::with_level_budget(gains, 4);

@@ -42,7 +42,10 @@ fn main() {
 
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top: Vec<&str> = rows[..4].iter().map(|r| r.0.as_str()).collect();
-    let bottom: Vec<&str> = rows[rows.len() - 4..].iter().map(|r| r.0.as_str()).collect();
+    let bottom: Vec<&str> = rows[rows.len() - 4..]
+        .iter()
+        .map(|r| r.0.as_str())
+        .collect();
     println!("most problematic: {top:?}   (paper: mgrid, gcc, galgel, apsi >= 3%)");
     println!("least problematic: {bottom:?} (paper: vpr, mcf, equake, gap < 0.5%)");
 }

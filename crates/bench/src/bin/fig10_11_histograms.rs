@@ -34,14 +34,24 @@ fn main() {
     let pdn = sys.pdn_at(150.0).expect("150% network");
 
     println!("== Figure 10: low-L2-miss benchmarks (approximately Gaussian) ==\n");
-    for bench in [Benchmark::Gzip, Benchmark::Mesa, Benchmark::Crafty, Benchmark::Eon] {
+    for bench in [
+        Benchmark::Gzip,
+        Benchmark::Mesa,
+        Benchmark::Crafty,
+        Benchmark::Eon,
+    ] {
         let trace = benchmark_trace(&sys, bench);
         let v = pdn.simulate(&trace.samples);
         print_histogram(bench.name(), &v, trace.stats.l2_mpki());
     }
 
     println!("== Figure 11: high-L2-miss benchmarks (spike near nominal) ==\n");
-    for bench in [Benchmark::Swim, Benchmark::Lucas, Benchmark::Mcf, Benchmark::Art] {
+    for bench in [
+        Benchmark::Swim,
+        Benchmark::Lucas,
+        Benchmark::Mcf,
+        Benchmark::Art,
+    ] {
         let trace = benchmark_trace(&sys, bench);
         let v = pdn.simulate(&trace.samples);
         print_histogram(bench.name(), &v, trace.stats.l2_mpki());

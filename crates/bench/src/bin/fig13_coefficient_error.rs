@@ -37,9 +37,7 @@ fn main() {
     // benchmarks.
     let mut traces: Vec<Vec<f64>> = vec![sys.calibration().stressor()];
     for bench in [Benchmark::Gcc, Benchmark::Swim] {
-        traces.push(
-            capture_trace(bench, sys.processor(), 0xD1D7_2004, 100_000, 65_536).samples,
-        );
+        traces.push(capture_trace(bench, sys.processor(), 0xD1D7_2004, 100_000, 65_536).samples);
     }
 
     let ks: Vec<usize> = (1..=30).collect();

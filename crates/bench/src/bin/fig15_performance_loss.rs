@@ -9,67 +9,64 @@
 //! impedance network (the paper's choice, §5.3), monitored with 13
 //! wavelet terms; a second table sweeps the target impedance at a fixed
 //! 20 mV threshold with the Figure 13 term budgets.
+//!
+//! Both tables run as one grid each on the shared sweep engine: all
+//! 26 benchmarks × 3 margins execute on the worker pool, and each
+//! benchmark's uncontrolled baseline is simulated once (not once per
+//! margin) through the sweep cache.
 
-use didt_bench::{standard_system, TextTable};
-use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl, ThresholdController};
-use didt_core::monitor::WaveletMonitorDesign;
-use didt_pdn::SecondOrderPdn;
-use didt_uarch::{Benchmark, ProcessorConfig};
+use didt_bench::{
+    ControllerSpec, ExperimentRunner, PointResult, RunParams, Sweep, SweepContext, TextTable,
+};
+use didt_uarch::Benchmark;
 
-const INSTRUCTIONS: u64 = 60_000;
-const WARMUP: u64 = 30_000;
+const RUN: RunParams = RunParams {
+    instructions: 60_000,
+    warmup_cycles: 30_000,
+};
+const MARGINS: [f64; 3] = [0.010, 0.020, 0.030];
 
-struct Outcome {
-    slowdown_pct: f64,
-    residual: u64,
-    baseline: u64,
-}
-
-fn run_one(
-    processor: &ProcessorConfig,
-    pdn: &SecondOrderPdn,
-    bench: Benchmark,
-    terms: usize,
-    margin_v: f64,
-) -> Outcome {
-    let cfg = ClosedLoopConfig {
-        warmup_cycles: WARMUP,
-        instructions: INSTRUCTIONS,
-        ..ClosedLoopConfig::standard(bench)
-    };
-    let harness = ClosedLoop::new(*processor, *pdn, cfg);
-    let base = harness.run(&mut NoControl).expect("baseline");
-    let design = WaveletMonitorDesign::new(pdn, 256).expect("design");
-    let mon = design.build(terms, 1).expect("monitor");
-    let mut ctl =
-        ThresholdController::new(mon, 0.95 + margin_v, 1.05 - margin_v, 0.004);
-    let controlled = harness.run(&mut ctl).expect("controlled");
-    Outcome {
-        slowdown_pct: 100.0 * controlled.slowdown_vs(&base).max(0.0),
-        residual: controlled.emergencies(),
-        baseline: base.emergencies(),
+fn wavelet_at(margin_v: f64) -> ControllerSpec {
+    ControllerSpec::WaveletThreshold {
+        low: 0.95 + margin_v,
+        high: 1.05 - margin_v,
+        hysteresis: 0.004,
+        delay: 1,
     }
 }
 
 fn main() {
-    let sys = standard_system();
+    let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
+    let runner = ExperimentRunner::from_env();
     println!("== Figure 15: performance loss vs control threshold (150% impedance, 13 terms) ==\n");
-    let pdn150 = sys.pdn_at(150.0).expect("network");
-    let margins = [0.010, 0.020, 0.030];
+
+    let schemes: Vec<ControllerSpec> = MARGINS.iter().map(|&m| wavelet_at(m)).collect();
+    let points = Sweep::new()
+        .benchmarks(&Benchmark::all())
+        .pdn_pcts(&[150.0])
+        .monitor_terms(&[13])
+        .controllers(&schemes)
+        .points();
+    let results = ctx.run_sweep(&runner, &points, RUN);
+
     let mut t = TextTable::new(&["bench", "10mV", "20mV", "30mV", "emerg @20mV ctl/base"]);
     let mut sums = [0.0f64; 3];
     let mut worst = [0.0f64; 3];
-    for bench in Benchmark::all() {
+    // Enumeration order: benchmark outermost, margin innermost.
+    for (bi, bench) in Benchmark::all().iter().enumerate() {
         let mut cells = vec![bench.name().to_string()];
         let mut at20 = (0u64, 0u64);
-        for (i, &m) in margins.iter().enumerate() {
-            let o = run_one(sys.processor(), &pdn150, bench, 13, m);
-            sums[i] += o.slowdown_pct;
-            worst[i] = worst[i].max(o.slowdown_pct);
+        for (i, r) in results[bi * MARGINS.len()..(bi + 1) * MARGINS.len()]
+            .iter()
+            .enumerate()
+        {
+            let slowdown = r.slowdown_pct();
+            sums[i] += slowdown;
+            worst[i] = worst[i].max(slowdown);
             if i == 1 {
-                at20 = (o.residual, o.baseline);
+                at20 = (r.controlled.emergencies(), r.baseline.emergencies());
             }
-            cells.push(format!("{:5.2}%", o.slowdown_pct));
+            cells.push(format!("{slowdown:5.2}%"));
         }
         cells.push(format!("{}/{}", at20.0, at20.1));
         t.row_owned(cells);
@@ -91,19 +88,31 @@ fn main() {
     println!("pipeline damping's max is 22% (Powell et al., cited for contrast)\n");
 
     println!("== companion: impedance sweep at 20 mV threshold (Fig 13 term budgets) ==\n");
-    let mut t2 = TextTable::new(&["impedance", "terms", "mean slowdown", "max", "emerg ctl/base"]);
+    let mut t2 = TextTable::new(&[
+        "impedance",
+        "terms",
+        "mean slowdown",
+        "max",
+        "emerg ctl/base",
+    ]);
     for (pct, k) in [(125.0, 9usize), (150.0, 13), (200.0, 20)] {
-        let pdn = sys.pdn_at(pct).expect("network");
+        let points = Sweep::new()
+            .benchmarks(&Benchmark::all())
+            .pdn_pcts(&[pct])
+            .monitor_terms(&[k])
+            .controllers(&[wavelet_at(0.020)])
+            .points();
+        let results: Vec<PointResult> = ctx.run_sweep(&runner, &points, RUN);
         let mut sum = 0.0;
         let mut mx = 0.0f64;
         let mut res = 0u64;
         let mut base = 0u64;
-        for bench in Benchmark::all() {
-            let o = run_one(sys.processor(), &pdn, bench, k, 0.020);
-            sum += o.slowdown_pct;
-            mx = mx.max(o.slowdown_pct);
-            res += o.residual;
-            base += o.baseline;
+        for r in &results {
+            let slowdown = r.slowdown_pct();
+            sum += slowdown;
+            mx = mx.max(slowdown);
+            res += r.controlled.emergencies();
+            base += r.baseline.emergencies();
         }
         t2.row_owned(vec![
             format!("{pct}%"),

@@ -1,10 +1,20 @@
 //! Regenerate every figure, table, extension and ablation into
 //! `results/`, one text file per experiment.
 //!
+//! Experiments are independent subprocesses, so they execute on the
+//! shared worker pool ([`didt_bench::ExperimentRunner`]; thread count
+//! from `DIDT_NUM_THREADS` / `RAYON_NUM_THREADS` / the machine). Pass
+//! `--serial` to force one experiment at a time (the reference
+//! ordering; outputs are identical either way since each experiment
+//! writes only its own file and the progress log is printed from
+//! collected results in list order).
+//!
 //! Run with: `cargo run --release -p didt-bench --bin run_all`
 
 use std::path::Path;
 use std::process::Command;
+
+use didt_bench::ExperimentRunner;
 
 /// Every experiment binary, in the order they appear in EXPERIMENTS.md.
 const EXPERIMENTS: &[&str] = &[
@@ -28,28 +38,84 @@ const EXPERIMENTS: &[&str] = &[
     "ext_guardband",
 ];
 
+struct Outcome {
+    name: &'static str,
+    ok: bool,
+    secs: f64,
+    error: String,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let serial = std::env::args().any(|a| a == "--serial");
+    let runner = if serial {
+        ExperimentRunner::serial()
+    } else {
+        ExperimentRunner::from_env()
+    };
     let out_dir = Path::new("results");
     std::fs::create_dir_all(out_dir)?;
     let me = std::env::current_exe()?;
-    let bin_dir = me.parent().ok_or("no parent dir")?;
-    let mut failures = Vec::new();
-    for name in EXPERIMENTS {
+    let bin_dir = me.parent().ok_or("no parent dir")?.to_path_buf();
+
+    println!(
+        "running {} experiments on {} worker(s)\n",
+        EXPERIMENTS.len(),
+        runner.threads().min(EXPERIMENTS.len())
+    );
+    let started_all = std::time::Instant::now();
+    let outcomes: Vec<Outcome> = runner.run(EXPERIMENTS, |_, &name| {
         let exe = bin_dir.join(name);
-        print!("running {name:<32}");
         let started = std::time::Instant::now();
-        let output = Command::new(&exe).output()?;
+        let result = Command::new(&exe).output();
         let secs = started.elapsed().as_secs_f64();
-        if output.status.success() {
-            std::fs::write(out_dir.join(format!("{name}.txt")), &output.stdout)?;
-            println!("ok   ({secs:6.1} s)");
+        match result {
+            Ok(output) if output.status.success() => {
+                let write = std::fs::write(out_dir.join(format!("{name}.txt")), &output.stdout);
+                match write {
+                    Ok(()) => Outcome {
+                        name,
+                        ok: true,
+                        secs,
+                        error: String::new(),
+                    },
+                    Err(e) => Outcome {
+                        name,
+                        ok: false,
+                        secs,
+                        error: e.to_string(),
+                    },
+                }
+            }
+            Ok(output) => Outcome {
+                name,
+                ok: false,
+                secs,
+                error: format!("exit {}", output.status),
+            },
+            Err(e) => Outcome {
+                name,
+                ok: false,
+                secs,
+                error: e.to_string(),
+            },
+        }
+    });
+
+    let mut failures = Vec::new();
+    for o in &outcomes {
+        if o.ok {
+            println!("{:<32} ok   ({:6.1} s)", o.name, o.secs);
         } else {
-            println!("FAILED ({secs:6.1} s)");
-            failures.push(*name);
+            println!("{:<32} FAILED ({:6.1} s): {}", o.name, o.secs, o.error);
+            failures.push(o.name);
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments regenerated into results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments regenerated into results/ in {:.1} s",
+            EXPERIMENTS.len(),
+            started_all.elapsed().as_secs_f64()
+        );
         Ok(())
     } else {
         Err(format!("failed experiments: {failures:?}").into())

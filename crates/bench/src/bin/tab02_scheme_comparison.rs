@@ -2,19 +2,22 @@
 //! here made quantitative: slowdown, false-positive rate, residual
 //! emergencies, hardware terms and sensor delay for all four schemes on
 //! a mixed benchmark subset at 150 % target impedance.
+//!
+//! Runs on the shared [`didt_bench::runner`] engine: the 5 × 4 grid of
+//! (benchmark, scheme) closed loops executes on the worker pool, with
+//! the uncontrolled baseline of each benchmark computed once and shared
+//! by all four schemes through the sweep cache.
 
-use didt_bench::{standard_system, TextTable};
-use didt_core::control::{
-    ClosedLoop, ClosedLoopConfig, DidtController, NoControl, PipelineDamping,
-    ThresholdController,
-};
-use didt_core::monitor::{
-    AnalogSensor, FullConvolutionMonitor, VoltageMonitor, WaveletMonitorDesign,
-};
+use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable};
+use didt_core::monitor::{FullConvolutionMonitor, VoltageMonitor};
 use didt_uarch::Benchmark;
 
-const INSTRUCTIONS: u64 = 100_000;
-const WARMUP: u64 = 30_000;
+const RUN: RunParams = RunParams {
+    instructions: 100_000,
+    warmup_cycles: 30_000,
+};
+const PDN_PCT: f64 = 150.0;
+const TERMS: usize = 13;
 /// Mixed subset: smooth high-activity benchmarks plus the two strongest
 /// memory-burst emergency producers at 150 % impedance.
 const BENCHES: [Benchmark; 5] = [
@@ -25,103 +28,60 @@ const BENCHES: [Benchmark; 5] = [
     Benchmark::Lucas,
 ];
 
-struct SchemeRow {
-    name: &'static str,
-    slowdown_sum: f64,
-    fp_sum: f64,
-    emergencies: u64,
-    terms: usize,
-    delay: usize,
-}
+/// The four schemes of Table 2, in paper order.
+const SCHEMES: [ControllerSpec; 4] = [
+    ControllerSpec::AnalogThreshold {
+        low: 0.97,
+        high: 1.03,
+        hysteresis: 0.004,
+    },
+    ControllerSpec::FullConvolution {
+        low: 0.97,
+        high: 1.03,
+        hysteresis: 0.004,
+    },
+    // Damping delta sized for a worst-case guarantee: with no voltage
+    // feedback it must bound any current ramp that could build
+    // resonance over a half resonant period.
+    ControllerSpec::PipelineDamping {
+        window: 15,
+        max_delta: 6.0,
+    },
+    // The wavelet monitor's 13-term estimate carries up to ~20 mV error
+    // (Figure 13); its control points add that margin on top of a 5 mV
+    // guard.
+    ControllerSpec::WaveletThreshold {
+        low: 0.975,
+        high: 1.025,
+        hysteresis: 0.004,
+        delay: 1,
+    },
+];
 
 fn main() {
-    let sys = standard_system();
-    let pdn = sys.pdn_at(150.0).expect("150% network");
-    let design = WaveletMonitorDesign::new(&pdn, 256).expect("design");
-
+    let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
+    let runner = ExperimentRunner::from_env();
     println!("== Table 2: dI/dt scheme comparison (measured, 150% impedance) ==\n");
 
-    let mut rows: Vec<SchemeRow> = vec![
-        SchemeRow {
-            name: "analog-sensor",
-            slowdown_sum: 0.0,
-            fp_sum: 0.0,
-            emergencies: 0,
-            terms: 0,
-            delay: 2,
-        },
-        SchemeRow {
-            name: "full-convolution",
-            slowdown_sum: 0.0,
-            fp_sum: 0.0,
-            emergencies: 0,
-            terms: FullConvolutionMonitor::paper_default(&pdn).term_count(),
-            delay: 3,
-        },
-        SchemeRow {
-            name: "pipeline-damping",
-            slowdown_sum: 0.0,
-            fp_sum: 0.0,
-            emergencies: 0,
-            terms: 1,
-            delay: 0,
-        },
-        SchemeRow {
-            name: "wavelet-convolution",
-            slowdown_sum: 0.0,
-            fp_sum: 0.0,
-            emergencies: 0,
-            terms: 13,
-            delay: 1,
-        },
-    ];
+    let points = Sweep::new()
+        .benchmarks(&BENCHES)
+        .pdn_pcts(&[PDN_PCT])
+        .monitor_terms(&[TERMS])
+        .controllers(&SCHEMES)
+        .points();
+    let results = ctx.run_sweep(&runner, &points, RUN);
 
-    let mut uncontrolled_emergencies = 0u64;
-    for bench in BENCHES {
-        let cfg = ClosedLoopConfig {
-            warmup_cycles: WARMUP,
-            instructions: INSTRUCTIONS,
-            ..ClosedLoopConfig::standard(bench)
-        };
-        let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
-        let base = harness.run(&mut NoControl).expect("baseline");
-        uncontrolled_emergencies += base.emergencies();
-
-        // Each scheme gets a fresh controller per benchmark.
-        let mut controllers: Vec<Box<dyn DidtController>> = vec![
-            Box::new(ThresholdController::new(
-                AnalogSensor::new(1.0, 2),
-                0.97,
-                1.03,
-                0.004,
-            )),
-            Box::new(ThresholdController::new(
-                FullConvolutionMonitor::paper_default(&pdn),
-                0.97,
-                1.03,
-                0.004,
-            )),
-            // Damping delta sized for a worst-case guarantee: with no
-            // voltage feedback it must bound any current ramp that could
-            // build resonance over a half resonant period.
-            Box::new(PipelineDamping::new(15, 6.0)),
-            // The wavelet monitor's 13-term estimate carries up to
-            // ~20 mV error (Figure 13); its control points add that
-            // margin on top of a 5 mV guard.
-            Box::new(ThresholdController::new(
-                design.build(13, 1).expect("monitor"),
-                0.975,
-                1.025,
-                0.004,
-            )),
-        ];
-        for (row, ctl) in rows.iter_mut().zip(controllers.iter_mut()) {
-            let r = harness.run(ctl.as_mut()).expect("controlled run");
-            row.slowdown_sum += 100.0 * r.slowdown_vs(&base).max(0.0);
-            row.fp_sum += 100.0 * r.false_positive_rate();
-            row.emergencies += r.emergencies();
+    // Hardware cost columns (static per scheme).
+    let pdn = ctx.pdn(PDN_PCT).expect("150% network");
+    let terms_delay = |spec: &ControllerSpec| match spec {
+        ControllerSpec::AnalogThreshold { .. } => (0, 2),
+        ControllerSpec::FullConvolution { .. } => {
+            (FullConvolutionMonitor::paper_default(&pdn).term_count(), 3)
         }
-    }
+        ControllerSpec::PipelineDamping { .. } => (1, 0),
+        ControllerSpec::WaveletThreshold { delay, .. } => (TERMS, *delay),
+        ControllerSpec::None => (0, 0),
+    };
 
     let n = BENCHES.len() as f64;
     let mut t = TextTable::new(&[
@@ -132,14 +92,27 @@ fn main() {
         "terms/cycle",
         "sensor delay",
     ]);
-    for row in &rows {
+    let mut uncontrolled_emergencies = 0u64;
+    for (si, scheme) in SCHEMES.iter().enumerate() {
+        let mut slowdown_sum = 0.0;
+        let mut fp_sum = 0.0;
+        let mut emergencies = 0u64;
+        for r in results.iter().filter(|r| r.point.controller == *scheme) {
+            slowdown_sum += r.slowdown_pct();
+            fp_sum += 100.0 * r.controlled.false_positive_rate();
+            emergencies += r.controlled.emergencies();
+            if si == 0 {
+                uncontrolled_emergencies += r.baseline.emergencies();
+            }
+        }
+        let (terms, delay) = terms_delay(scheme);
         t.row_owned(vec![
-            row.name.to_string(),
-            format!("{:6.2}%", row.slowdown_sum / n),
-            format!("{:5.1}%", row.fp_sum / n),
-            format!("{}", row.emergencies),
-            format!("{}", row.terms),
-            format!("{} cyc", row.delay),
+            scheme.tag().to_string(),
+            format!("{:6.2}%", slowdown_sum / n),
+            format!("{:5.1}%", fp_sum / n),
+            format!("{emergencies}"),
+            format!("{terms}"),
+            format!("{delay} cyc"),
         ]);
     }
     print!("{}", t.render());

@@ -23,7 +23,13 @@ pub fn standard_system() -> DidtSystem {
 /// Capture the standard-length current trace for one benchmark.
 #[must_use]
 pub fn benchmark_trace(sys: &DidtSystem, bench: Benchmark) -> CurrentTrace {
-    capture_trace(bench, sys.processor(), TRACE_SEED, TRACE_WARMUP, TRACE_CYCLES)
+    capture_trace(
+        bench,
+        sys.processor(),
+        TRACE_SEED,
+        TRACE_WARMUP,
+        TRACE_CYCLES,
+    )
 }
 
 #[cfg(test)]

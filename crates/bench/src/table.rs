@@ -31,7 +31,8 @@ impl TextTable {
 
     /// Append a data row; extra/missing cells are tolerated.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Append a data row of owned strings.

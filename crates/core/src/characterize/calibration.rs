@@ -15,7 +15,7 @@
 //! function of both scale and correlation.
 
 use crate::DidtError;
-use didt_dsp::{dwt, idwt, wavelet::Haar};
+use didt_dsp::{dwt, dwt_into, idwt, wavelet::Haar, DwtScratch, WaveletDecomposition};
 use didt_pdn::SecondOrderPdn;
 use didt_stats::variance;
 use rand::rngs::SmallRng;
@@ -122,9 +122,10 @@ impl ScaleGainModel {
                 let mut signal = Vec::with_capacity(tiles * window);
                 let mut prev = 0.0f64;
                 let innov = (1.0 - rho * rho).sqrt();
+                // All-zero decomposition reused across tiles; only the
+                // `level` detail row is (fully) rewritten per tile.
+                let mut decomp = dwt(&vec![0.0f64; window], &Haar, levels)?;
                 for _ in 0..tiles {
-                    let zeros = vec![0.0f64; window];
-                    let mut decomp = dwt(&zeros, &Haar, levels)?;
                     {
                         let d = decomp.detail_mut(level)?;
                         for x in d.iter_mut() {
@@ -188,6 +189,8 @@ impl ScaleGainModel {
         let mut ata = vec![vec![0.0f64; dims]; dims];
         let mut aty = vec![0.0f64; dims];
         let mut used = 0usize;
+        let mut scratch = DwtScratch::new();
+        let mut decomp = WaveletDecomposition::empty();
         for trace in traces {
             if trace.len() < 2 * window {
                 continue;
@@ -197,7 +200,7 @@ impl ScaleGainModel {
             for (wi, iw) in trace.chunks_exact(window).enumerate().skip(1) {
                 let vw = &v[wi * window..(wi + 1) * window];
                 let y = variance(vw);
-                let decomp = dwt(iw, &Haar, levels)?;
+                dwt_into(iw, &Haar, levels, &mut scratch, &mut decomp)?;
                 let scales = didt_dsp::scale_variances(&decomp)?;
                 let mut x = vec![0.0f64; dims];
                 for sv in &scales {
@@ -235,8 +238,7 @@ impl ScaleGainModel {
         for level in 1..=levels {
             let g = theta[level - 1].max(0.0);
             let h = theta[levels + level - 1];
-            let row =
-                RHO_GRID.map(|rho| (g + h * rho).max(0.0));
+            let row = RHO_GRID.map(|rho| (g + h * rho).max(0.0));
             gains.push(row);
         }
         Ok(ScaleGainModel {
@@ -352,7 +354,11 @@ mod tests {
         let g_between = m.gain(4, 0.2).unwrap();
         let g0 = m.gain(4, 0.0).unwrap();
         // Interpolated value lies between the bracketing grid values.
-        let (lo, hi) = if g0 < g_grid { (g0, g_grid) } else { (g_grid, g0) };
+        let (lo, hi) = if g0 < g_grid {
+            (g0, g_grid)
+        } else {
+            (g_grid, g0)
+        };
         assert!(g_between >= lo - 1e-15 && g_between <= hi + 1e-15);
         // Clamped outside the grid.
         assert_eq!(m.gain(4, 0.95).unwrap(), m.gain(4, 0.8).unwrap());
@@ -391,8 +397,7 @@ mod tests {
     fn gain_scales_with_impedance_squared_percentwise() {
         // 150 % impedance → voltage amplitudes ×1.5 → variance ×2.25.
         let base = model();
-        let big =
-            ScaleGainModel::calibrate(&pdn().scaled(1.5).unwrap(), 256, 11).unwrap();
+        let big = ScaleGainModel::calibrate(&pdn().scaled(1.5).unwrap(), 256, 11).unwrap();
         let ratio = big.gain(4, 0.0).unwrap() / base.gain(4, 0.0).unwrap();
         assert!((ratio - 2.25).abs() < 0.2, "ratio {ratio}");
     }

@@ -12,7 +12,6 @@ use didt_pdn::SecondOrderPdn;
 
 /// Estimated-vs-observed emergency fractions for one benchmark trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BenchmarkEstimate {
     /// Estimated fraction of cycles below the threshold (model).
     pub estimated: f64,

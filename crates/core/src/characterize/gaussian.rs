@@ -12,7 +12,6 @@ use didt_stats::{jarque_bera, variance, LillieforsTest};
 /// (KS with estimated parameters) is provided for the classifier-choice
 /// ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NormalityTest {
     /// Chi-squared with equiprobable bins (the paper's choice).
     #[default]
@@ -25,7 +24,6 @@ pub enum NormalityTest {
 
 /// Results of classifying one benchmark's windows at one window size.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GaussianityReport {
     /// Window length in cycles.
     pub window: usize,
@@ -140,9 +138,7 @@ impl GaussianityStudy {
         let classify = |w: &[f64]| -> Result<GofReport, DidtError> {
             Ok(match self.test {
                 NormalityTest::ChiSquared => chi.test_normality(w, self.significance)?,
-                NormalityTest::Lilliefors => {
-                    LillieforsTest.test_normality(w, self.significance)?
-                }
+                NormalityTest::Lilliefors => LillieforsTest.test_normality(w, self.significance)?,
                 NormalityTest::JarqueBera => jarque_bera(w, self.significance)?,
             })
         };

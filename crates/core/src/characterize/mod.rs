@@ -19,5 +19,5 @@ pub use calibration::ScaleGainModel;
 pub use estimator::{BenchmarkEstimate, EmergencyEstimator};
 pub use gaussian::{GaussianityReport, GaussianityStudy, NormalityTest};
 pub use packet_model::{PacketVarianceModel, WindowModel};
-pub use variance_model::{VarianceModel, WindowEstimate};
+pub use variance_model::{EstimateScratch, VarianceModel, WindowEstimate};
 pub use windows::WindowSampler;

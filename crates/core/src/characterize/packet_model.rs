@@ -243,8 +243,7 @@ mod tests {
     #[test]
     fn comparable_to_dwt_scale_model_on_resonant_input() {
         use crate::characterize::{ScaleGainModel, VarianceModel};
-        let dwt_model =
-            VarianceModel::new(ScaleGainModel::calibrate(&pdn(), 64, 11).unwrap());
+        let dwt_model = VarianceModel::new(ScaleGainModel::calibrate(&pdn(), 64, 11).unwrap());
         let pk = model();
         let w: Vec<f64> = (0..64)
             .map(|n| 30.0 + if (n / 15) % 2 == 0 { 8.0 } else { -8.0 })

@@ -14,12 +14,30 @@
 
 use crate::characterize::ScaleGainModel;
 use crate::DidtError;
-use didt_dsp::{dwt, scale_variances, wavelet::Haar};
+use didt_dsp::{dwt_into, scale_variances, wavelet::Haar, DwtScratch, WaveletDecomposition};
 use didt_stats::{mean, Normal};
+
+/// Reusable buffers for [`VarianceModel::estimate_with`].
+///
+/// The per-window DWT is the hot operation of the §4.1 characterization
+/// sweep; keeping one `EstimateScratch` per worker makes it
+/// allocation-free after the first window.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateScratch {
+    dwt: DwtScratch,
+    decomp: WaveletDecomposition,
+}
+
+impl EstimateScratch {
+    /// Empty scratch buffers (grow to fit on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        EstimateScratch::default()
+    }
+}
 
 /// Per-window estimate produced by the variance model.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WindowEstimate {
     /// Estimated mean voltage: `Vdd − I_mean · R`.
     pub v_mean: f64,
@@ -128,14 +146,34 @@ impl VarianceModel {
     /// Returns [`DidtError::TraceTooShort`] on a length mismatch and
     /// propagates DWT errors.
     pub fn estimate(&self, window: &[f64]) -> Result<WindowEstimate, DidtError> {
+        self.estimate_with(window, &mut EstimateScratch::new())
+    }
+
+    /// [`Self::estimate`] with caller-provided scratch buffers, making the
+    /// per-window decomposition allocation-free across calls.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::estimate`].
+    pub fn estimate_with(
+        &self,
+        window: &[f64],
+        scratch: &mut EstimateScratch,
+    ) -> Result<WindowEstimate, DidtError> {
         if window.len() != self.gains.window() {
             return Err(DidtError::TraceTooShort {
                 needed: self.gains.window(),
                 got: window.len(),
             });
         }
-        let decomp = dwt(window, &Haar, self.gains.levels())?;
-        let scales = scale_variances(&decomp)?;
+        dwt_into(
+            window,
+            &Haar,
+            self.gains.levels(),
+            &mut scratch.dwt,
+            &mut scratch.decomp,
+        )?;
+        let scales = scale_variances(&scratch.decomp)?;
         let mut v_variance = 0.0;
         for sv in &scales {
             if !self.active_levels.contains(&sv.level) {
@@ -172,7 +210,13 @@ mod tests {
     fn resonant_window(amplitude: f64) -> Vec<f64> {
         // 30-cycle square wave around 30 A.
         (0..256)
-            .map(|n| 30.0 + if (n / 15) % 2 == 0 { amplitude } else { -amplitude })
+            .map(|n| {
+                30.0 + if (n / 15) % 2 == 0 {
+                    amplitude
+                } else {
+                    -amplitude
+                }
+            })
             .collect()
     }
 
@@ -260,11 +304,26 @@ mod tests {
     }
 
     #[test]
+    fn estimate_with_reused_scratch_matches_estimate() {
+        let m = model();
+        let mut scratch = EstimateScratch::new();
+        for amp in [3.0, 9.0, 15.0] {
+            let w = resonant_window(amp);
+            let fresh = m.estimate(&w).unwrap();
+            let reused = m.estimate_with(&w, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "amp {amp}");
+        }
+    }
+
+    #[test]
     fn rejects_wrong_window_length() {
         let m = model();
         assert!(matches!(
             m.estimate(&[1.0; 128]),
-            Err(DidtError::TraceTooShort { needed: 256, got: 128 })
+            Err(DidtError::TraceTooShort {
+                needed: 256,
+                got: 128
+            })
         ));
     }
 }

@@ -88,7 +88,10 @@ mod tests {
         let trace = vec![0.0; 10];
         assert!(matches!(
             WindowSampler::new(64, 0).sample(&trace, 1),
-            Err(DidtError::TraceTooShort { needed: 64, got: 10 })
+            Err(DidtError::TraceTooShort {
+                needed: 64,
+                got: 10
+            })
         ));
     }
 

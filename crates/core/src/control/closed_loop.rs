@@ -8,7 +8,6 @@ use didt_uarch::{Benchmark, ControlAction, Processor, ProcessorConfig, WorkloadG
 
 /// Configuration of one closed-loop experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClosedLoopConfig {
     /// Benchmark to run.
     pub benchmark: Benchmark,
@@ -53,7 +52,6 @@ impl ClosedLoopConfig {
 
 /// Outcome of a closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClosedLoopResult {
     /// Cycles taken in the measured region.
     pub cycles: u64,
@@ -220,9 +218,8 @@ impl ClosedLoop {
                     result.stall_cycles += 1;
                     // Engaged while the voltage sat comfortably above even
                     // the control point: no emergency was imminent.
-                    let fp_line = self.config.v_fault_low
-                        + self.config.control_margin
-                        + self.config.fp_guard;
+                    let fp_line =
+                        self.config.v_fault_low + self.config.control_margin + self.config.fp_guard;
                     if v > fp_line {
                         result.false_positives += 1;
                     }

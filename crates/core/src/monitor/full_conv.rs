@@ -110,7 +110,11 @@ mod tests {
         let mut sim = p.simulator();
         let period = p.resonant_period_cycles() as usize;
         for n in 0..5000 {
-            let i = if (n / (period / 2)).is_multiple_of(2) { 55.0 } else { 12.0 };
+            let i = if (n / (period / 2)).is_multiple_of(2) {
+                55.0
+            } else {
+                12.0
+            };
             let v = sim.step(i);
             let est = mon.observe(CycleSense {
                 current: i,
@@ -140,7 +144,11 @@ mod tests {
         let mut err_long = 0.0f64;
         let period = p.resonant_period_cycles() as usize;
         for n in 0..4000 {
-            let i = if (n / (period / 2)).is_multiple_of(2) { 50.0 } else { 15.0 };
+            let i = if (n / (period / 2)).is_multiple_of(2) {
+                50.0
+            } else {
+                15.0
+            };
             let v = sim.step(i);
             let s = CycleSense {
                 current: i,

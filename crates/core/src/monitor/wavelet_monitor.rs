@@ -89,11 +89,7 @@ impl WaveletMonitorDesign {
     /// # Errors
     ///
     /// Returns [`DidtError::InvalidConfig`] for an invalid window size.
-    pub fn from_impulse_response(
-        h: &[f64],
-        vdd: f64,
-        window: usize,
-    ) -> Result<Self, DidtError> {
+    pub fn from_impulse_response(h: &[f64], vdd: f64, window: usize) -> Result<Self, DidtError> {
         if window < 8 || !window.is_power_of_two() {
             return Err(DidtError::InvalidConfig {
                 name: "window",
@@ -298,9 +294,7 @@ mod tests {
         let resonant: f64 = d
             .weights()
             .iter()
-            .filter(|w| {
-                w.kind == TermKind::Approximation || (3..=6).contains(&w.level)
-            })
+            .filter(|w| w.kind == TermKind::Approximation || (3..=6).contains(&w.level))
             .map(|w| w.weight * w.weight)
             .sum();
         assert!(
@@ -333,10 +327,7 @@ mod tests {
                 voltage: v,
             });
             if n > 512 {
-                assert!(
-                    (est - v).abs() < 2e-3,
-                    "n = {n}: est {est} vs true {v}"
-                );
+                assert!((est - v).abs() < 2e-3, "n = {n}: est {est} vs true {v}");
             }
         }
     }
@@ -352,7 +343,11 @@ mod tests {
             let mut worst = 0.0f64;
             for n in 0..4000 {
                 let period = p.resonant_period_cycles() as usize;
-                let i = if (n / (period / 2)).is_multiple_of(2) { 55.0 } else { 12.0 };
+                let i = if (n / (period / 2)).is_multiple_of(2) {
+                    55.0
+                } else {
+                    12.0
+                };
                 let v = sim.step(i);
                 let est = mon.observe(CycleSense {
                     current: i,
@@ -368,7 +363,11 @@ mod tests {
             assert!(w[1] <= w[0] + 1e-9, "errors not decreasing: {errors:?}");
         }
         assert!(errors[0] > 0.005, "1-term error suspiciously small");
-        assert!(errors[5] < 0.003, "full-term error too large: {}", errors[5]);
+        assert!(
+            errors[5] < 0.003,
+            "full-term error too large: {}",
+            errors[5]
+        );
     }
 
     #[test]
@@ -379,7 +378,11 @@ mod tests {
         let period = p.resonant_period_cycles() as usize;
         let mut worst = 0.0f64;
         for n in 0..6000 {
-            let i = if (n / (period / 2)).is_multiple_of(2) { 55.0 } else { 12.0 };
+            let i = if (n / (period / 2)).is_multiple_of(2) {
+                55.0
+            } else {
+                12.0
+            };
             let v = sim.step(i);
             let est = mon.observe(CycleSense {
                 current: i,

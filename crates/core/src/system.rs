@@ -134,7 +134,10 @@ mod tests {
     fn weaker_networks_fault_on_stressor() {
         let sys = DidtSystem::standard().unwrap();
         for pct in [125.0, 150.0, 200.0] {
-            let v = sys.pdn_at(pct).unwrap().simulate(&sys.calibration().stressor());
+            let v = sys
+                .pdn_at(pct)
+                .unwrap()
+                .simulate(&sys.calibration().stressor());
             let vmin = v.iter().copied().fold(f64::INFINITY, f64::min);
             assert!(vmin < sys.v_min(), "{pct}%: {vmin}");
         }
@@ -145,6 +148,10 @@ mod tests {
         // Idle IR drop must stay well inside the band.
         let sys = DidtSystem::standard().unwrap();
         let r = sys.pdn_at(200.0).unwrap().resistance();
-        assert!(STRESSOR_I_LOW * r < 0.03, "idle drop {}", STRESSOR_I_LOW * r);
+        assert!(
+            STRESSOR_I_LOW * r < 0.03,
+            "idle drop {}",
+            STRESSOR_I_LOW * r
+        );
     }
 }

@@ -60,6 +60,6 @@ pub use packet::{wavelet_packet, WaveletPacket};
 pub use scalogram::Scalogram;
 pub use streaming::{StreamCoefficient, StreamingHaar};
 pub use subband::{approximation_signal, detail_signal, subband_decompose};
-pub use transform::{dwt, idwt, WaveletDecomposition};
+pub use transform::{dwt, dwt_into, idwt, DwtScratch, WaveletDecomposition};
 pub use variance::{scale_variances, wavelet_variance, ScaleVariance};
 pub use wavelet::{Daubechies4, Haar, Wavelet};

@@ -295,7 +295,12 @@ impl WaveletPacket {
         while bands.len() > 1 {
             let mut merged = Vec::with_capacity(bands.len() / 2);
             for pair in bands.chunks(2) {
-                merged.push(synthesize_step(&pair[0], &pair[1], &self.lowpass, &self.highpass));
+                merged.push(synthesize_step(
+                    &pair[0],
+                    &pair[1],
+                    &self.lowpass,
+                    &self.highpass,
+                ));
             }
             bands = merged;
         }

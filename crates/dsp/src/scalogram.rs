@@ -113,8 +113,8 @@ impl Scalogram {
                 } else {
                     0.0
                 };
-                let idx = ((norm * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx =
+                    ((norm * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 for _ in 0..span {
                     out.push(SHADES[idx] as char);
                 }

@@ -228,7 +228,10 @@ mod tests {
         }
         // Coefficients complete at odd positions: level 1 every 2 samples,
         // +level 2 every 4, +level 3 every 8.
-        assert_eq!(per_push, vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 3]);
+        assert_eq!(
+            per_push,
+            vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 3]
+        );
     }
 
     #[test]

@@ -50,7 +50,28 @@ pub struct WaveletDecomposition {
     wavelet_name: &'static str,
 }
 
+impl Default for WaveletDecomposition {
+    fn default() -> Self {
+        WaveletDecomposition::empty()
+    }
+}
+
 impl WaveletDecomposition {
+    /// An empty decomposition with no levels, usable as the reusable
+    /// output slot of [`dwt_into`](crate::transform::dwt_into) without a
+    /// priming [`dwt`](crate::transform::dwt) call.
+    #[must_use]
+    pub fn empty() -> Self {
+        WaveletDecomposition {
+            approx: Vec::new(),
+            details: Vec::new(),
+            signal_len: 0,
+            lowpass: Vec::new(),
+            highpass: Vec::new(),
+            wavelet_name: "",
+        }
+    }
+
     /// Number of detail levels.
     #[must_use]
     pub fn levels(&self) -> usize {
@@ -196,6 +217,65 @@ pub fn dwt<W: Wavelet + ?Sized>(
     wavelet: &W,
     levels: usize,
 ) -> Result<WaveletDecomposition, DspError> {
+    let mut out = WaveletDecomposition::empty();
+    let mut scratch = DwtScratch::new();
+    dwt_into(signal, wavelet, levels, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable working storage for [`dwt_into`].
+///
+/// The batch [`dwt`] allocates one `Vec` per pyramid level per call;
+/// sweep loops that decompose hundreds of thousands of fixed-size
+/// windows (the §4.1 characterization pipeline) instead keep one
+/// `DwtScratch` plus one output [`WaveletDecomposition`] and reuse both,
+/// making the per-window transform allocation-free after the first call.
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::{dwt, dwt_into, transform::DwtScratch, wavelet::Haar};
+///
+/// # fn main() -> Result<(), didt_dsp::DspError> {
+/// let mut scratch = DwtScratch::new();
+/// let mut out = dwt(&[0.0; 8], &Haar, 3)?; // any decomposition to reuse
+/// for window in [[1.0; 8], [2.0; 8]] {
+///     dwt_into(&window, &Haar, 3, &mut scratch, &mut out)?;
+///     assert_eq!(out.approximation().len(), 1);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DwtScratch {
+    buf: Vec<f64>,
+}
+
+impl DwtScratch {
+    /// An empty scratch buffer (grows to fit on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        DwtScratch::default()
+    }
+}
+
+/// Compute the DWT of `signal` into an existing decomposition,
+/// reusing `out`'s coefficient storage and `scratch`'s working buffer.
+///
+/// Semantics are identical to [`dwt`]; on success `out` is entirely
+/// overwritten (previous contents, wavelet and shape are discarded).
+/// On error `out` is left in an unspecified but valid state.
+///
+/// # Errors
+///
+/// Exactly the conditions of [`dwt`].
+pub fn dwt_into<W: Wavelet + ?Sized>(
+    signal: &[f64],
+    wavelet: &W,
+    levels: usize,
+    scratch: &mut DwtScratch,
+    out: &mut WaveletDecomposition,
+) -> Result<(), DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
@@ -210,9 +290,23 @@ pub fn dwt<W: Wavelet + ?Sized>(
     }
     let h = wavelet.lowpass();
     let g = wavelet.highpass();
-    let mut approx = signal.to_vec();
-    let mut details = Vec::with_capacity(levels);
-    for _ in 0..levels {
+    if out.lowpass != h {
+        out.lowpass.clear();
+        out.lowpass.extend_from_slice(h);
+        out.highpass.clear();
+        out.highpass.extend_from_slice(g);
+    }
+    out.wavelet_name = wavelet.name();
+    out.signal_len = signal.len();
+    out.details.truncate(levels);
+    out.details.resize(levels, Vec::new());
+
+    // `approx` holds the current pyramid input, `out.approx` the output
+    // of each step; they swap roles every level.
+    let approx = &mut scratch.buf;
+    approx.clear();
+    approx.extend_from_slice(signal);
+    for level in 0..levels {
         let n = approx.len();
         if n < h.len() {
             return Err(DspError::BadLength {
@@ -221,8 +315,12 @@ pub fn dwt<W: Wavelet + ?Sized>(
             });
         }
         let half = n / 2;
-        let mut next_a = vec![0.0; half];
-        let mut d = vec![0.0; half];
+        let d = &mut out.details[level];
+        d.clear();
+        d.resize(half, 0.0);
+        let next_a = &mut out.approx;
+        next_a.clear();
+        next_a.resize(half, 0.0);
         for k in 0..half {
             let mut sa = 0.0;
             let mut sd = 0.0;
@@ -234,17 +332,11 @@ pub fn dwt<W: Wavelet + ?Sized>(
             next_a[k] = sa;
             d[k] = sd;
         }
-        details.push(d);
-        approx = next_a;
+        std::mem::swap(approx, next_a);
     }
-    Ok(WaveletDecomposition {
-        approx,
-        details,
-        signal_len: signal.len(),
-        lowpass: h.to_vec(),
-        highpass: g.to_vec(),
-        wavelet_name: wavelet.name(),
-    })
+    // The final approximation ended up in `scratch.buf` after the swap.
+    std::mem::swap(&mut out.approx, &mut scratch.buf);
+    Ok(())
 }
 
 /// Invert a wavelet decomposition, reconstructing the original signal.
@@ -338,7 +430,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_preserved() {
-        let s: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin() * 3.0 + 1.0).collect();
+        let s: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.17).sin() * 3.0 + 1.0)
+            .collect();
         let sig_energy: f64 = s.iter().map(|x| x * x).sum();
         for w in [&Haar as &dyn Wavelet, &Daubechies4] {
             let d = dwt(&s, w, 5).unwrap();
@@ -363,7 +457,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_energy_in_finest_detail() {
-        let s: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let d = dwt(&s, &Haar, 3).unwrap();
         let total: f64 = s.iter().map(|x| x * x).sum();
         assert!((d.detail_energy(1).unwrap() - total).abs() < 1e-10);
@@ -393,7 +489,10 @@ mod tests {
     #[test]
     fn rejects_empty_zero_levels_and_bad_length() {
         assert!(matches!(dwt(&[], &Haar, 1), Err(DspError::EmptySignal)));
-        assert!(matches!(dwt(&[1.0; 8], &Haar, 0), Err(DspError::ZeroLevels)));
+        assert!(matches!(
+            dwt(&[1.0; 8], &Haar, 0),
+            Err(DspError::ZeroLevels)
+        ));
         assert!(matches!(
             dwt(&[1.0; 12], &Haar, 3),
             Err(DspError::BadLength { .. })
@@ -439,6 +538,48 @@ mod tests {
                 assert!((rs[k] - (2.0 * ra[k] + 3.0 * rb[k])).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn dwt_into_matches_batch_dwt_and_reuses_storage() {
+        let mut scratch = DwtScratch::new();
+        let mut out = dwt(&[0.0; 16], &Haar, 2).unwrap();
+        for (i, w) in [&Haar as &dyn Wavelet, &Daubechies4]
+            .into_iter()
+            .enumerate()
+        {
+            for levels in 1..=3 {
+                let s: Vec<f64> = (0..48)
+                    .map(|k| ((k * 13 + i * 7) % 17) as f64 - 8.0)
+                    .collect();
+                dwt_into(&s, w, levels, &mut scratch, &mut out).unwrap();
+                let batch = dwt(&s, w, levels).unwrap();
+                assert_eq!(out, batch, "{} levels {levels}", w.name());
+            }
+        }
+        // Reused output remains invertible.
+        let s: Vec<f64> = (0..32).map(|k| (k as f64 * 0.7).sin()).collect();
+        dwt_into(&s, &Haar, 5, &mut scratch, &mut out).unwrap();
+        let r = idwt(&out).unwrap();
+        assert!(close(&s, &r, 1e-10));
+    }
+
+    #[test]
+    fn dwt_into_propagates_errors() {
+        let mut scratch = DwtScratch::new();
+        let mut out = dwt(&[0.0; 8], &Haar, 1).unwrap();
+        assert!(matches!(
+            dwt_into(&[], &Haar, 1, &mut scratch, &mut out),
+            Err(DspError::EmptySignal)
+        ));
+        assert!(matches!(
+            dwt_into(&[1.0; 8], &Haar, 0, &mut scratch, &mut out),
+            Err(DspError::ZeroLevels)
+        ));
+        assert!(matches!(
+            dwt_into(&[1.0; 12], &Haar, 3, &mut scratch, &mut out),
+            Err(DspError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn single_scale_signal_concentrates_variance() {
         // Period-2 alternation: all variance on level 1.
-        let s: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let d = dwt(&s, &Haar, 6).unwrap();
         let scales = scale_variances(&d).unwrap();
         assert!((scales[0].variance - 1.0).abs() < 1e-10);

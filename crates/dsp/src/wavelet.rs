@@ -117,7 +117,11 @@ mod tests {
         let eh: f64 = h.iter().map(|x| x * x).sum();
         let eg: f64 = g.iter().map(|x| x * x).sum();
         assert!((eh - 1.0).abs() < 1e-12, "{} lowpass energy {eh}", w.name());
-        assert!((eg - 1.0).abs() < 1e-12, "{} highpass energy {eg}", w.name());
+        assert!(
+            (eg - 1.0).abs() < 1e-12,
+            "{} highpass energy {eg}",
+            w.name()
+        );
         // Low/high orthogonality.
         let dot: f64 = h.iter().zip(g).map(|(a, b)| a * b).sum();
         assert!(dot.abs() < 1e-12, "{} h·g = {dot}", w.name());

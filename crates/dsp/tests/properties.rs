@@ -10,9 +10,7 @@ use proptest::prelude::*;
 
 /// Signals of power-of-two length 8..=256 with bounded values.
 fn signal_strategy() -> impl Strategy<Value = Vec<f64>> {
-    (3u32..=8).prop_flat_map(|log_n| {
-        prop::collection::vec(-100.0..100.0f64, 1usize << log_n)
-    })
+    (3u32..=8).prop_flat_map(|log_n| prop::collection::vec(-100.0..100.0f64, 1usize << log_n))
 }
 
 proptest! {

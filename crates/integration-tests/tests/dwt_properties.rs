@@ -1,0 +1,120 @@
+//! Property tests for the DWT machinery: perfect reconstruction on
+//! lengths that are *not* powers of two (any multiple of `2^levels` is
+//! legal), for both the Haar and Daubechies-4 bases; orthonormal energy
+//! conservation (Parseval); and the per-scale variance decomposition of
+//! `didt_dsp::variance` summing back to the signal's population
+//! variance at full depth.
+
+use didt_dsp::wavelet::{Daubechies4, Haar, Wavelet};
+use didt_dsp::{dwt, dwt_into, idwt, scale_variances, DwtScratch, WaveletDecomposition};
+use proptest::prelude::*;
+
+fn reconstruction_error(signal: &[f64], wavelet: &dyn Wavelet, levels: usize) -> f64 {
+    let d = dwt(signal, wavelet, levels).unwrap();
+    let r = idwt(&d).unwrap();
+    signal
+        .iter()
+        .zip(&r)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+fn energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+proptest! {
+    /// Lengths like 24, 48, 96, 72 — divisible by `2^levels` yet far
+    /// from a power of two — must reconstruct exactly, Haar and D4.
+    #[test]
+    fn roundtrip_on_non_power_of_two_lengths(
+        m in 3usize..=9,
+        levels in 1usize..=3,
+        raw in prop::collection::vec(-100.0f64..100.0, 96..=96),
+    ) {
+        let len = m << levels;
+        prop_assume!(len <= raw.len());
+        let signal = &raw[..len];
+        prop_assert!(reconstruction_error(signal, &Haar, levels) < 1e-9);
+        prop_assert!(reconstruction_error(signal, &Daubechies4, levels) < 1e-9);
+    }
+
+    /// Daubechies-4 at full depth on power-of-two windows.
+    #[test]
+    fn daubechies4_full_depth_roundtrip(
+        pow in 3u32..=7,
+        raw in prop::collection::vec(-50.0f64..50.0, 128..=128),
+    ) {
+        let len = 1usize << pow;
+        let signal = &raw[..len];
+        // D4's 4-tap filter needs the coarsest pyramid level to keep at
+        // least 4 samples: cap the depth accordingly.
+        let levels = (pow as usize).saturating_sub(1).max(1);
+        prop_assert!(reconstruction_error(signal, &Daubechies4, levels) < 1e-9);
+    }
+
+    /// Orthonormal bases conserve energy across the transform:
+    /// `||s||^2 = ||a||^2 + sum_j ||d_j||^2` (Parseval).
+    #[test]
+    fn transform_conserves_energy(
+        m in 2usize..=8,
+        levels in 1usize..=4,
+        raw in prop::collection::vec(-10.0f64..10.0, 128..=128),
+    ) {
+        let len = m << levels;
+        prop_assume!(len <= raw.len());
+        let signal = &raw[..len];
+        for wavelet in [&Haar as &dyn Wavelet, &Daubechies4] {
+            let d = dwt(signal, wavelet, levels).unwrap();
+            let mut coeff_energy = energy(d.approximation());
+            for level in 1..=levels {
+                coeff_energy += energy(d.detail(level).unwrap());
+            }
+            let sig_energy = energy(signal);
+            prop_assert!(
+                (coeff_energy - sig_energy).abs() <= 1e-9 * sig_energy.max(1.0),
+                "{}: {} vs {}", wavelet.name(), coeff_energy, sig_energy
+            );
+        }
+    }
+
+    /// Parseval in `didt_dsp::variance`: at full decomposition depth the
+    /// per-scale variances sum to the signal's population variance.
+    #[test]
+    fn scale_variances_sum_to_population_variance(
+        pow in 3u32..=8,
+        raw in prop::collection::vec(-25.0f64..25.0, 256..=256),
+    ) {
+        let len = 1usize << pow;
+        let signal = &raw[..len];
+        let d = dwt(signal, &Haar, pow as usize).unwrap();
+        let scales = scale_variances(&d).unwrap();
+        let total: f64 = scales.iter().map(|s| s.variance).sum();
+        let mean = signal.iter().sum::<f64>() / len as f64;
+        let pop_var = signal.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / len as f64;
+        prop_assert!(
+            (total - pop_var).abs() <= 1e-9 * pop_var.max(1.0),
+            "sum {} vs population variance {}", total, pop_var
+        );
+    }
+
+    /// The in-place scratch path agrees with the batch transform even
+    /// when one scratch/output pair is reused across differently shaped
+    /// decompositions.
+    #[test]
+    fn scratch_path_matches_batch(
+        m in 2usize..=6,
+        levels in 1usize..=3,
+        raw in prop::collection::vec(-100.0f64..100.0, 64..=64),
+    ) {
+        let len = m << levels;
+        prop_assume!(len <= raw.len());
+        let signal = &raw[..len];
+        let mut scratch = DwtScratch::new();
+        let mut out = WaveletDecomposition::empty();
+        for wavelet in [&Haar as &dyn Wavelet, &Daubechies4] {
+            dwt_into(signal, wavelet, levels, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out, &dwt(signal, wavelet, levels).unwrap());
+        }
+    }
+}

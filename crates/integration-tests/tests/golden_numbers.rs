@@ -1,0 +1,143 @@
+//! Golden-number regressions for the figure/table experiments.
+//!
+//! Scaled-down, fixed-seed versions of `fig08_level_truncation` and
+//! `tab02_scheme_comparison`: every quantity below is fully
+//! deterministic (seeds derive from point identity, simulations are
+//! pure f64 arithmetic), so the goldens are exact for integer counts
+//! and tight-tolerance for floats. A change in any of these numbers
+//! means the modelled physics, the workload generator, or the seeding
+//! scheme changed — which must be a deliberate, reviewed decision.
+
+use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext};
+use didt_core::characterize::{ScaleGainModel, VarianceModel};
+use didt_uarch::{capture_trace, Benchmark};
+
+/// Tolerance for golden floats: far wider than f64 noise (the runs are
+/// bit-deterministic), far tighter than any behavioural change.
+const TOL: f64 = 1e-6;
+
+/// Scaled-down Figure 8: truncation error (4 of 8 levels) on short
+/// fixed-seed traces against the 150 % network.
+#[test]
+fn fig08_level_truncation_goldens() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let gains = ScaleGainModel::calibrate(&pdn, 256, 0xCAB1).unwrap();
+    let full = VarianceModel::new(gains.clone());
+    let cut = VarianceModel::with_level_budget(gains, 4);
+
+    let golden = [(Benchmark::Crafty, 14.799268), (Benchmark::Swim, 8.043031)];
+    let actual: Vec<f64> = golden
+        .iter()
+        .map(|&(bench, _)| {
+            let trace = capture_trace(
+                bench,
+                ctx.system().processor(),
+                0xD1D7_2004,
+                20_000,
+                1 << 14,
+            );
+            let mut err_sum = 0.0;
+            let mut var_sum = 0.0;
+            for window in trace.samples.chunks_exact(256) {
+                let vf = full.estimate(window).unwrap().v_variance;
+                let vc = cut.estimate(window).unwrap().v_variance;
+                err_sum += (vf - vc).abs();
+                var_sum += vf;
+            }
+            let rel_pct = 100.0 * err_sum / var_sum;
+            eprintln!("fig08 golden {}: {rel_pct:.6}", bench.name());
+            rel_pct
+        })
+        .collect();
+    for (&(bench, want_pct), &rel_pct) in golden.iter().zip(&actual) {
+        assert!(
+            (rel_pct - want_pct).abs() < TOL,
+            "{}: truncation error {rel_pct:.6}% != golden {want_pct:.6}%",
+            bench.name()
+        );
+    }
+}
+
+/// Scaled-down Table 2: the four control schemes on two benchmarks at
+/// 150 % impedance through the sweep runner. Emergency counts are
+/// integers and must match exactly; slowdown percentages to `TOL`.
+#[test]
+fn tab02_scheme_comparison_goldens() {
+    let ctx = SweepContext::standard().unwrap();
+    let points = Sweep::new()
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Swim])
+        .pdn_pcts(&[150.0])
+        .monitor_terms(&[13])
+        .controllers(&[
+            ControllerSpec::AnalogThreshold {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+            },
+            ControllerSpec::FullConvolution {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+            },
+            ControllerSpec::PipelineDamping {
+                window: 15,
+                max_delta: 6.0,
+            },
+            ControllerSpec::WaveletThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+            },
+        ])
+        .points();
+    let run = RunParams {
+        instructions: 5_000,
+        warmup_cycles: 2_000,
+    };
+    let results = ctx.run_sweep(&ExperimentRunner::from_env(), &points, run);
+    assert_eq!(results.len(), 8);
+
+    // (scheme tag, summed slowdown %, summed residual emergencies).
+    let golden: [(&str, f64, u64); 4] = [
+        ("analog-sensor", 0.249264, 3),
+        ("full-convolution", 0.200578, 12),
+        ("pipeline-damping", 3.309055, 0),
+        ("wavelet-convolution", 0.102384, 3),
+    ];
+    let actual: Vec<(f64, u64)> = golden
+        .iter()
+        .map(|&(tag, _, _)| {
+            let mut slowdown = 0.0;
+            let mut emergencies = 0u64;
+            for r in results.iter().filter(|r| r.point.controller.tag() == tag) {
+                slowdown += r.slowdown_pct();
+                emergencies += r.controlled.emergencies();
+            }
+            eprintln!("tab02 golden {tag}: slowdown {slowdown:.6} emergencies {emergencies}");
+            (slowdown, emergencies)
+        })
+        .collect();
+    for (&(tag, want_slowdown, want_emergencies), &(slowdown, emergencies)) in
+        golden.iter().zip(&actual)
+    {
+        assert_eq!(
+            emergencies, want_emergencies,
+            "{tag}: residual emergencies changed"
+        );
+        assert!(
+            (slowdown - want_slowdown).abs() < TOL,
+            "{tag}: slowdown {slowdown:.6}% != golden {want_slowdown:.6}%"
+        );
+    }
+
+    // The uncontrolled baseline is part of the golden contract too.
+    let base: u64 = results
+        .iter()
+        .filter(|r| r.point.controller.tag() == "analog-sensor")
+        .map(|r| r.baseline.emergencies())
+        .sum();
+    eprintln!("tab02 golden baseline emergencies: {base}");
+    assert_eq!(base, 30, "uncontrolled baseline emergencies changed");
+}

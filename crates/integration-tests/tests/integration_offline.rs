@@ -115,12 +115,8 @@ fn trace_fitted_gains_also_predict() {
     let pdn = sys.pdn_at(150.0).expect("pdn");
     let t1 = capture_trace(Benchmark::Vpr, sys.processor(), 1, 50_000, 1 << 15);
     let t2 = capture_trace(Benchmark::Applu, sys.processor(), 1, 50_000, 1 << 15);
-    let gains = ScaleGainModel::calibrate_from_traces(
-        &pdn,
-        64,
-        &[&t1.samples, &t2.samples],
-    )
-    .expect("trace fit");
+    let gains = ScaleGainModel::calibrate_from_traces(&pdn, 64, &[&t1.samples, &t2.samples])
+        .expect("trace fit");
     let model = VarianceModel::new(gains);
     let t3 = capture_trace(Benchmark::Gap, sys.processor(), 2, 50_000, 1 << 15);
     let est = EmergencyEstimator::new(model, 0.97);

@@ -8,7 +8,11 @@ use didt_core::DidtSystem;
 use didt_uarch::{capture_trace, Benchmark};
 
 /// Worst and RMS estimation error of a monitor over a benchmark trace.
-fn errors(monitor: &mut dyn VoltageMonitor, trace: &[f64], pdn: &didt_pdn::SecondOrderPdn) -> (f64, f64) {
+fn errors(
+    monitor: &mut dyn VoltageMonitor,
+    trace: &[f64],
+    pdn: &didt_pdn::SecondOrderPdn,
+) -> (f64, f64) {
     let mut sim = pdn.simulator();
     let mut worst = 0.0f64;
     let mut sq = 0.0;

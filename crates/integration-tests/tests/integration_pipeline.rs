@@ -1,8 +1,7 @@
 //! Cross-crate integration: closed-loop control around the live pipeline.
 
 use didt_core::control::{
-    ClosedLoop, ClosedLoopConfig, DidtController, NoControl, PipelineDamping,
-    ThresholdController,
+    ClosedLoop, ClosedLoopConfig, DidtController, NoControl, PipelineDamping, ThresholdController,
 };
 use didt_core::monitor::{AnalogSensor, WaveletMonitorDesign};
 use didt_core::DidtSystem;
@@ -24,10 +23,13 @@ fn harness(bench: Benchmark, pct: f64) -> (DidtSystem, ClosedLoop) {
 fn wavelet_control_reduces_emergencies_with_small_slowdown() {
     let (sys, h) = harness(Benchmark::Swim, 150.0);
     let base = h.run(&mut NoControl).expect("baseline");
-    assert!(base.emergencies() > 0, "swim must produce emergencies at 150%");
-    let design =
-        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
-    let mut ctl = ThresholdController::new(design.build(13, 1).expect("monitor"), 0.975, 1.025, 0.004);
+    assert!(
+        base.emergencies() > 0,
+        "swim must produce emergencies at 150%"
+    );
+    let design = WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let mut ctl =
+        ThresholdController::new(design.build(13, 1).expect("monitor"), 0.975, 1.025, 0.004);
     let controlled = h.run(&mut ctl).expect("controlled");
     assert!(
         (controlled.emergencies() as f64) < 0.5 * base.emergencies() as f64,
@@ -45,8 +47,7 @@ fn wavelet_control_reduces_emergencies_with_small_slowdown() {
 #[test]
 fn damping_engages_far_more_than_voltage_monitors() {
     let (sys, h) = harness(Benchmark::Gzip, 150.0);
-    let design =
-        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let design = WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
     let mut wavelet =
         ThresholdController::new(design.build(13, 1).expect("monitor"), 0.97, 1.03, 0.004);
     let mut damping = PipelineDamping::new(15, 6.0);
@@ -70,17 +71,13 @@ fn sensor_delay_costs_protection() {
     };
     let fast = run(0, &h);
     let slow = run(6, &h);
-    assert!(
-        fast <= slow,
-        "0-delay {fast} emergencies vs 6-delay {slow}"
-    );
+    assert!(fast <= slow, "0-delay {fast} emergencies vs 6-delay {slow}");
 }
 
 #[test]
 fn control_is_reproducible() {
     let (sys, h) = harness(Benchmark::Twolf, 150.0);
-    let design =
-        WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
+    let design = WaveletMonitorDesign::new(&sys.pdn_at(150.0).expect("pdn"), 256).expect("design");
     let mut c1 = ThresholdController::new(design.build(13, 1).expect("m"), 0.97, 1.03, 0.004);
     let mut c2 = ThresholdController::new(design.build(13, 1).expect("m"), 0.97, 1.03, 0.004);
     let a = h.run(&mut c1).expect("run a");

@@ -199,10 +199,7 @@ mod tests {
     fn baseline_grazes_the_band() {
         let cal = calibrated();
         let v = cal.baseline().simulate(&cal.stressor());
-        let worst = v
-            .iter()
-            .map(|&x| (x - 1.0).abs())
-            .fold(0.0f64, f64::max);
+        let worst = v.iter().map(|&x| (x - 1.0).abs()).fold(0.0f64, f64::max);
         assert!((worst - 0.05).abs() < 1e-3, "worst excursion {worst}");
     }
 

@@ -31,7 +31,6 @@ use didt_dsp::Complex;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SecondOrderPdn {
     resistance: f64,
     inductance: f64,
@@ -105,7 +104,10 @@ impl SecondOrderPdn {
             });
         }
         if !(q > 0.0 && q.is_finite()) {
-            return Err(PdnError::InvalidParameter { name: "q", value: q });
+            return Err(PdnError::InvalidParameter {
+                name: "q",
+                value: q,
+            });
         }
         let w0 = 2.0 * std::f64::consts::PI * f0_hz;
         let inductance = q * r_dc / w0;
@@ -224,11 +226,7 @@ impl SecondOrderPdn {
             1.0,
         );
         let a0 = a0s + a1s * k + a2s * k * k;
-        let b = [
-            (b0s + b1s * k) / a0,
-            (2.0 * b0s) / a0,
-            (b0s - b1s * k) / a0,
-        ];
+        let b = [(b0s + b1s * k) / a0, (2.0 * b0s) / a0, (b0s - b1s * k) / a0];
         let a = [
             (2.0 * a0s - 2.0 * a2s * k * k) / a0,
             (a0s - a1s * k + a2s * k * k) / a0,
@@ -373,7 +371,10 @@ mod tests {
         }
         // Peak ≈ Q² · R for high Q.
         let expect = pdn.q_factor() * pdn.q_factor() * pdn.resistance();
-        assert!((z0 - expect).abs() / expect < 0.02, "z0 = {z0}, expect {expect}");
+        assert!(
+            (z0 - expect).abs() / expect < 0.02,
+            "z0 = {z0}, expect {expect}"
+        );
     }
 
     #[test]
@@ -398,7 +399,8 @@ mod tests {
                     peak = peak.max(y.abs());
                 }
             }
-            let warped_hz = k * (std::f64::consts::PI * f / fs).tan() / (2.0 * std::f64::consts::PI);
+            let warped_hz =
+                k * (std::f64::consts::PI * f / fs).tan() / (2.0 * std::f64::consts::PI);
             let want = pdn.impedance_at(warped_hz);
             assert!(
                 (peak - want).abs() / want < 0.01,
@@ -485,7 +487,13 @@ mod tests {
         let period = pdn.resonant_period_cycles() as usize; // 30 cycles
         let make_square = |p: usize| -> Vec<f64> {
             (0..6000)
-                .map(|n| if (n / (p / 2)).is_multiple_of(2) { 60.0 } else { 20.0 })
+                .map(|n| {
+                    if (n / (p / 2)).is_multiple_of(2) {
+                        60.0
+                    } else {
+                        20.0
+                    }
+                })
                 .collect()
         };
         let v_res = pdn.simulate(&make_square(period));

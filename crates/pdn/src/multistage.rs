@@ -205,7 +205,9 @@ mod tests {
     fn impulse_response_is_section_sum_and_simulation_matches() {
         let pdn = two_stage();
         let h = pdn.impulse_response(4096);
-        let i: Vec<f64> = (0..800).map(|n| 30.0 + 15.0 * ((n as f64) * 0.2).sin()).collect();
+        let i: Vec<f64> = (0..800)
+            .map(|n| 30.0 + 15.0 * ((n as f64) * 0.2).sin())
+            .collect();
         let v = pdn.simulate(&i);
         let droop = didt_dsp::fir_filter(&i, &h);
         for n in 0..i.len() {

@@ -19,7 +19,12 @@
 /// assert_eq!(i, vec![10.0, 10.0, 2.0, 2.0, 10.0, 10.0, 2.0, 2.0]);
 /// ```
 #[must_use]
-pub fn resonant_square_wave(cycles: usize, period_cycles: usize, i_high: f64, i_low: f64) -> Vec<f64> {
+pub fn resonant_square_wave(
+    cycles: usize,
+    period_cycles: usize,
+    i_high: f64,
+    i_low: f64,
+) -> Vec<f64> {
     if period_cycles < 2 {
         return vec![i_high; cycles];
     }
@@ -48,8 +53,12 @@ mod tests {
 
     #[test]
     fn degenerate_period_is_constant() {
-        assert!(resonant_square_wave(16, 0, 5.0, 1.0).iter().all(|&x| x == 5.0));
-        assert!(resonant_square_wave(16, 1, 5.0, 1.0).iter().all(|&x| x == 5.0));
+        assert!(resonant_square_wave(16, 0, 5.0, 1.0)
+            .iter()
+            .all(|&x| x == 5.0));
+        assert!(resonant_square_wave(16, 1, 5.0, 1.0)
+            .iter()
+            .all(|&x| x == 5.0));
     }
 
     #[test]

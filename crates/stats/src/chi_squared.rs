@@ -76,7 +76,10 @@ impl ChiSquared {
     /// Returns [`StatsError::InvalidParameter`] when `p` is outside (0, 1).
     pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
         if !(p > 0.0 && p < 1.0) {
-            return Err(StatsError::InvalidParameter { name: "p", value: p });
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+            });
         }
         let mut lo = 0.0f64;
         let mut hi = self.dof.max(1.0);

@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_period_two() {
-        let s: Vec<f64> = (0..128).map(|i| if i % 2 == 0 { 2.0 } else { -2.0 }).collect();
+        let s: Vec<f64> = (0..128)
+            .map(|i| if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
         assert!(autocorrelation(&s, 1).unwrap() < -0.95);
         assert!(autocorrelation(&s, 2).unwrap() > 0.9);
     }

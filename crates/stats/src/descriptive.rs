@@ -79,7 +79,10 @@ pub fn std_dev(data: &[f64]) -> f64 {
 /// Minimum of a sample, ignoring NaNs. Returns `f64::INFINITY` when empty.
 #[must_use]
 pub fn min(data: &[f64]) -> f64 {
-    data.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    data.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of a sample, ignoring NaNs. Returns `f64::NEG_INFINITY` when empty.
@@ -324,7 +327,9 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
         let s = Summary::from_slice(&data);
         assert!((s.mean - mean(&data)).abs() < 1e-12);
         assert!((s.variance - variance(&data)).abs() < 1e-10);

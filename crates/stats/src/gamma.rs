@@ -74,10 +74,16 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// ```
 pub fn gamma_p(a: f64, x: f64) -> Result<f64, StatsError> {
     if a <= 0.0 || !a.is_finite() {
-        return Err(StatsError::InvalidParameter { name: "a", value: a });
+        return Err(StatsError::InvalidParameter {
+            name: "a",
+            value: a,
+        });
     }
     if x < 0.0 || !x.is_finite() {
-        return Err(StatsError::InvalidParameter { name: "x", value: x });
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -163,11 +169,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma((n + 1) as f64);
-            assert!(
-                (lg - f.ln()).abs() < 1e-10,
-                "Γ({}) mismatch",
-                n + 1
-            );
+            assert!((lg - f.ln()).abs() < 1e-10, "Γ({}) mismatch", n + 1);
         }
     }
 

@@ -61,7 +61,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -156,7 +156,10 @@ impl Normal {
     /// Returns [`StatsError::InvalidParameter`] when `p` is outside (0, 1).
     pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
         if !(p > 0.0 && p < 1.0) {
-            return Err(StatsError::InvalidParameter { name: "p", value: p });
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+            });
         }
         // Bracket in standard units then refine.
         let mut lo = -40.0f64;

@@ -72,7 +72,10 @@ impl BranchPredictor {
             ("chooser_entries", cfg.chooser_entries),
             ("btb_entries", cfg.btb_entries),
         ] {
-            assert!(n > 0 && n.is_power_of_two(), "{name} must be a power of two");
+            assert!(
+                n > 0 && n.is_power_of_two(),
+                "{name} must be a power of two"
+            );
         }
         // Counters start weakly taken (most branches are loop back-edges)
         // and the chooser starts on bimodal, which trains in two
@@ -268,11 +271,7 @@ mod tests {
             let p = bp.predict(0x300);
             bp.update(0x300, taken, p);
         }
-        assert!(
-            bp.mispredict_rate() > 0.35,
-            "rate {}",
-            bp.mispredict_rate()
-        );
+        assert!(bp.mispredict_rate() > 0.35, "rate {}", bp.mispredict_rate());
     }
 
     #[test]

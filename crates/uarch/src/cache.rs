@@ -54,8 +54,14 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.associativity > 0 && config.associativity <= 255);
         Cache {
             config,
@@ -87,7 +93,10 @@ impl Cache {
         let lru = &mut self.lru[base..base + assoc];
         if let Some(way) = tags.iter().position(|&t| t == line) {
             // Move this way to MRU position.
-            let rank = lru.iter().position(|&w| w as usize == way).expect("way in lru");
+            let rank = lru
+                .iter()
+                .position(|&w| w as usize == way)
+                .expect("way in lru");
             lru[..=rank].rotate_right(1);
             lru[0] = way as u8;
             self.hits += 1;
@@ -377,7 +386,10 @@ mod tests {
                 }
             }
         }
-        assert!(mem_misses < 40, "memory misses {mem_misses} on a pure stream");
+        assert!(
+            mem_misses < 40,
+            "memory misses {mem_misses} on a pure stream"
+        );
     }
 
     #[test]
@@ -408,7 +420,10 @@ mod tests {
             }
         }
         let ratio = misses.0 as f64 / misses.1.max(1) as f64;
-        assert!((0.9..1.1).contains(&ratio), "prefetch changed random-miss rate: {ratio}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "prefetch changed random-miss rate: {ratio}"
+        );
     }
 
     #[test]

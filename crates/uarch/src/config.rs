@@ -2,7 +2,6 @@
 
 /// Cache geometry parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -24,7 +23,6 @@ impl CacheConfig {
 
 /// Branch-predictor configuration: the paper's combined predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PredictorConfig {
     /// Entries in the bimodal table.
     pub bimodal_entries: usize,
@@ -44,7 +42,6 @@ pub struct PredictorConfig {
 
 /// Functional-unit pool sizes and operation latencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FunctionalUnits {
     /// Integer ALUs.
     pub int_alu: u32,
@@ -75,7 +72,6 @@ pub struct FunctionalUnits {
 /// assert_eq!(cfg.clock_hz, 3.0e9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessorConfig {
     /// Core clock in Hz.
     pub clock_hz: f64,

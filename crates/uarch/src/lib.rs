@@ -45,4 +45,6 @@ pub use op::{MicroOp, OpClass};
 pub use pipeline::{ControlAction, CycleOutput, Processor, SimStats};
 pub use power::{CycleActivity, PowerModel};
 pub use trace::{capture_trace, capture_trace_with_events, CurrentTrace, EventTrace};
-pub use workload::{Benchmark, OpMix, ParseBenchmarkError, Suite, WorkloadGenerator, WorkloadProfile};
+pub use workload::{
+    Benchmark, OpMix, ParseBenchmarkError, Suite, WorkloadGenerator, WorkloadProfile,
+};

@@ -2,7 +2,6 @@
 
 /// Operation classes, mirroring SimpleScalar's functional-unit classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpClass {
     /// Integer ALU operation (1 cycle).
     IntAlu,

@@ -47,7 +47,6 @@ pub struct CycleOutput {
 
 /// Aggregate statistics for a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -666,7 +665,12 @@ mod tests {
     fn memory_bound_benchmark_has_low_ipc_and_high_mpki() {
         let (mcf, _) = run(Benchmark::Mcf, 60_000);
         let (gzip, _) = run(Benchmark::Gzip, 60_000);
-        assert!(mcf.ipc() < gzip.ipc(), "mcf {} vs gzip {}", mcf.ipc(), gzip.ipc());
+        assert!(
+            mcf.ipc() < gzip.ipc(),
+            "mcf {} vs gzip {}",
+            mcf.ipc(),
+            gzip.ipc()
+        );
         assert!(
             mcf.l2_mpki() > 3.0 * gzip.l2_mpki().max(0.01),
             "mcf mpki {} gzip mpki {}",
@@ -697,14 +701,31 @@ mod tests {
             normal += cpu.step(ControlAction::Normal).current;
         }
         normal /= 5000.0;
+        // Let in-flight work (up to memory_latency = 250 cycles of it)
+        // drain before measuring: the assertion is about steady-state
+        // stalled current, not the ramp-down.
+        for _ in 0..400 {
+            cpu.step(ControlAction::StallIssue);
+        }
         let mut stalled = 0.0;
         for _ in 0..200 {
             stalled += cpu.step(ControlAction::StallIssue).current;
         }
         stalled /= 200.0;
+        // A stalled machine cannot drop below the clock-tree base plus
+        // the occupancy (CAM) power of the full window it is holding, so
+        // the meaningful property is that stalling eliminates the
+        // event-driven power — current collapses to that idle floor.
+        let m = crate::power::PowerModel::table1();
+        let cfg = ProcessorConfig::table1();
+        let floor = (m.base
+            + m.window_entry * cfg.ruu_entries as f64
+            + m.lsq_entry * cfg.lsq_entries as f64)
+            / cfg.vdd;
+        assert!(stalled < normal, "stalled {stalled} vs normal {normal}");
         assert!(
-            stalled < normal * 0.85,
-            "stalled {stalled} vs normal {normal}"
+            stalled <= floor + 0.1,
+            "stalled {stalled} above idle floor {floor}"
         );
     }
 
@@ -726,7 +747,10 @@ mod tests {
         for _ in 0..100 {
             tail += cpu.step(ControlAction::StallIssue).committed;
         }
-        assert_eq!(tail, 0, "commits during sustained stall (drain saw {committed})");
+        assert_eq!(
+            tail, 0,
+            "commits during sustained stall (drain saw {committed})"
+        );
     }
 
     #[test]
@@ -777,10 +801,7 @@ mod tests {
         let (stats, _) = run(Benchmark::Gcc, 60_000);
         assert!(stats.branches > 500, "branches {}", stats.branches);
         let rate = stats.mispredict_rate();
-        assert!(
-            (0.01..0.4).contains(&rate),
-            "mispredict rate {rate}"
-        );
+        assert!((0.01..0.4).contains(&rate), "mispredict rate {rate}");
     }
 
     #[test]

@@ -185,13 +185,8 @@ mod tests {
 
     #[test]
     fn event_trace_counters_are_monotone_and_consistent() {
-        let t = capture_trace_with_events(
-            Benchmark::Mcf,
-            &ProcessorConfig::table1(),
-            1,
-            20_000,
-            4096,
-        );
+        let t =
+            capture_trace_with_events(Benchmark::Mcf, &ProcessorConfig::table1(), 1, 20_000, 4096);
         assert_eq!(t.l2_misses.len(), 4097);
         assert!(t.l2_misses.windows(2).all(|w| w[0] <= w[1]));
         assert!(t.mispredicts.windows(2).all(|w| w[0] <= w[1]));
@@ -206,7 +201,8 @@ mod tests {
     #[test]
     fn event_trace_current_matches_plain_capture() {
         let a = capture_trace(Benchmark::Eon, &ProcessorConfig::table1(), 3, 5_000, 1024);
-        let b = capture_trace_with_events(Benchmark::Eon, &ProcessorConfig::table1(), 3, 5_000, 1024);
+        let b =
+            capture_trace_with_events(Benchmark::Eon, &ProcessorConfig::table1(), 3, 5_000, 1024);
         assert_eq!(a.samples, b.trace.samples);
     }
 

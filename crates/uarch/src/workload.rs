@@ -25,7 +25,6 @@ use rand::{Rng, SeedableRng};
 
 /// Which SPEC suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Suite {
     /// SPECint 2000.
     Int,
@@ -36,7 +35,6 @@ pub enum Suite {
 /// Fractions of each operation class in the dynamic instruction mix.
 /// Fields need not be normalized; the generator normalizes.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpMix {
     /// Loads.
     pub load: f64,
@@ -122,7 +120,6 @@ pub struct WorkloadProfile {
 
 /// The 26 SPEC CPU2000 benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)]
 pub enum Benchmark {
     Gzip,
@@ -160,8 +157,8 @@ impl Benchmark {
         use Benchmark::*;
         [
             Gzip, Wupwise, Swim, Mgrid, Applu, Vpr, Gcc, Mesa, Galgel, Art, Mcf, Equake, Crafty,
-            Facerec, Ammp, Lucas, Fma3d, Parser, Sixtrack, Eon, Perlbmk, Gap, Vortex, Bzip2,
-            Twolf, Apsi,
+            Facerec, Ammp, Lucas, Fma3d, Parser, Sixtrack, Eon, Perlbmk, Gap, Vortex, Bzip2, Twolf,
+            Apsi,
         ]
     }
 
@@ -211,7 +208,7 @@ impl Benchmark {
             mix: int_mix(0.25, 0.10, 0.15),
             dep_density: 0.75,
             dep_mean_distance: 4.0,
-            hot_ws_lines: 512,   // 32 KB: fits L1
+            hot_ws_lines: 512,     // 32 KB: fits L1
             cold_ws_lines: 65_536, // 4 MB
             cold_frac: 0.02,
             stream_frac: 0.20,
@@ -567,7 +564,9 @@ impl std::str::FromStr for Benchmark {
         Benchmark::all()
             .into_iter()
             .find(|b| b.name() == s)
-            .ok_or_else(|| ParseBenchmarkError { name: s.to_string() })
+            .ok_or_else(|| ParseBenchmarkError {
+                name: s.to_string(),
+            })
     }
 }
 
@@ -873,9 +872,7 @@ mod tests {
     fn fp_benchmarks_emit_fp_ops() {
         let counts = WorkloadGenerator::new(Benchmark::Swim.profile(), 1)
             .take(10_000)
-            .filter(|u| {
-                matches!(u.op, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv)
-            })
+            .filter(|u| matches!(u.op, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv))
             .count();
         assert!(counts > 2000, "fp ops {counts}");
     }

@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decomp = dwt(&signal, &Haar, 2)?;
     println!("coefficient matrix (orthonormal Haar):");
     println!("  a[k]    = {:?}", rounded(decomp.approximation()));
-    println!("  d[2][k] = {:?}  (coarse details)", rounded(decomp.detail(2)?));
-    println!("  d[1][k] = {:?}  (fine details)\n", rounded(decomp.detail(1)?));
+    println!(
+        "  d[2][k] = {:?}  (coarse details)",
+        rounded(decomp.detail(2)?)
+    );
+    println!(
+        "  d[1][k] = {:?}  (fine details)\n",
+        rounded(decomp.detail(1)?)
+    );
 
     let bands = subband_decompose(&decomp)?;
     println!("subband signals (approximation first, then fine → coarse):");

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups, and [`BenchmarkId`] — implemented as a simple
+//! wall-clock timer: warm up, then run `sample_size` samples of
+//! adaptively-batched iterations and report the median per-iteration
+//! time. No statistics machinery, plots, or baselines; the point is
+//! that `cargo bench` compiles, runs, and prints usable numbers
+//! without network access.
+
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Median per-iteration nanoseconds, filled by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, batching iterations so each sample lasts long
+    /// enough for the clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // rough per-iteration cost to size batches.
+        let warmup_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warmup_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_secs_f64() / iters_done.max(1) as f64;
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time.as_secs_f64();
+        let batch = ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        sample_ns.sort_by(f64::total_cmp);
+        self.result_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+fn humanize(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            config: self,
+            result_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!("{:<48} {}", id.id, humanize(b.result_ns));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = BenchmarkId {
+            id: format!("{}/{}", self.name, id.id),
+        };
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Run one benchmark that borrows a setup input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (accepted for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, optionally with a shared
+/// configuration, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn times_a_trivial_function() {
+        quick().bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.bench_function(format!("window_{}", 8), |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert!(humanize(12.0).contains("ns"));
+        assert!(humanize(12_000.0).contains("µs"));
+        assert!(humanize(12_000_000.0).contains("ms"));
+    }
+}
