@@ -6,11 +6,12 @@
 //! swapped for Lilliefors, holding everything else fixed. The headline
 //! results (which classes are Gaussian) should be classifier-robust.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::{GaussianityStudy, NormalityTest};
 use didt_uarch::Benchmark;
 
 fn main() {
+    let mut exp = Experiment::start("ablation_classifier");
     let sys = standard_system();
     let chi = GaussianityStudy::new(0.95, 0x6A55);
     let ks = GaussianityStudy::new(0.95, 0x6A55).with_test(NormalityTest::Lilliefors);
@@ -57,7 +58,9 @@ fn main() {
     }
     print!("{}", t.render());
     let corr = didt_stats::pearson(&rank_chi, &rank_ks).unwrap_or(0.0);
+    exp.golden("classifier_correlation", corr);
     println!("\ncorrelation between classifiers across benchmarks: {corr:.3}");
     println!("takeaway: the Gaussian/non-Gaussian class structure is a property of the");
     println!("traces, not an artifact of the chi-squared test");
+    exp.finish().expect("manifest write");
 }

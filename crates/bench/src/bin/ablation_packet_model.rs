@@ -5,13 +5,14 @@
 //! impedance peak more closely than octave DWT scales — does that help
 //! the emergency estimate?
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::{
     EmergencyEstimator, PacketVarianceModel, ScaleGainModel, VarianceModel,
 };
 use didt_uarch::Benchmark;
 
 fn main() {
+    let mut exp = Experiment::start("ablation_packet_model");
     let sys = standard_system();
     let pdn = sys.pdn_at(150.0).expect("pdn");
     let dwt_model = VarianceModel::new(ScaleGainModel::calibrate(&pdn, 64, 0xCAB1).expect("dwt"));
@@ -38,6 +39,8 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+    exp.golden("rms_error_pct.dwt_scales", (sq.0 / n as f64).sqrt());
+    exp.golden("rms_error_pct.packet_bands", (sq.1 / n as f64).sqrt());
     println!(
         "\nRMS error: dwt-scales {:.2}%, packet-bands {:.2}%  (paper's dwt model: 0.94%)",
         (sq.0 / n as f64).sqrt(),
@@ -46,4 +49,5 @@ fn main() {
     println!("takeaway: the octave DWT model already captures the resonance well at");
     println!("64-cycle windows; uniform bands mainly help when the supply's peak is");
     println!("narrower than an octave");
+    exp.finish().expect("manifest write");
 }

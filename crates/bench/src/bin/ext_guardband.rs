@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use didt_bench::TextTable;
-use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext};
+use didt_bench::{ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext};
 use didt_uarch::Benchmark;
 
 const BENCHES: [Benchmark; 4] = [
@@ -42,6 +42,7 @@ const WAVELET: ControllerSpec = ControllerSpec::WaveletThreshold {
 fn run_mix(
     ctx: &Arc<SweepContext>,
     runner: &ExperimentRunner,
+    exp: &mut Experiment,
     pct: f64,
     controlled: bool,
 ) -> (f64, u64) {
@@ -56,7 +57,8 @@ fn run_mix(
         .monitor_terms(&[20])
         .controllers(&[spec])
         .points();
-    let results = ctx.run_sweep(runner, &points, RUN);
+    let (results, times) = ctx.run_sweep_timed(runner, &points, RUN);
+    exp.points(&results, &times);
     let v_min = results
         .iter()
         .map(|r| r.controlled.v_min)
@@ -70,17 +72,18 @@ fn run_mix(
 fn max_safe_impedance(
     ctx: &Arc<SweepContext>,
     runner: &ExperimentRunner,
+    exp: &mut Experiment,
     controlled: bool,
     budget: u64,
 ) -> f64 {
     let (mut lo, mut hi) = (100.0f64, 400.0f64);
     // Ensure the bracket is valid.
-    if run_mix(ctx, runner, lo, controlled).1 > budget {
+    if run_mix(ctx, runner, exp, lo, controlled).1 > budget {
         return lo;
     }
     for _ in 0..8 {
         let mid = 0.5 * (lo + hi);
-        if run_mix(ctx, runner, mid, controlled).1 <= budget {
+        if run_mix(ctx, runner, exp, mid, controlled).1 <= budget {
             lo = mid;
         } else {
             hi = mid;
@@ -92,6 +95,9 @@ fn max_safe_impedance(
 fn main() {
     let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
     let runner = ExperimentRunner::from_env();
+    let mut exp = Experiment::start("ext_guardband");
+    exp.runner(&runner, runner.threads() == 1);
+    exp.run_params(RUN);
     println!("== extension: supply-design relief from wavelet dI/dt control ==\n");
 
     println!("guardband (worst low excursion over crafty/eon/swim/gcc):\n");
@@ -102,8 +108,9 @@ fn main() {
         "margin saved",
     ]);
     for pct in [125.0, 150.0, 200.0] {
-        let (base, _) = run_mix(&ctx, &runner, pct, false);
-        let (ctl, _) = run_mix(&ctx, &runner, pct, true);
+        let (base, _) = run_mix(&ctx, &runner, &mut exp, pct, false);
+        let (ctl, _) = run_mix(&ctx, &runner, &mut exp, pct, true);
+        exp.golden(&format!("margin_saved_mv.{pct}"), 1000.0 * (ctl - base));
         t.row_owned(vec![
             format!("{pct}%"),
             format!("{base:.4} V"),
@@ -114,12 +121,16 @@ fn main() {
     print!("{}", t.render());
 
     println!("\nimpedance headroom (max % with <= 10 emergency cycles over the mix):\n");
-    let base = max_safe_impedance(&ctx, &runner, false, 10);
-    let ctl = max_safe_impedance(&ctx, &runner, true, 10);
+    let base = max_safe_impedance(&ctx, &runner, &mut exp, false, 10);
+    let ctl = max_safe_impedance(&ctx, &runner, &mut exp, true, 10);
     println!("  uncontrolled : {base:.0}% of target impedance");
     println!("  controlled   : {ctl:.0}% of target impedance");
     println!(
         "  relief       : control tolerates a {:.0}% weaker supply (paper's example: 150% = 33% dI/dt reduction)",
         100.0 * (ctl - base) / base.max(1.0)
     );
+    exp.golden("max_safe_impedance_uncontrolled_pct", base);
+    exp.golden("max_safe_impedance_controlled_pct", ctl);
+    exp.cache(&ctx);
+    exp.finish().expect("manifest write");
 }

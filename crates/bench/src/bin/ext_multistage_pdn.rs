@@ -7,11 +7,12 @@
 //! ([`didt_core::monitor::WaveletMonitorDesign::from_impulse_response`]) —
 //! this experiment measures how many terms the richer response needs.
 
-use didt_bench::TextTable;
+use didt_bench::{Experiment, TextTable};
 use didt_core::monitor::{CycleSense, VoltageMonitor, WaveletMonitorDesign};
 use didt_pdn::{SecondOrderPdn, TwoStagePdn};
 
 fn main() {
+    let mut exp = Experiment::start("ext_multistage_pdn");
     let die = SecondOrderPdn::from_resonance(100e6, 2.2, 3.0e-4, 1.0, 3e9).expect("die");
     let board = SecondOrderPdn::from_resonance(15e6, 3.0, 2.0e-4, 1.0, 3e9).expect("board");
     let pdn = TwoStagePdn::new(die, board).expect("two-stage");
@@ -60,10 +61,12 @@ fn main() {
                 worst = worst.max((est - v).abs());
             }
         }
+        exp.golden(&format!("max_error_v.{k}_terms"), worst);
         t.row_owned(vec![format!("{k}"), format!("{worst:.4}")]);
     }
     print!("{}", t.render());
     println!("\ntakeaway: the composite response needs a somewhat larger term budget than");
     println!("a single resonance (it spans two octave groups), but the same sparse");
     println!("selection procedure applies — nothing in the method assumes one peak");
+    exp.finish().expect("manifest write");
 }

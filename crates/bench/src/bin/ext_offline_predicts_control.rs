@@ -7,13 +7,14 @@
 //! estimate of the fraction of cycles below the control point against
 //! the measured fraction of stall cycles in the closed control loop.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::{EmergencyEstimator, ScaleGainModel, VarianceModel};
 use didt_core::control::{ClosedLoop, ClosedLoopConfig, ThresholdController};
 use didt_core::monitor::WaveletMonitorDesign;
 use didt_uarch::Benchmark;
 
 fn main() {
+    let mut exp = Experiment::start("ext_offline_predicts_control");
     let sys = standard_system();
     let pdn = sys.pdn_at(150.0).expect("pdn");
     let gains = ScaleGainModel::calibrate(&pdn, 64, 0xCAB1).expect("gains");
@@ -49,9 +50,11 @@ fn main() {
 
     // Rank correlation between offline estimate and measured engagement.
     let corr = rank_correlation(&pairs);
+    exp.golden("spearman_rank_correlation", corr);
     println!("\nSpearman rank correlation (estimate vs engagement): {corr:.3}");
     println!("a high correlation means the offline profile alone can plan the");
     println!("control budget per workload, as the paper's §4 intends");
+    exp.finish().expect("manifest write");
 }
 
 /// Spearman rank correlation of (x, y) pairs.

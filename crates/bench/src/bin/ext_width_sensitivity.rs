@@ -10,7 +10,7 @@
 //! independent, so they run on the experiment worker pool; captures go
 //! through the context's trace cache.
 
-use didt_bench::{ExperimentRunner, SweepContext, TextTable};
+use didt_bench::{Experiment, ExperimentRunner, SweepContext, TextTable};
 use didt_stats::variance;
 use didt_uarch::{Benchmark, ProcessorConfig};
 
@@ -20,6 +20,10 @@ const BENCHES: [Benchmark; 3] = [Benchmark::Crafty, Benchmark::Gcc, Benchmark::S
 fn main() {
     let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
     let runner = ExperimentRunner::from_env();
+    let mut exp = Experiment::start("ext_width_sensitivity");
+    exp.runner(&runner, runner.threads() == 1);
+    exp.param("pdn_pct", 150.0);
+    exp.param("trace_cycles", f64::from(1u32 << 17));
     let pdn = ctx.pdn(150.0).expect("pdn");
     println!("== extension: dI/dt severity vs machine width (150% impedance) ==\n");
 
@@ -36,14 +40,16 @@ fn main() {
         let trace = ctx.trace(bench, &cfg, 0xD1D7, 100_000, 1 << 17);
         let v = pdn.simulate(&trace.samples);
         let below = v.iter().filter(|&&x| x < 0.97).count();
-        vec![
+        let below_pct = 100.0 * below as f64 / v.len() as f64;
+        let row = vec![
             format!("{width}-wide"),
             bench.name().to_string(),
             format!("{:.2}", trace.stats.ipc()),
             format!("{:5.1}", trace.mean_current()),
             format!("{:7.1}", variance(&trace.samples)),
-            format!("{:5.2}%", 100.0 * below as f64 / v.len() as f64),
-        ]
+            format!("{below_pct:5.2}%"),
+        ];
+        (row, below_pct)
     });
 
     let mut t = TextTable::new(&[
@@ -54,11 +60,17 @@ fn main() {
         "I var (A^2)",
         "% cycles < 0.97 V",
     ]);
-    for row in rows {
+    for (&(width, bench), (row, below_pct)) in points.iter().zip(rows) {
+        exp.golden(
+            &format!("pct_below_0v97.{width}w.{}", bench.name()),
+            below_pct,
+        );
         t.row_owned(row);
     }
+    exp.cache(&ctx);
     print!("{}", t.render());
     println!("\ntakeaway: width raises both the mean draw and (more steeply) its");
     println!("variance, so the same supply sees disproportionately more emergencies —");
     println!("the trend that motivates architectural dI/dt control in the first place");
+    exp.finish().expect("manifest write");
 }

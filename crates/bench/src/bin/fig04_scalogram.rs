@@ -4,11 +4,12 @@
 //! visible multi-scale structure, and the Haar scalogram showing how its
 //! frequency content is localized in time.
 
-use didt_bench::standard_system;
+use didt_bench::{standard_system, Experiment};
 use didt_dsp::{dwt, wavelet::Haar, Scalogram};
 use didt_uarch::{capture_trace, Benchmark};
 
 fn main() {
+    let mut exp = Experiment::start("fig04_scalogram");
     let sys = standard_system();
     // The paper shows one 256-cycle gzip window.
     let trace = capture_trace(Benchmark::Gzip, sys.processor(), 0xD1D7_2004, 150_000, 256);
@@ -25,6 +26,9 @@ fn main() {
         "current range: {min:.1} A .. {max:.1} A, mean {:.1} A",
         trace.mean_current()
     );
+    exp.golden("current_min_a", min);
+    exp.golden("current_max_a", max);
+    exp.golden("current_mean_a", trace.mean_current());
     let rows = 12;
     let cols = 64;
     let per_col = trace.samples.len() / cols;
@@ -47,4 +51,6 @@ fn main() {
     let sg = Scalogram::from_decomposition(&decomp);
     print!("{}", sg.render());
     println!("\npaper: large-scale variation visible; frequency content changes over time");
+    exp.golden("decomposition_energy", decomp.energy());
+    exp.finish().expect("manifest write");
 }

@@ -5,11 +5,18 @@
 //! single peak at the resonant frequency, inductive rise merging into
 //! the capacitive roll-off above.
 
-use didt_bench::{standard_system, TextTable};
+use didt_bench::{standard_system, Experiment, TextTable};
 
 fn main() {
+    let mut exp = Experiment::start("fig05_impedance");
     let sys = standard_system();
     let pdn = sys.pdn_at(100.0).expect("100% network");
+    exp.golden("resonant_frequency_mhz", pdn.resonant_frequency() / 1e6);
+    exp.golden("q_factor", pdn.q_factor());
+    exp.golden(
+        "peak_impedance_mohm",
+        pdn.impedance_at(pdn.resonant_frequency()) * 1e3,
+    );
     println!("== Figure 5: PDN frequency response (100% target impedance) ==\n");
     println!(
         "R = {:.3} mΩ   L = {:.3} pH   C = {:.3} µF",
@@ -42,4 +49,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\npaper: second-order bandpass shape, resonance in the 50-200 MHz band");
+    exp.finish().expect("manifest write");
 }

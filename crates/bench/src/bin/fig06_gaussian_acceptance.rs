@@ -4,13 +4,15 @@
 //! Also prints Figure 7's companion quantity: the mean current variance
 //! of the non-Gaussian windows vs the overall variance.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::GaussianityStudy;
 use didt_uarch::{Benchmark, Suite};
 
 const WINDOWS_PER_BENCH: usize = 400;
 
 fn main() {
+    let mut exp = Experiment::start("fig06_gaussian_acceptance");
+    exp.param("windows_per_bench", WINDOWS_PER_BENCH as f64);
     let sys = standard_system();
     let study = GaussianityStudy::new(0.95, 0x6A55);
     let sizes = [32usize, 64, 128];
@@ -42,6 +44,10 @@ fn main() {
         let (ai, ti) = accept[si][0];
         let (af, tf) = accept[si][1];
         let rate = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
+        exp.golden(
+            &format!("acceptance_pct.window{size}"),
+            rate(ai + af, ti + tf),
+        );
         t.row_owned(vec![
             format!("{size}"),
             format!("{:5.1}%", rate(ai, ti)),
@@ -71,4 +77,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\npaper: non-Gaussian windows have much lower variance than the overall average");
+    exp.finish().expect("manifest write");
 }

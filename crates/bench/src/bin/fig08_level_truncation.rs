@@ -8,7 +8,7 @@
 //! in the scales near the resonant period and the cheaper level
 //! truncation becomes.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::{ScaleGainModel, VarianceModel};
 use didt_pdn::SecondOrderPdn;
 use didt_uarch::Benchmark;
@@ -39,6 +39,7 @@ fn truncation_errors(pdn: &SecondOrderPdn, traces: &[(String, Vec<f64>)]) -> Vec
 }
 
 fn main() {
+    let mut exp = Experiment::start("fig08_level_truncation");
     let sys = standard_system();
     println!("== Figure 8: variance-estimate error using 4 of 8 levels ==\n");
 
@@ -71,6 +72,8 @@ fn main() {
             format!("{es:5.2}%"),
         ]);
     }
+    exp.golden("worst_error_pct.q2_2", worst.0);
+    exp.golden("worst_error_pct.q8", worst.1);
     print!("{}", t.render());
     println!(
         "\nworst benchmark: {:.2}% (Q=2.2), {:.2}% (Q=8)",
@@ -79,4 +82,5 @@ fn main() {
     println!("paper: 0.1% - 1.6% across benchmarks (narrowband supply network);");
     println!("a damped supply spreads variance across more scales, raising the cost");
     println!("of level truncation");
+    exp.finish().expect("manifest write");
 }

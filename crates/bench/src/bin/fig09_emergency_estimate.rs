@@ -4,11 +4,12 @@
 //! The paper's headline offline result: RMS error ≈ 0.94 % and correct
 //! identification of the dI/dt troublemakers.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::{EmergencyEstimator, ScaleGainModel, VarianceModel};
 use didt_uarch::Benchmark;
 
 fn main() {
+    let mut exp = Experiment::start("fig09_emergency_estimate");
     let sys = standard_system();
     let pdn = sys.pdn_at(150.0).expect("150% network");
     // Estimation windows: 64 cycles. Our synthetic traces are less
@@ -39,6 +40,7 @@ fn main() {
     print!("{}", t.render());
     let rms = (sq_err / n as f64).sqrt();
     println!("\nRMS error: {rms:.2}% of cycles   (paper: 0.94%)");
+    exp.golden("rms_error_pct", rms);
 
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top: Vec<&str> = rows[..4].iter().map(|r| r.0.as_str()).collect();
@@ -48,4 +50,5 @@ fn main() {
         .collect();
     println!("most problematic: {top:?}   (paper: mgrid, gcc, galgel, apsi >= 3%)");
     println!("least problematic: {bottom:?} (paper: vpr, mcf, equake, gap < 0.5%)");
+    exp.finish().expect("manifest write");
 }

@@ -3,7 +3,7 @@
 //! four high-L2-miss benchmarks (swim, lucas, mcf, art — spike at the
 //! nominal voltage, non-Gaussian).
 
-use didt_bench::{benchmark_trace, standard_system};
+use didt_bench::{benchmark_trace, standard_system, Experiment};
 use didt_stats::Histogram;
 use didt_uarch::Benchmark;
 
@@ -30,6 +30,7 @@ fn print_histogram(name: &str, voltages: &[f64], mpki: f64) {
 }
 
 fn main() {
+    let mut exp = Experiment::start("fig10_11_histograms");
     let sys = standard_system();
     let pdn = sys.pdn_at(150.0).expect("150% network");
 
@@ -42,6 +43,7 @@ fn main() {
     ] {
         let trace = benchmark_trace(&sys, bench);
         let v = pdn.simulate(&trace.samples);
+        exp.golden(&format!("l2_mpki.{}", bench.name()), trace.stats.l2_mpki());
         print_histogram(bench.name(), &v, trace.stats.l2_mpki());
     }
 
@@ -54,8 +56,10 @@ fn main() {
     ] {
         let trace = benchmark_trace(&sys, bench);
         let v = pdn.simulate(&trace.samples);
+        exp.golden(&format!("l2_mpki.{}", bench.name()), trace.stats.l2_mpki());
         print_histogram(bench.name(), &v, trace.stats.l2_mpki());
     }
     println!("paper: Fig 10 shapes are roughly Gaussian; Fig 11 shows prominent spikes");
     println!("at the nominal voltage from long memory stalls");
+    exp.finish().expect("manifest write");
 }

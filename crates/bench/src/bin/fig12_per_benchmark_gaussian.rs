@@ -1,13 +1,15 @@
 //! Figure 12: percentage of 64-cycle windows classified Gaussian
 //! (chi-squared, 95 %), per benchmark, Int then FP.
 
-use didt_bench::{benchmark_trace, standard_system, TextTable};
+use didt_bench::{benchmark_trace, standard_system, Experiment, TextTable};
 use didt_core::characterize::GaussianityStudy;
 use didt_uarch::{Benchmark, Suite};
 
 const WINDOWS_PER_BENCH: usize = 600;
 
 fn main() {
+    let mut exp = Experiment::start("fig12_per_benchmark_gaussian");
+    exp.param("windows_per_bench", WINDOWS_PER_BENCH as f64);
     let sys = standard_system();
     let study = GaussianityStudy::new(0.95, 0x6A55);
     println!("== Figure 12: % of 64-cycle windows Gaussian, per benchmark ==\n");
@@ -30,6 +32,7 @@ fn main() {
                 .classify(&trace.samples, 64, WINDOWS_PER_BENCH)
                 .expect("long trace");
             let pct = 100.0 * r.acceptance_rate();
+            exp.golden(&format!("gaussian_pct.{}", bench.name()), pct);
             t.row_owned(vec![
                 bench.name().to_string(),
                 format!("{pct:5.1}%"),
@@ -42,4 +45,5 @@ fn main() {
     }
     println!("paper: benchmarks with many L2 misses (swim, lucas, mcf, art) are the");
     println!("least likely to show Gaussian behaviour");
+    exp.finish().expect("manifest write");
 }

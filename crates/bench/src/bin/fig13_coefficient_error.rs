@@ -6,7 +6,7 @@
 //! truncated wavelet monitor and the true simulated voltage over the
 //! worst-case resonant stressor plus benchmark traces.
 
-use didt_bench::{standard_system, TextTable};
+use didt_bench::{standard_system, Experiment, TextTable};
 use didt_core::monitor::{CycleSense, VoltageMonitor, WaveletMonitorDesign};
 use didt_pdn::SecondOrderPdn;
 use didt_uarch::{capture_trace, Benchmark};
@@ -30,6 +30,7 @@ fn max_error(pdn: &SecondOrderPdn, design: &WaveletMonitorDesign, k: usize, trac
 }
 
 fn main() {
+    let mut exp = Experiment::start("fig13_coefficient_error");
     let sys = standard_system();
     println!("== Figure 13: max estimation error vs number of wavelet terms ==\n");
 
@@ -74,8 +75,12 @@ fn main() {
             .zip(&columns[ci])
             .find(|(_, &e)| e <= 0.02)
             .map_or_else(|| "> 30".to_string(), |(k, _)| k.to_string());
+        if let Ok(k) = k20.parse::<f64>() {
+            exp.golden(&format!("terms_for_20mv.{pct}"), k);
+        }
         println!("{pct}% impedance reaches 0.02 V error at {k20} terms");
     }
     println!("\npaper: error large for few coefficients, ~0.02 V at 9 / 13 / 20 terms");
     println!("for 125% / 150% / 200%; more terms needed at higher impedance");
+    exp.finish().expect("manifest write");
 }

@@ -16,7 +16,8 @@
 //! margin) through the sweep cache.
 
 use didt_bench::{
-    ControllerSpec, ExperimentRunner, PointResult, RunParams, Sweep, SweepContext, TextTable,
+    ControllerSpec, Experiment, ExperimentRunner, PointResult, RunParams, Sweep, SweepContext,
+    TextTable,
 };
 use didt_uarch::Benchmark;
 
@@ -40,14 +41,19 @@ fn main() {
     let runner = ExperimentRunner::from_env();
     println!("== Figure 15: performance loss vs control threshold (150% impedance, 13 terms) ==\n");
 
+    let mut exp = Experiment::start("fig15_performance_loss");
+    exp.runner(&runner, runner.threads() == 1);
+    exp.run_params(RUN);
     let schemes: Vec<ControllerSpec> = MARGINS.iter().map(|&m| wavelet_at(m)).collect();
-    let points = Sweep::new()
+    let sweep = Sweep::new()
         .benchmarks(&Benchmark::all())
         .pdn_pcts(&[150.0])
         .monitor_terms(&[13])
-        .controllers(&schemes)
-        .points();
-    let results = ctx.run_sweep(&runner, &points, RUN);
+        .controllers(&schemes);
+    exp.grid(&sweep);
+    let points = sweep.points();
+    let (results, times) = ctx.run_sweep_timed(&runner, &points, RUN);
+    exp.points(&results, &times);
 
     let mut t = TextTable::new(&["bench", "10mV", "20mV", "30mV", "emerg @20mV ctl/base"]);
     let mut sums = [0.0f64; 3];
@@ -79,6 +85,10 @@ fn main() {
         format!("{:5.2}%", sums[2] / n),
         String::new(),
     ]);
+    for (i, label) in ["10mV", "20mV", "30mV"].iter().enumerate() {
+        exp.golden(&format!("mean_slowdown_pct.{label}"), sums[i] / n);
+        exp.golden(&format!("max_slowdown_pct.{label}"), worst[i]);
+    }
     print!("{}", t.render());
     println!(
         "\nmax slowdowns: {:.2}% / {:.2}% / {:.2}%",
@@ -102,7 +112,8 @@ fn main() {
             .monitor_terms(&[k])
             .controllers(&[wavelet_at(0.020)])
             .points();
-        let results: Vec<PointResult> = ctx.run_sweep(&runner, &points, RUN);
+        let (results, times): (Vec<PointResult>, _) = ctx.run_sweep_timed(&runner, &points, RUN);
+        exp.points(&results, &times);
         let mut sum = 0.0;
         let mut mx = 0.0f64;
         let mut res = 0u64;
@@ -114,6 +125,7 @@ fn main() {
             res += r.controlled.emergencies();
             base += r.baseline.emergencies();
         }
+        exp.golden(&format!("impedance_{pct}.mean_slowdown_pct"), sum / n);
         t2.row_owned(vec![
             format!("{pct}%"),
             format!("{k}"),
@@ -122,5 +134,7 @@ fn main() {
             format!("{res}/{base}"),
         ]);
     }
+    exp.cache(&ctx);
     print!("{}", t2.render());
+    exp.finish().expect("manifest write");
 }

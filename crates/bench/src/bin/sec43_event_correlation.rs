@@ -7,7 +7,7 @@
 //! bucket, the Gaussian acceptance rate (of the current), the mean
 //! current variance, and the mean simulated voltage variance.
 
-use didt_bench::{standard_system, TextTable};
+use didt_bench::{standard_system, Experiment, TextTable};
 use didt_stats::chi_squared::{ChiSquaredGof, GofOutcome};
 use didt_stats::variance;
 use didt_uarch::{capture_trace_with_events, Benchmark};
@@ -15,6 +15,8 @@ use didt_uarch::{capture_trace_with_events, Benchmark};
 const WINDOW: usize = 64;
 
 fn main() {
+    let mut exp = Experiment::start("sec43_event_correlation");
+    exp.param("window", WINDOW as f64);
     let sys = standard_system();
     let pdn = sys.pdn_at(150.0).expect("pdn");
     let test = ChiSquaredGof::new(8).expect("gof");
@@ -74,6 +76,10 @@ fn main() {
     ]);
     for b in 0..BUCKETS {
         let n = tested[b].max(1) as f64;
+        exp.golden(
+            &format!("gaussian_pct.misses_{}", label(b)),
+            100.0 * accepted[b] as f64 / n,
+        );
         table.row_owned(vec![
             label(b).to_string(),
             format!("{}", tested[b]),
@@ -85,4 +91,5 @@ fn main() {
     print!("{}", table.render());
     println!("\npaper: windows around L2 misses are the non-Gaussian ones (long stalls");
     println!("followed by activity spikes when the data returns)");
+    exp.finish().expect("manifest write");
 }

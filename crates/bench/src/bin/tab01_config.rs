@@ -3,11 +3,16 @@
 //! Prints the simulated machine's configuration in the paper's layout so
 //! it can be diffed against Table 1 directly.
 
-use didt_bench::TextTable;
+use didt_bench::{Experiment, TextTable};
 use didt_uarch::ProcessorConfig;
 
 fn main() {
+    let mut exp = Experiment::start("tab01_config");
     let c = ProcessorConfig::table1();
+    exp.param("clock_ghz", c.clock_hz / 1e9);
+    exp.param("ruu_entries", c.ruu_entries as f64);
+    exp.param("lsq_entries", c.lsq_entries as f64);
+    exp.param("fetch_width", c.fetch_width as f64);
     println!("== Table 1: Processor Parameters ==\n");
     let mut t = TextTable::new(&["parameter", "value"]);
     t.row_owned(vec![
@@ -87,4 +92,5 @@ fn main() {
         format!("{} cycle latency", c.memory_latency),
     ]);
     print!("{}", t.render());
+    exp.finish().expect("manifest write");
 }

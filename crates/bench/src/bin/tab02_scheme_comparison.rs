@@ -8,7 +8,9 @@
 //! the uncontrolled baseline of each benchmark computed once and shared
 //! by all four schemes through the sweep cache.
 
-use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable};
+use didt_bench::{
+    ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable,
+};
 use didt_core::monitor::{FullConvolutionMonitor, VoltageMonitor};
 use didt_uarch::Benchmark;
 
@@ -61,15 +63,20 @@ const SCHEMES: [ControllerSpec; 4] = [
 fn main() {
     let ctx = SweepContext::standard().expect("standard system calibration cannot fail");
     let runner = ExperimentRunner::from_env();
+    let mut exp = Experiment::start("tab02_scheme_comparison");
+    exp.runner(&runner, runner.threads() == 1);
     println!("== Table 2: dI/dt scheme comparison (measured, 150% impedance) ==\n");
 
-    let points = Sweep::new()
+    let sweep = Sweep::new()
         .benchmarks(&BENCHES)
         .pdn_pcts(&[PDN_PCT])
         .monitor_terms(&[TERMS])
-        .controllers(&SCHEMES)
-        .points();
-    let results = ctx.run_sweep(&runner, &points, RUN);
+        .controllers(&SCHEMES);
+    exp.grid(&sweep);
+    exp.run_params(RUN);
+    let points = sweep.points();
+    let (results, times) = ctx.run_sweep_timed(&runner, &points, RUN);
+    exp.points(&results, &times);
 
     // Hardware cost columns (static per scheme).
     let pdn = ctx.pdn(PDN_PCT).expect("150% network");
@@ -106,6 +113,14 @@ fn main() {
             }
         }
         let (terms, delay) = terms_delay(scheme);
+        exp.golden(
+            &format!("{}.mean_slowdown_pct", scheme.tag()),
+            slowdown_sum / n,
+        );
+        exp.golden(
+            &format!("{}.residual_emergencies", scheme.tag()),
+            emergencies as f64,
+        );
         t.row_owned(vec![
             scheme.tag().to_string(),
             format!("{:6.2}%", slowdown_sum / n),
@@ -115,8 +130,11 @@ fn main() {
             format!("{delay} cyc"),
         ]);
     }
+    exp.golden("uncontrolled_emergencies", uncontrolled_emergencies as f64);
+    exp.cache(&ctx);
     print!("{}", t.render());
     println!("\nuncontrolled emergencies over the same runs: {uncontrolled_emergencies}");
     println!("\npaper (qualitative): analog + full-conv + wavelet have low false positives;");
     println!("damping potentially large; wavelet hardware between delta and convolution");
+    exp.finish().expect("manifest write");
 }

@@ -8,10 +8,12 @@
 //! and plain-text table rendering.
 
 pub mod experiments;
+pub mod observe;
 pub mod runner;
 pub mod table;
 
 pub use experiments::{benchmark_trace, standard_system, TRACE_CYCLES, TRACE_WARMUP};
+pub use observe::Experiment;
 pub use runner::{
     default_threads, point_seed, workload_seed, CacheStats, ControllerSpec, ExperimentRunner,
     MemoCache, PointResult, RunParams, Sweep, SweepContext, SweepPoint,

@@ -131,6 +131,7 @@ pub fn point_seed(point: &SweepPoint) -> u64 {
 pub struct MemoCache<K, V> {
     slots: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
     computations: AtomicUsize,
+    requests: AtomicUsize,
 }
 
 impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
@@ -140,11 +141,13 @@ impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
         MemoCache {
             slots: Mutex::new(HashMap::new()),
             computations: AtomicUsize::new(0),
+            requests: AtomicUsize::new(0),
         }
     }
 
     /// The value for `key`, computing it with `compute` on first use.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let mut slots = self.slots.lock().expect("memo cache poisoned");
             Arc::clone(slots.entry(key).or_default())
@@ -173,6 +176,20 @@ impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
     #[must_use]
     pub fn computations(&self) -> usize {
         self.computations.load(Ordering::Relaxed)
+    }
+
+    /// Total [`MemoCache::get_or_compute`] calls. Depends only on the
+    /// set of points run — not on thread count or interleaving — so it
+    /// is safe to include in a run manifest's non-timing fields.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that were served from cache (`requests - computations`).
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.requests().saturating_sub(self.computations())
     }
 }
 
@@ -410,6 +427,39 @@ impl Sweep {
         self
     }
 
+    /// The grid's axes in manifest form, rendered to strings in sweep
+    /// order. Axes left empty are reported empty (the defaults
+    /// [`Sweep::points`] substitutes are an enumeration detail).
+    #[must_use]
+    pub fn grid_axes(&self) -> Vec<didt_telemetry::GridAxis> {
+        vec![
+            didt_telemetry::GridAxis {
+                name: "benchmarks".to_string(),
+                values: self
+                    .benchmarks
+                    .iter()
+                    .map(|b| b.name().to_string())
+                    .collect(),
+            },
+            didt_telemetry::GridAxis {
+                name: "pdn_pcts".to_string(),
+                values: self.pdn_pcts.iter().map(|p| format!("{p}")).collect(),
+            },
+            didt_telemetry::GridAxis {
+                name: "monitor_terms".to_string(),
+                values: self.monitor_terms.iter().map(|t| format!("{t}")).collect(),
+            },
+            didt_telemetry::GridAxis {
+                name: "controllers".to_string(),
+                values: self
+                    .controllers
+                    .iter()
+                    .map(|c| c.tag().to_string())
+                    .collect(),
+            },
+        ]
+    }
+
     /// Enumerate the grid. Axes left empty contribute a single default
     /// element (100 % impedance, 13 terms, no controller) so partial
     /// grids stay usable.
@@ -512,8 +562,12 @@ pub struct SweepContext {
     designs: MemoCache<(u64, usize), WaveletMonitorDesign>,
     traces: MemoCache<TraceKey, CurrentTrace>,
     gains: MemoCache<(u64, usize, u64), ScaleGainModel>,
-    baselines: MemoCache<(u64, &'static str, u64, u64, u64), ClosedLoopResult>,
+    baselines: MemoCache<BaselineKey, Result<ClosedLoopResult, DidtError>>,
 }
+
+/// Baseline cache key: (impedance millipercent, benchmark name,
+/// instructions, warmup cycles, workload seed).
+type BaselineKey = (u64, &'static str, u64, u64, u64);
 
 impl SweepContext {
     /// Build the context around the standard Table 1 system.
@@ -558,6 +612,30 @@ impl SweepContext {
         }
     }
 
+    /// Fill/hit activity per cache class, in manifest form. Both counts
+    /// depend only on the set of points run, never on thread count or
+    /// interleaving, so they belong to a manifest's non-timing fields.
+    #[must_use]
+    pub fn cache_activity(&self) -> Vec<didt_telemetry::CacheClassRecord> {
+        fn rec<K: Eq + std::hash::Hash + Clone, V>(
+            name: &'static str,
+            cache: &MemoCache<K, V>,
+        ) -> didt_telemetry::CacheClassRecord {
+            didt_telemetry::CacheClassRecord {
+                name,
+                computed: cache.computations() as u64,
+                requests: cache.requests() as u64,
+            }
+        }
+        vec![
+            rec("pdns", &self.pdns),
+            rec("designs", &self.designs),
+            rec("traces", &self.traces),
+            rec("gains", &self.gains),
+            rec("baselines", &self.baselines),
+        ]
+    }
+
     /// The PDN at `pct` percent of target impedance, calibrated once
     /// per distinct percentage.
     ///
@@ -568,6 +646,7 @@ impl SweepContext {
         // Probe outside the cache so errors are not memoized.
         self.system.pdn_at(pct)?;
         Ok(self.pdns.get_or_compute(pct_millis(pct), || {
+            let _span = didt_telemetry::span("cache.fill.pdns");
             self.system.pdn_at(pct).expect("probed above")
         }))
     }
@@ -587,6 +666,7 @@ impl SweepContext {
         let pdn = self.pdn(pct)?;
         WaveletMonitorDesign::new(&pdn, window)?;
         Ok(self.designs.get_or_compute((pct_millis(pct), window), || {
+            let _span = didt_telemetry::span("cache.fill.designs");
             WaveletMonitorDesign::new(&pdn, window).expect("probed above")
         }))
     }
@@ -605,6 +685,7 @@ impl SweepContext {
         let cfg_key = fnv1a(FNV_OFFSET, format!("{cfg:?}").as_bytes());
         self.traces
             .get_or_compute((cfg_key, benchmark.name(), seed, warmup, cycles), || {
+                let _span = didt_telemetry::span("cache.fill.traces");
                 capture_trace(benchmark, cfg, seed, warmup, cycles)
             })
     }
@@ -625,6 +706,7 @@ impl SweepContext {
         Ok(self
             .gains
             .get_or_compute((pct_millis(pct), window, seed), || {
+                let _span = didt_telemetry::span("cache.fill.gains");
                 ScaleGainModel::calibrate(&pdn, window, seed).expect("probed above")
             }))
     }
@@ -652,11 +734,18 @@ impl SweepContext {
             cfg.seed,
         );
         // Closed-loop runs are deterministic in their config, so an
-        // error would recur on retry; probing first would double the
-        // cost of the dominant operation. Run once, cache on success.
-        let harness = ClosedLoop::new(*self.system.processor(), *pdn, cfg);
-        let result = harness.run(&mut NoControl)?;
-        Ok(self.baselines.get_or_compute(key, || result))
+        // error would recur on retry. Memoize the whole `Result`: the
+        // dominant operation of a sweep runs exactly once per cell and
+        // errors replay without recomputation.
+        let result = self.baselines.get_or_compute(key, || {
+            let _span = didt_telemetry::span("cache.fill.baselines");
+            let harness = ClosedLoop::new(*self.system.processor(), *pdn, cfg);
+            harness.run(&mut NoControl)
+        });
+        match result.as_ref() {
+            Ok(r) => Ok(Arc::new(*r)),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     fn loop_config(&self, benchmark: Benchmark, pct: f64, run: RunParams) -> ClosedLoopConfig {
@@ -726,6 +815,7 @@ impl SweepContext {
     ///
     /// Propagates PDN, monitor and closed-loop errors.
     pub fn run_point(&self, point: &SweepPoint, run: RunParams) -> Result<PointResult, DidtError> {
+        let _span = didt_telemetry::span("sweep.point");
         let baseline = *self.baseline(point.benchmark, point.pdn_pct, run)?;
         let cfg = self.loop_config(point.benchmark, point.pdn_pct, run);
         let controlled = if matches!(point.controller, ControllerSpec::None) {
@@ -753,10 +843,58 @@ impl SweepContext {
         points: &[SweepPoint],
         run: RunParams,
     ) -> Vec<PointResult> {
-        runner.run(points, |_, point| {
-            self.run_point(point, run)
-                .unwrap_or_else(|e| panic!("sweep point {point:?} failed: {e}"))
-        })
+        self.run_sweep_timed(runner, points, run).0
+    }
+
+    /// [`Self::run_sweep`] plus each point's wall-clock duration (same
+    /// index order). The results vector is *identical* to
+    /// [`Self::run_sweep`]'s — timing lives beside it, never inside it,
+    /// so the serial/parallel bit-identity guarantee is untouched.
+    ///
+    /// Also folds sweep throughput (`sweep.points_per_sec`), per-point
+    /// durations (`sweep.point_duration_ns`) and the aggregate
+    /// calibration-cache hit ratio (`sweep.cache_hit_ratio`) into the
+    /// global metrics registry.
+    #[must_use]
+    pub fn run_sweep_timed(
+        self: &Arc<Self>,
+        runner: &ExperimentRunner,
+        points: &[SweepPoint],
+        run: RunParams,
+    ) -> (Vec<PointResult>, Vec<std::time::Duration>) {
+        let _span = didt_telemetry::span("sweep.run");
+        let started = std::time::Instant::now();
+        let timed = runner.run(points, |_, point| {
+            let t0 = std::time::Instant::now();
+            let result = self
+                .run_point(point, run)
+                .unwrap_or_else(|e| panic!("sweep point {point:?} failed: {e}"));
+            (result, t0.elapsed())
+        });
+        let metrics = didt_telemetry::MetricsRegistry::global();
+        let durations_hist = metrics.histogram("sweep.point_duration_ns");
+        let mut results = Vec::with_capacity(timed.len());
+        let mut durations = Vec::with_capacity(timed.len());
+        for (result, duration) in timed {
+            durations_hist.record_duration(duration);
+            results.push(result);
+            durations.push(duration);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            metrics
+                .gauge("sweep.points_per_sec")
+                .set(points.len() as f64 / elapsed);
+        }
+        let activity = self.cache_activity();
+        let requests: u64 = activity.iter().map(|c| c.requests).sum();
+        let hits: u64 = activity.iter().map(|c| c.hits()).sum();
+        if requests > 0 {
+            metrics
+                .gauge("sweep.cache_hit_ratio")
+                .set(hits as f64 / requests as f64);
+        }
+        (results, durations)
     }
 }
 

@@ -1,0 +1,106 @@
+//! End-to-end manifest tests around `run_all --smoke`.
+//!
+//! The smoke mode runs a small sweep twice through one shared
+//! [`didt_bench::SweepContext`], so its manifest must (a) parse back
+//! through the vendored JSON layer losslessly and (b) show every
+//! calibration-cache class being hit on the second pass. A third test
+//! checks the core reproducibility claim: a serial and a parallel run
+//! produce manifests that agree on every non-timing field.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use didt_telemetry::RunManifest;
+
+/// Run `run_all --smoke` with the manifest directory redirected to a
+/// fresh per-test temp dir, and return the parsed manifest.
+fn run_smoke(tag: &str, extra_args: &[&str], threads: &str) -> (RunManifest, String) {
+    let dir = smoke_dir(tag);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create manifest dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .arg("--smoke")
+        .args(extra_args)
+        .env("DIDT_MANIFEST_DIR", &dir)
+        .env("DIDT_NUM_THREADS", threads)
+        .output()
+        .expect("spawn run_all --smoke");
+    assert!(
+        out.status.success(),
+        "run_all --smoke failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let path = dir.join("run_all_smoke.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let manifest = RunManifest::from_json_str(&text).expect("parse manifest");
+    std::fs::remove_dir_all(&dir).ok();
+    (manifest, text)
+}
+
+fn smoke_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("didt_manifest_test_{}_{tag}", std::process::id()))
+}
+
+#[test]
+fn smoke_manifest_roundtrips_through_json() {
+    let (manifest, text) = run_smoke("roundtrip", &[], "2");
+    assert_eq!(manifest.schema_version, didt_telemetry::SCHEMA_VERSION);
+    assert_eq!(manifest.experiment, "run_all_smoke");
+    assert!(
+        !manifest.grid.is_empty(),
+        "smoke manifest must record its grid"
+    );
+    // 8-point grid, both passes recorded.
+    assert_eq!(manifest.points.len(), 16);
+    assert!(
+        manifest
+            .golden
+            .iter()
+            .any(|(k, _)| k == "mean_slowdown_pct"),
+        "smoke manifest must carry its golden numbers"
+    );
+
+    // Lossless round-trip: render -> parse -> render is a fixed point,
+    // and the re-parsed struct compares equal.
+    let rendered = manifest.to_json_string();
+    let reparsed = RunManifest::from_json_str(&rendered).expect("reparse");
+    assert_eq!(reparsed, manifest);
+    assert_eq!(reparsed.to_json_string(), rendered);
+    // The on-disk file is exactly what the renderer produces.
+    assert_eq!(text, rendered);
+}
+
+#[test]
+fn smoke_second_pass_hits_every_cache_class() {
+    let (manifest, _) = run_smoke("cachehits", &[], "2");
+    assert!(
+        !manifest.cache.is_empty(),
+        "smoke manifest must record cache activity"
+    );
+    for class in &manifest.cache {
+        assert!(
+            class.hit_ratio() > 0.0,
+            "cache class {:?} recorded no hits: {class:?}",
+            class.name
+        );
+        assert!(
+            class.requests > class.computed,
+            "cache class {:?} never served from cache: {class:?}",
+            class.name
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_smoke_manifests_agree_on_non_timing_fields() {
+    let (serial, _) = run_smoke("serial", &["--serial"], "1");
+    let (parallel, _) = run_smoke("parallel", &[], "4");
+    assert!(serial.threads == 1 && parallel.threads == 4);
+    assert_eq!(
+        serial.non_timing_fingerprint(),
+        parallel.non_timing_fingerprint(),
+        "serial and parallel runs must agree on every non-timing manifest field"
+    );
+}

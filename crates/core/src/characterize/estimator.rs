@@ -68,6 +68,7 @@ impl<M: WindowModel> EmergencyEstimator<M> {
     /// Returns [`DidtError::TraceTooShort`] when the trace holds no
     /// complete window.
     pub fn estimate_trace(&self, trace: &[f64]) -> Result<(f64, usize, f64), DidtError> {
+        let _span = didt_telemetry::span("core.estimator.estimate_trace");
         let w = self.model.window();
         if trace.len() < w {
             return Err(DidtError::TraceTooShort {
@@ -98,15 +99,20 @@ impl<M: WindowModel> EmergencyEstimator<M> {
         trace: &[f64],
         pdn: &SecondOrderPdn,
     ) -> Result<BenchmarkEstimate, DidtError> {
+        let _span = didt_telemetry::span("core.estimator.compare");
         let (estimated, windows, mean_voltage) = self.estimate_trace(trace)?;
         let v = pdn.simulate(trace);
         let below = v.iter().filter(|&&x| x < self.threshold).count();
-        Ok(BenchmarkEstimate {
+        let estimate = BenchmarkEstimate {
             estimated,
             observed: below as f64 / v.len() as f64,
             windows,
             mean_voltage,
-        })
+        };
+        didt_telemetry::MetricsRegistry::global()
+            .gauge("estimator.abs_error")
+            .set(estimate.abs_error());
+        Ok(estimate)
     }
 }
 

@@ -169,6 +169,7 @@ impl ClosedLoop {
     /// Returns [`DidtError::InvalidConfig`] when the run fails to make
     /// forward progress (a pathological controller that stalls forever).
     pub fn run(&self, controller: &mut dyn DidtController) -> Result<ClosedLoopResult, DidtError> {
+        let _span = didt_telemetry::span("core.closed_loop.run");
         let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
         let mut cpu = Processor::new(self.processor, gen);
         let mut pdn_sim = self.pdn.simulator();
@@ -246,8 +247,28 @@ impl ClosedLoop {
         } else {
             0.0
         };
+        record_run_metrics(controller.name(), &result);
         Ok(result)
     }
+}
+
+/// Fold one finished run into the process-global metrics registry so
+/// per-controller emergency rates can be derived from the counters
+/// (`emergencies / cycles` per scheme name).
+fn record_run_metrics(scheme: &str, result: &ClosedLoopResult) {
+    let metrics = didt_telemetry::MetricsRegistry::global();
+    metrics
+        .counter(&format!("closed_loop.{scheme}.runs"))
+        .incr();
+    metrics
+        .counter(&format!("closed_loop.{scheme}.cycles"))
+        .add(result.cycles);
+    metrics
+        .counter(&format!("closed_loop.{scheme}.emergencies"))
+        .add(result.emergencies());
+    metrics
+        .counter(&format!("closed_loop.{scheme}.false_positives"))
+        .add(result.false_positives);
 }
 
 #[cfg(test)]

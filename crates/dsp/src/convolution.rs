@@ -17,6 +17,7 @@
 /// ```
 #[must_use]
 pub fn convolve_full(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let _span = didt_telemetry::span("dsp.convolve_full");
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
@@ -42,6 +43,7 @@ pub fn convolve_full(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// ```
 #[must_use]
 pub fn fir_filter(x: &[f64], h: &[f64]) -> Vec<f64> {
+    let _span = didt_telemetry::span("dsp.fir_filter");
     let mut out = vec![0.0; x.len()];
     for t in 0..x.len() {
         let kmax = h.len().min(t + 1);

@@ -58,8 +58,7 @@ impl Default for WaveletDecomposition {
 
 impl WaveletDecomposition {
     /// An empty decomposition with no levels, usable as the reusable
-    /// output slot of [`dwt_into`](crate::transform::dwt_into) without a
-    /// priming [`dwt`](crate::transform::dwt) call.
+    /// output slot of [`dwt_into`] without a priming [`dwt`] call.
     #[must_use]
     pub fn empty() -> Self {
         WaveletDecomposition {
@@ -276,6 +275,7 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
     scratch: &mut DwtScratch,
     out: &mut WaveletDecomposition,
 ) -> Result<(), DspError> {
+    let _span = didt_telemetry::span("dsp.dwt");
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }

@@ -1,0 +1,359 @@
+//! Lightweight tracing spans with a pluggable collector.
+//!
+//! Modeled on the `log`/`tracing` facade split, minus the external
+//! dependencies: instrumented code calls [`span`] unconditionally, and
+//! whether anything is recorded depends on the process-global collector
+//! installed through [`install_collector`]. With no collector installed
+//! (the default, and the state during golden-number tests and
+//! benchmarks) a span is a single relaxed atomic load — cheap enough
+//! for the DWT and closed-loop hot paths.
+//!
+//! Spans carry a name, a process-unique id, the id of the enclosing
+//! span on the same thread (parent), and a wall-clock duration measured
+//! from construction to drop. Nesting is tracked per thread with a
+//! thread-local, so concurrent sweep workers get independent span
+//! stacks.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A finished span, as delivered to a [`SpanCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"sweep.point"`).
+    pub name: &'static str,
+    /// Process-unique span id (monotonically assigned).
+    pub id: u64,
+    /// Id of the span this one was opened inside, on the same thread.
+    pub parent: Option<u64>,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Receiver for finished spans. Implementations must be cheap and
+/// thread-safe: `record` is called from every sweep worker.
+pub trait SpanCollector: Send + Sync {
+    /// Accept one finished span.
+    fn record(&self, span: &SpanRecord);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn collector_slot() -> &'static Mutex<Option<Arc<dyn SpanCollector>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn SpanCollector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// The process trace epoch: all [`SpanRecord::start_ns`] values are
+/// measured from the first call into the span machinery.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Install `collector` as the process-global span receiver, replacing
+/// any previous one. Returns a guard; dropping it uninstalls the
+/// collector (spans become no-ops again).
+pub fn install_collector(collector: Arc<dyn SpanCollector>) -> CollectorGuard {
+    epoch();
+    *collector_slot().lock().expect("span collector poisoned") = Some(collector);
+    ENABLED.store(true, Ordering::Release);
+    CollectorGuard { _private: () }
+}
+
+/// Uninstalls the process-global span collector when dropped.
+#[must_use = "dropping the guard immediately uninstalls the collector"]
+pub struct CollectorGuard {
+    _private: (),
+}
+
+impl Drop for CollectorGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Release);
+        *collector_slot().lock().expect("span collector poisoned") = None;
+    }
+}
+
+impl std::fmt::Debug for CollectorGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CollectorGuard")
+    }
+}
+
+/// Open a span named `name`. The span closes (and is delivered to the
+/// installed collector) when the returned guard drops. With no
+/// collector installed this is a no-op costing one atomic load.
+#[must_use = "a span measures the lifetime of its guard; bind it with `let _span = ...`"]
+pub fn span(name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Acquire) {
+        return Span { active: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(Some(id)));
+    Span {
+        active: Some(ActiveSpan {
+            name,
+            id,
+            parent,
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+}
+
+/// Guard for an open span; see [`span`].
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// The span's id, if it is actually recording.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "Span({} #{})", a.name, a.id),
+            None => f.write_str("Span(disabled)"),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end = Instant::now();
+        CURRENT.with(|c| c.set(active.parent));
+        let record = SpanRecord {
+            name: active.name,
+            id: active.id,
+            parent: active.parent,
+            start_ns: active
+                .start
+                .saturating_duration_since(epoch())
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+            duration_ns: end
+                .saturating_duration_since(active.start)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+        };
+        let collector = collector_slot()
+            .lock()
+            .expect("span collector poisoned")
+            .clone();
+        if let Some(collector) = collector {
+            collector.record(&record);
+        }
+    }
+}
+
+/// Aggregate statistics for one span name in a [`MemoryCollector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Total duration across all of them, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// In-memory collector: per-name aggregates plus a bounded buffer of
+/// raw records (for tests asserting on nesting).
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    inner: Mutex<MemoryCollectorState>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryCollectorState {
+    stats: std::collections::BTreeMap<&'static str, SpanStat>,
+    records: Vec<SpanRecord>,
+}
+
+/// Cap on raw records retained by [`MemoryCollector`]; aggregates keep
+/// counting past it.
+const MEMORY_COLLECTOR_RECORD_CAP: usize = 65_536;
+
+impl MemoryCollector {
+    /// An empty collector, ready to [`install_collector`].
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemoryCollector::default())
+    }
+
+    /// Per-name aggregates, sorted by name.
+    #[must_use]
+    pub fn stats(&self) -> Vec<(&'static str, SpanStat)> {
+        let inner = self.inner.lock().expect("memory collector poisoned");
+        inner.stats.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Raw records in completion order (bounded; see crate docs).
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner
+            .lock()
+            .expect("memory collector poisoned")
+            .records
+            .clone()
+    }
+
+    /// Total spans recorded under `name`.
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("memory collector poisoned")
+            .stats
+            .get(name)
+            .map_or(0, |s| s.count)
+    }
+}
+
+impl SpanCollector for MemoryCollector {
+    fn record(&self, span: &SpanRecord) {
+        let mut inner = self.inner.lock().expect("memory collector poisoned");
+        let stat = inner.stats.entry(span.name).or_insert(SpanStat {
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns += span.duration_ns;
+        stat.max_ns = stat.max_ns.max(span.duration_ns);
+        if inner.records.len() < MEMORY_COLLECTOR_RECORD_CAP {
+            inner.records.push(span.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // The collector is process-global; tests that install one must not
+    // overlap. Poisoning is irrelevant for a unit-only lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = test_lock();
+        let s = span("should.not.record");
+        assert_eq!(s.id(), None);
+        drop(s);
+    }
+
+    #[test]
+    fn spans_nest_per_thread() {
+        let _serial = test_lock();
+        let collector = MemoryCollector::new();
+        let _guard = install_collector(collector.clone());
+        {
+            let outer = span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span("inner");
+                assert_ne!(inner.id().unwrap(), outer_id);
+                let innermost = span("innermost");
+                drop(innermost);
+                drop(inner);
+            }
+            // After the nested spans close, a sibling re-parents to outer.
+            let sibling = span("sibling");
+            drop(sibling);
+            drop(outer);
+        }
+        let records = collector.records();
+        let by_name = |n: &str| records.iter().find(|r| r.name == n).unwrap();
+        let outer = by_name("outer");
+        let inner = by_name("inner");
+        let innermost = by_name("innermost");
+        let sibling = by_name("sibling");
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(innermost.parent, Some(inner.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        // Children close before parents, and a parent's duration covers
+        // its children.
+        assert!(outer.duration_ns >= inner.duration_ns);
+    }
+
+    #[test]
+    fn collector_aggregates_and_uninstalls() {
+        let _serial = test_lock();
+        let collector = MemoryCollector::new();
+        {
+            let _guard = install_collector(collector.clone());
+            for _ in 0..5 {
+                let _s = span("repeated");
+            }
+        }
+        // Guard dropped: no longer recording.
+        let after = span("repeated");
+        drop(after);
+        assert_eq!(collector.count("repeated"), 5);
+        let stats = collector.stats();
+        let (_, stat) = stats.iter().find(|(n, _)| *n == "repeated").unwrap();
+        assert_eq!(stat.count, 5);
+        assert!(stat.max_ns <= stat.total_ns);
+    }
+
+    #[test]
+    fn concurrent_threads_have_independent_stacks() {
+        let _serial = test_lock();
+        let collector = MemoryCollector::new();
+        let _guard = install_collector(collector.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let outer = span("t.outer");
+                    let outer_id = outer.id().unwrap();
+                    let inner = span("t.inner");
+                    // The inner span's parent is this thread's outer span,
+                    // not whatever another thread has open.
+                    drop(inner);
+                    drop(outer);
+                    outer_id
+                });
+            }
+        });
+        let records = collector.records();
+        let outers: std::collections::HashSet<u64> = records
+            .iter()
+            .filter(|r| r.name == "t.outer")
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(outers.len(), 4);
+        for inner in records.iter().filter(|r| r.name == "t.inner") {
+            assert!(outers.contains(&inner.parent.unwrap()));
+        }
+    }
+}
