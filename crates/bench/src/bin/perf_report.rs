@@ -1,0 +1,322 @@
+//! `perf_report`: the repo's performance-regression harness.
+//!
+//! Times the convolution kernels (reference vs auto-dispatched engine
+//! across a size × taps grid), per-cycle monitor throughput (naive lag
+//! walk vs ring-dot full convolution vs the biquad recurrence), and a
+//! whole closed-loop sweep (serial and parallel, checking the results
+//! stay bit-identical), then writes a `BENCH_pr3.json` machine-readable
+//! report at the current directory (override the path with
+//! `DIDT_BENCH_OUT`). CI runs `perf_report --smoke` on every push so
+//! each future PR has a number to move; the headline metric is the
+//! `fir_filter_auto` speedup over `fir_filter` at N = 1 M, K = 1024.
+//!
+//! Like every experiment binary it also emits a run manifest — but all
+//! wall-clock figures live only in the BENCH JSON, never in manifest
+//! params or goldens, so manifest fingerprints stay timing-free.
+
+use std::time::Instant;
+
+use didt_bench::{
+    ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable,
+};
+use didt_core::monitor::{
+    BiquadMonitor, CycleSense, FullConvolutionMonitor, HistoryRing, VoltageMonitor,
+};
+use didt_dsp::{conv_crossover_taps, fir_filter, fir_filter_auto};
+use didt_telemetry::{discover_git_sha, Json};
+use didt_uarch::Benchmark;
+
+/// The headline shape of the acceptance criterion: offline trace
+/// convolution at one million samples through a 1024-tap response.
+const HEADLINE: (usize, usize) = (1 << 20, 1024);
+
+/// One timed kernel shape.
+struct KernelRow {
+    n: usize,
+    k: usize,
+    ref_ms: f64,
+    auto_ms: f64,
+    tier: &'static str,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut exp = Experiment::start("perf_report");
+
+    // ------------------------------------------------------------------
+    // 1. Kernel grid: fir_filter (reference) vs fir_filter_auto.
+    // ------------------------------------------------------------------
+    let shapes: Vec<(usize, usize)> = if smoke {
+        // Reduced grid, but the headline shape is non-negotiable.
+        vec![(1 << 16, 64), (1 << 16, 1024), HEADLINE]
+    } else {
+        let mut v = Vec::new();
+        for &n in &[1_000usize, 1 << 13, 1 << 16, 1 << 20] {
+            for &k in &[16usize, 64, 256, 1024, 4096] {
+                if k <= n {
+                    v.push((n, k));
+                }
+            }
+        }
+        v
+    };
+    let crossover = conv_crossover_taps();
+    println!("measured time-domain/FFT crossover: {crossover} taps\n");
+    let mut t = TextTable::new(&["n", "k", "ref ms", "auto ms", "speedup", "tier"]);
+    let mut rows: Vec<KernelRow> = Vec::new();
+    for &(n, k) in &shapes {
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 20.0 + 40.0)
+            .collect();
+        let h: Vec<f64> = (0..k).map(|i| 0.995f64.powi(i as i32) * 0.01).collect();
+        // Rep counts sized so small shapes aren't noise-dominated while
+        // the 1 M-sample reference row stays affordable.
+        let reps = if n * k > 1 << 26 { 1 } else { 5 };
+        let ref_ms = best_ms(reps, || fir_filter(&x, &h));
+        let auto_ms = best_ms(reps.max(3), || fir_filter_auto(&x, &h));
+        let tier = if k > crossover && n >= 4 * k {
+            "fft"
+        } else {
+            "time"
+        };
+        t.row_owned(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{ref_ms:.3}"),
+            format!("{auto_ms:.3}"),
+            format!("{:.1}x", ref_ms / auto_ms),
+            tier.to_string(),
+        ]);
+        rows.push(KernelRow {
+            n,
+            k,
+            ref_ms,
+            auto_ms,
+            tier,
+        });
+    }
+    println!("{}", t.render());
+    let headline = rows
+        .iter()
+        .find(|r| (r.n, r.k) == HEADLINE)
+        .expect("headline shape always measured");
+    let headline_speedup = headline.ref_ms / headline.auto_ms;
+    println!(
+        "headline: fir_filter_auto at n = {}, k = {}: {:.1}x over fir_filter\n",
+        headline.n, headline.k, headline_speedup
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Monitor throughput: cycles/s of the closed-loop droop paths.
+    // ------------------------------------------------------------------
+    let ctx = SweepContext::standard()?;
+    let pdn = ctx.pdn(150.0)?;
+    let taps = 512;
+    let cycles: usize = if smoke { 100_000 } else { 400_000 };
+    let impulse = pdn.impulse_response(taps);
+    let current = |c: usize| 30.0 + 25.0 * ((c as f64) * 0.21).sin();
+
+    // Naive baseline: the pre-PR per-tap ring.lag walk.
+    let mut ring = HistoryRing::new(taps);
+    let naive_ms = best_ms(1, || {
+        let mut acc = 0.0;
+        for c in 0..cycles {
+            ring.push(current(c));
+            let mut droop = 0.0;
+            for (m, &hm) in impulse.iter().enumerate() {
+                droop += hm * ring.lag(m);
+            }
+            acc += pdn.vdd() - droop;
+        }
+        acc
+    });
+    let mut full = FullConvolutionMonitor::new(&pdn, taps, 3);
+    let full_ms = best_ms(1, || {
+        let mut acc = 0.0;
+        for c in 0..cycles {
+            acc += full.observe(CycleSense {
+                current: current(c),
+                voltage: 1.0,
+            });
+        }
+        acc
+    });
+    let mut biquad = BiquadMonitor::new(&pdn, 3);
+    let biquad_ms = best_ms(1, || {
+        let mut acc = 0.0;
+        for c in 0..cycles {
+            acc += biquad.observe(CycleSense {
+                current: current(c),
+                voltage: 1.0,
+            });
+        }
+        acc
+    });
+    let rate = |ms: f64| cycles as f64 / (ms / 1e3);
+    let mut mt = TextTable::new(&["droop path", "taps", "cycles/s", "vs naive"]);
+    for (name, taps_str, ms) in [
+        ("naive lag-walk FIR", taps.to_string(), naive_ms),
+        ("ring-dot FIR (full-conv)", taps.to_string(), full_ms),
+        ("biquad recurrence", "5".to_string(), biquad_ms),
+    ] {
+        mt.row_owned(vec![
+            name.to_string(),
+            taps_str,
+            format!("{:.2e}", rate(ms)),
+            format!("{:.1}x", naive_ms / ms),
+        ]);
+    }
+    println!("{}", mt.render());
+
+    // ------------------------------------------------------------------
+    // 3. Whole-sweep wall clock, serial vs parallel, results compared.
+    // ------------------------------------------------------------------
+    let run = if smoke {
+        RunParams {
+            instructions: 3_000,
+            warmup_cycles: 1_000,
+        }
+    } else {
+        RunParams {
+            instructions: 20_000,
+            warmup_cycles: 5_000,
+        }
+    };
+    let sweep = Sweep::new()
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Swim])
+        .pdn_pcts(&[150.0])
+        .monitor_terms(&[13])
+        .controllers(&[
+            ControllerSpec::FullConvolution {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+            },
+            ControllerSpec::WaveletThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+            },
+            ControllerSpec::BiquadRecursive {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+                delay: 0,
+            },
+        ]);
+    let points = sweep.points();
+    exp.grid(&sweep);
+    exp.run_params(run);
+
+    let serial_runner = ExperimentRunner::serial();
+    let t0 = Instant::now();
+    let (serial_results, serial_times) =
+        SweepContext::standard()?.run_sweep_timed(&serial_runner, &points, run);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let par_runner = ExperimentRunner::from_env();
+    let t1 = Instant::now();
+    let (par_results, _) = SweepContext::standard()?.run_sweep_timed(&par_runner, &points, run);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let identical = serial_results == par_results;
+    println!(
+        "sweep ({} points): serial {:.0} ms, parallel {:.0} ms on {} threads, bit-identical: {}",
+        points.len(),
+        serial_ms,
+        parallel_ms,
+        par_runner.threads(),
+        identical
+    );
+    exp.runner(&par_runner, false);
+    exp.points(&serial_results, &serial_times);
+    exp.cache(&ctx);
+    // Deterministic facts only — wall clocks stay out of the manifest.
+    exp.golden("kernel_shapes", rows.len() as f64);
+    exp.golden("sweep_points", points.len() as f64);
+    exp.golden("serial_parallel_identical", f64::from(u8::from(identical)));
+
+    // ------------------------------------------------------------------
+    // 4. The BENCH JSON report.
+    // ------------------------------------------------------------------
+    let report = Json::obj(vec![
+        ("schema", Json::str("didt-bench-v1")),
+        ("name", Json::str("perf_report")),
+        ("git_sha", discover_git_sha().map_or(Json::Null, Json::str)),
+        ("smoke", Json::Bool(smoke)),
+        ("crossover_taps", Json::Num(crossover as f64)),
+        (
+            "kernels",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("n", Json::Num(r.n as f64)),
+                            ("k", Json::Num(r.k as f64)),
+                            ("fir_filter_ms", Json::Num(r.ref_ms)),
+                            ("fir_filter_auto_ms", Json::Num(r.auto_ms)),
+                            ("speedup", Json::Num(r.ref_ms / r.auto_ms)),
+                            ("tier", Json::str(r.tier)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "headline",
+            Json::obj(vec![
+                ("n", Json::Num(headline.n as f64)),
+                ("k", Json::Num(headline.k as f64)),
+                ("fir_filter_ms", Json::Num(headline.ref_ms)),
+                ("fir_filter_auto_ms", Json::Num(headline.auto_ms)),
+                ("speedup", Json::Num(headline_speedup)),
+                ("target", Json::Num(10.0)),
+                ("meets_target", Json::Bool(headline_speedup >= 10.0)),
+            ]),
+        ),
+        (
+            "monitors",
+            Json::obj(vec![
+                ("taps", Json::Num(taps as f64)),
+                ("cycles", Json::Num(cycles as f64)),
+                ("naive_lag_walk_cycles_per_sec", Json::Num(rate(naive_ms))),
+                ("full_conv_cycles_per_sec", Json::Num(rate(full_ms))),
+                ("biquad_cycles_per_sec", Json::Num(rate(biquad_ms))),
+                ("full_conv_speedup_vs_naive", Json::Num(naive_ms / full_ms)),
+                ("biquad_speedup_vs_naive", Json::Num(naive_ms / biquad_ms)),
+            ]),
+        ),
+        (
+            "sweep",
+            Json::obj(vec![
+                ("points", Json::Num(points.len() as f64)),
+                ("instructions", Json::Num(run.instructions as f64)),
+                ("serial_ms", Json::Num(serial_ms)),
+                ("parallel_ms", Json::Num(parallel_ms)),
+                ("threads", Json::Num(par_runner.threads() as f64)),
+                ("serial_parallel_identical", Json::Bool(identical)),
+            ]),
+        ),
+    ]);
+    let out_path = std::env::var("DIDT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    std::fs::write(&out_path, report.render() + "\n")?;
+    println!("bench report: {out_path}");
+    exp.finish()?;
+
+    if !identical {
+        return Err("serial and parallel sweep results diverged".into());
+    }
+    Ok(())
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds. The result is fed
+/// to `black_box` so the work is not optimized away.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}

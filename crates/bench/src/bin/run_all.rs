@@ -49,6 +49,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_offline_predicts_control",
     "ext_width_sensitivity",
     "ext_guardband",
+    "perf_report",
 ];
 
 struct Outcome {

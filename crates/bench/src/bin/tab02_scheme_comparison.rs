@@ -87,6 +87,7 @@ fn main() {
         }
         ControllerSpec::PipelineDamping { .. } => (1, 0),
         ControllerSpec::WaveletThreshold { delay, .. } => (TERMS, *delay),
+        ControllerSpec::BiquadRecursive { delay, .. } => (5, *delay),
         ControllerSpec::None => (0, 0),
     };
 

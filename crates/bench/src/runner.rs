@@ -34,7 +34,9 @@ use didt_core::control::{
     ClosedLoop, ClosedLoopConfig, ClosedLoopResult, DidtController, NoControl, PipelineDamping,
     ThresholdController,
 };
-use didt_core::monitor::{AnalogSensor, FullConvolutionMonitor, WaveletMonitorDesign};
+use didt_core::monitor::{
+    AnalogSensor, BiquadMonitor, FullConvolutionMonitor, WaveletMonitorDesign,
+};
 use didt_core::{DidtError, DidtSystem};
 use didt_pdn::SecondOrderPdn;
 use didt_uarch::{capture_trace, Benchmark, CurrentTrace, ProcessorConfig};
@@ -102,6 +104,12 @@ pub fn point_seed(point: &SweepPoint) -> u64 {
             fnv1a(h, &max_delta.to_bits().to_le_bytes())
         }
         ControllerSpec::WaveletThreshold {
+            low,
+            high,
+            hysteresis,
+            delay,
+        }
+        | ControllerSpec::BiquadRecursive {
             low,
             high,
             hysteresis,
@@ -350,6 +358,20 @@ pub enum ControllerSpec {
         /// Sensor delay in cycles.
         delay: usize,
     },
+    /// Threshold controller on the exact recursive (biquad) droop
+    /// evaluator — the O(1) streaming limit of the full-convolution
+    /// scheme (five terms per cycle, zero truncation error). Not a
+    /// paper Table 2 scheme; serves as the performance ceiling.
+    BiquadRecursive {
+        /// Low control point (V).
+        low: f64,
+        /// High control point (V).
+        high: f64,
+        /// Release hysteresis (V).
+        hysteresis: f64,
+        /// Estimate-pipeline delay in cycles.
+        delay: usize,
+    },
 }
 
 impl ControllerSpec {
@@ -362,6 +384,7 @@ impl ControllerSpec {
             ControllerSpec::FullConvolution { .. } => "full-convolution",
             ControllerSpec::PipelineDamping { .. } => "pipeline-damping",
             ControllerSpec::WaveletThreshold { .. } => "wavelet-convolution",
+            ControllerSpec::BiquadRecursive { .. } => "biquad-recursive",
         }
     }
 }
@@ -800,6 +823,20 @@ impl SweepContext {
                 let design = self.monitor_design(point.pdn_pct, MONITOR_WINDOW)?;
                 Box::new(ThresholdController::new(
                     design.build(point.monitor_terms, delay)?,
+                    low,
+                    high,
+                    hysteresis,
+                ))
+            }
+            ControllerSpec::BiquadRecursive {
+                low,
+                high,
+                hysteresis,
+                delay,
+            } => {
+                let pdn = self.pdn(point.pdn_pct)?;
+                Box::new(ThresholdController::new(
+                    BiquadMonitor::new(&pdn, delay),
                     low,
                     high,
                     hysteresis,

@@ -247,28 +247,60 @@ impl ClosedLoop {
         } else {
             0.0
         };
+        if result.cycles == 0 {
+            // Nothing was measured (e.g. `instructions: 0`): pin the
+            // extrema to the nominal rail instead of leaking the
+            // ±infinity sentinels into manifests.
+            result.v_min = self.pdn.vdd();
+            result.v_max = self.pdn.vdd();
+        }
         record_run_metrics(controller.name(), &result);
         Ok(result)
     }
+}
+
+/// The four registry counters a closed-loop scheme reports into,
+/// resolved once per scheme name (see [`scheme_counters`]).
+struct SchemeCounters {
+    runs: std::sync::Arc<didt_telemetry::Counter>,
+    cycles: std::sync::Arc<didt_telemetry::Counter>,
+    emergencies: std::sync::Arc<didt_telemetry::Counter>,
+    false_positives: std::sync::Arc<didt_telemetry::Counter>,
+}
+
+/// Counter handles for `scheme`, building (and `format!`-ing) the four
+/// registry names only on the first run of each scheme — a 100-point
+/// sweep reuses the cached `Arc`s instead of feeding the registry four
+/// fresh `String`s per run.
+fn scheme_counters(scheme: &str) -> std::sync::Arc<SchemeCounters> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<SchemeCounters>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("scheme counter cache poisoned");
+    if let Some(counters) = map.get(scheme) {
+        return Arc::clone(counters);
+    }
+    let metrics = didt_telemetry::MetricsRegistry::global();
+    let counters = Arc::new(SchemeCounters {
+        runs: metrics.counter(&format!("closed_loop.{scheme}.runs")),
+        cycles: metrics.counter(&format!("closed_loop.{scheme}.cycles")),
+        emergencies: metrics.counter(&format!("closed_loop.{scheme}.emergencies")),
+        false_positives: metrics.counter(&format!("closed_loop.{scheme}.false_positives")),
+    });
+    map.insert(scheme.to_string(), Arc::clone(&counters));
+    counters
 }
 
 /// Fold one finished run into the process-global metrics registry so
 /// per-controller emergency rates can be derived from the counters
 /// (`emergencies / cycles` per scheme name).
 fn record_run_metrics(scheme: &str, result: &ClosedLoopResult) {
-    let metrics = didt_telemetry::MetricsRegistry::global();
-    metrics
-        .counter(&format!("closed_loop.{scheme}.runs"))
-        .incr();
-    metrics
-        .counter(&format!("closed_loop.{scheme}.cycles"))
-        .add(result.cycles);
-    metrics
-        .counter(&format!("closed_loop.{scheme}.emergencies"))
-        .add(result.emergencies());
-    metrics
-        .counter(&format!("closed_loop.{scheme}.false_positives"))
-        .add(result.false_positives);
+    let counters = scheme_counters(scheme);
+    counters.runs.incr();
+    counters.cycles.add(result.cycles);
+    counters.emergencies.add(result.emergencies());
+    counters.false_positives.add(result.false_positives);
 }
 
 #[cfg(test)]
@@ -327,6 +359,47 @@ mod tests {
         let a = harness.run(&mut NoControl).unwrap();
         let b = harness.run(&mut NoControl).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_instruction_run_pins_extrema_to_vdd() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let vdd = pdn.vdd();
+        let cfg = ClosedLoopConfig {
+            instructions: 0,
+            ..small_cfg(Benchmark::Gzip)
+        };
+        let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
+        let r = harness.run(&mut NoControl).unwrap();
+        assert_eq!(r.cycles, 0);
+        // The ±infinity accumulator sentinels must not leak out.
+        assert_eq!(r.v_min, vdd);
+        assert_eq!(r.v_max, vdd);
+        assert!(r.v_min.is_finite() && r.v_max.is_finite());
+        assert_eq!(r.mean_power, 0.0);
+    }
+
+    #[test]
+    fn scheme_counters_accumulate_across_runs() {
+        let metrics = didt_telemetry::MetricsRegistry::global();
+        let runs = metrics.counter("closed_loop.counter-test-scheme.runs");
+        let cycles = metrics.counter("closed_loop.counter-test-scheme.cycles");
+        let before_runs = runs.get();
+        let before_cycles = cycles.get();
+        let result = ClosedLoopResult {
+            cycles: 123,
+            low_emergencies: 2,
+            false_positives: 1,
+            ..ClosedLoopResult::default()
+        };
+        record_run_metrics("counter-test-scheme", &result);
+        record_run_metrics("counter-test-scheme", &result);
+        assert_eq!(runs.get() - before_runs, 2);
+        assert_eq!(cycles.get() - before_cycles, 246);
+        // The cached handles point at the same registry counters.
+        let again = scheme_counters("counter-test-scheme");
+        assert_eq!(again.runs.get(), runs.get());
     }
 
     #[test]

@@ -70,10 +70,11 @@ impl FullConvolutionMonitor {
 impl VoltageMonitor for FullConvolutionMonitor {
     fn observe(&mut self, sense: CycleSense) -> f64 {
         self.ring.push(sense.current);
-        let mut droop = 0.0;
-        for (m, &h) in self.impulse.iter().enumerate() {
-            droop += h * self.ring.lag(m);
-        }
+        // Contiguous two-segment dot product over the ring halves;
+        // bit-identical to a per-tap `ring.lag(m)` walk (the golden
+        // tab02 numbers flow through this line) but without the modulo
+        // and bounds check per tap.
+        let droop = self.ring.dot(&self.impulse);
         let est = self.vdd - droop;
         if self.delay == 0 {
             return est;
@@ -162,5 +163,35 @@ mod tests {
             }
         }
         assert!(err_short > 4.0 * err_long, "{err_short} vs {err_long}");
+    }
+
+    #[test]
+    fn ring_dot_estimate_is_bitwise_identical_to_lag_walk() {
+        // The monitor feeds golden-number sweeps, so the fast dot path
+        // must reproduce the historic per-tap lag loop exactly — not
+        // just within tolerance.
+        let p = pdn();
+        let taps = 300; // non-power-of-two, forces a wrapped second segment
+        let mut mon = FullConvolutionMonitor::new(&p, taps, 2);
+        let impulse = p.impulse_response(taps);
+        let mut ring = HistoryRing::new(taps);
+        let mut naive_pipe = VecDeque::from(vec![p.vdd(); 2]);
+        let mut sim = p.simulator();
+        for n in 0..2000 {
+            let i = 30.0 + 25.0 * ((n as f64) * 0.21).sin();
+            let v = sim.step(i);
+            ring.push(i);
+            let mut droop = 0.0;
+            for (m, &h) in impulse.iter().enumerate() {
+                droop += h * ring.lag(m);
+            }
+            naive_pipe.push_back(p.vdd() - droop);
+            let expected = naive_pipe.pop_front().unwrap();
+            let est = mon.observe(CycleSense {
+                current: i,
+                voltage: v,
+            });
+            assert_eq!(est.to_bits(), expected.to_bits(), "cycle {n}");
+        }
     }
 }

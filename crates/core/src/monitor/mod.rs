@@ -10,13 +10,21 @@
 //! | [`FullConvolutionMonitor`] | current → full convolution | window (256+) | 3 |
 //! | [`AnalogSensor`] | voltage directly (analog circuit) | — | 2 |
 //! | (pipeline damping) | current deltas, no voltage estimate — see [`crate::control`] | — | 0 |
+//!
+//! One extra design goes beyond the paper's table: [`BiquadMonitor`]
+//! runs the PDN's exact second-order recurrence on the sensed current
+//! (five terms per cycle, zero truncation error) — the streaming O(1)
+//! limit of the full-convolution idea, used as a performance ceiling in
+//! long closed-loop runs and as a bitwise oracle in tests.
 
 mod analog;
+mod biquad_monitor;
 mod full_conv;
 mod shift_register;
 mod wavelet_monitor;
 
 pub use analog::AnalogSensor;
+pub use biquad_monitor::BiquadMonitor;
 pub use full_conv::FullConvolutionMonitor;
 pub use shift_register::{HistoryRing, SlidingTerm, TermKind};
 pub use wavelet_monitor::{TermWeight, WaveletMonitor, WaveletMonitorDesign};

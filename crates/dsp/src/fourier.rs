@@ -138,8 +138,10 @@ impl std::ops::Div for Complex {
 /// # }
 /// ```
 pub fn fft(signal: &[f64]) -> Result<Vec<Complex>, DspError> {
-    let buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
-    fft_complex(buf, false)
+    let plan = FftPlan::new(signal.len())?;
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    plan.forward(&mut buf);
+    Ok(buf)
 }
 
 /// Inverse FFT, returning a complex time series (imaginary parts are
@@ -150,45 +152,140 @@ pub fn fft(signal: &[f64]) -> Result<Vec<Complex>, DspError> {
 /// Returns [`DspError::BadLength`] unless the spectrum length is a
 /// nonzero power of two.
 pub fn ifft(spectrum: &[Complex]) -> Result<Vec<Complex>, DspError> {
-    let n = spectrum.len() as f64;
-    let out = fft_complex(spectrum.to_vec(), true)?;
-    Ok(out.into_iter().map(|z| z / n).collect())
+    let plan = FftPlan::new(spectrum.len())?;
+    let mut buf = spectrum.to_vec();
+    plan.inverse(&mut buf);
+    Ok(buf)
 }
 
-fn fft_complex(mut buf: Vec<Complex>, inverse: bool) -> Result<Vec<Complex>, DspError> {
-    let n = buf.len();
-    if n == 0 || !n.is_power_of_two() {
-        return Err(DspError::BadLength {
-            len: n,
-            requirement: "FFT length must be a nonzero power of two",
-        });
+/// A planned radix-2 FFT of one fixed size: the twiddle factors are
+/// computed once at construction, so repeated transforms of the same
+/// length (the overlap-save convolution engine runs thousands per
+/// sweep) pay no per-call trigonometry and no per-call allocation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), didt_dsp::DspError> {
+/// use didt_dsp::{Complex, FftPlan};
+///
+/// let plan = FftPlan::new(8)?;
+/// let mut buf = vec![Complex::default(); 8];
+/// buf[0] = Complex::new(1.0, 0.0);
+/// plan.forward(&mut buf);
+/// for z in &buf {
+///     assert!((z.norm() - 1.0).abs() < 1e-12); // flat impulse spectrum
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles `e^{-2πik/n}` for `k < n/2`; the inverse pass
+    /// conjugates on the fly.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Plan a transform of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] unless `n` is a nonzero power of
+    /// two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(DspError::BadLength {
+                len: n,
+                requirement: "FFT length must be a nonzero power of two",
+            });
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Ok(FftPlan { n, twiddles })
     }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if j > i {
-            buf.swap(i, j);
+
+    /// The planned transform length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 plan.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT: `X[k] = Σ x[t] e^{-2πikt/N}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.process(buf, false);
+    }
+
+    /// In-place inverse DFT including the `1/N` scaling, so
+    /// `inverse(forward(x)) == x` up to round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.process(buf, true);
+        let scale = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = *z * scale;
         }
     }
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_polar_unit(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = buf[start + k];
-                let v = buf[start + k + len / 2] * w;
-                buf[start + k] = u + v;
-                buf[start + k + len / 2] = u - v;
-                w = w * wlen;
+
+    /// In-place inverse DFT *without* the `1/N` scaling — callers that
+    /// fold the scaling into precomputed spectra (the convolution
+    /// engine scales the kernel spectrum once) skip N multiplies per
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse_unscaled(&self, buf: &mut [Complex]) {
+        self.process(buf, true);
+    }
+
+    fn process(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length must match the planned FFT");
+        // Bit-reversal permutation.
+        let bits = n.trailing_zeros();
+        if bits > 0 {
+            for i in 0..n {
+                let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+                if j > i {
+                    buf.swap(i, j);
+                }
             }
         }
-        len <<= 1;
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let w = if inverse {
+                        self.twiddles[k * stride].conj()
+                    } else {
+                        self.twiddles[k * stride]
+                    };
+                    let u = buf[start + k];
+                    let v = buf[start + k + len / 2] * w;
+                    buf[start + k] = u + v;
+                    buf[start + k + len / 2] = u - v;
+                }
+            }
+            len <<= 1;
+        }
     }
-    Ok(buf)
 }
 
 /// One-sided power spectrum of a real signal: `|X[k]|² / N` for

@@ -20,8 +20,10 @@
 //!   (paper Figure 4).
 //! * [`fourier`] — radix-2 FFT and power spectra, for the Fourier-vs-
 //!   wavelet comparisons of paper §2.
-//! * [`convolution`] — direct/FIR convolution used to model linear
-//!   systems (paper equation 6).
+//! * [`convolution`] — the tiered convolution engine behind paper
+//!   equation 6: O(N·K) reference kernels, a cache-blocked time-domain
+//!   tier, FFT overlap-save ([`ConvScratch`]), and the measured-crossover
+//!   auto dispatcher [`fir_filter_auto`].
 //!
 //! # Examples
 //!
@@ -53,9 +55,12 @@ pub mod wavelet;
 
 mod error;
 
-pub use convolution::{convolve_full, fir_filter};
+pub use convolution::{
+    conv_crossover_taps, convolve_fft, convolve_full, fir_filter, fir_filter_auto, fir_filter_fast,
+    fir_filter_time, measure_crossover, ConvScratch,
+};
 pub use error::DspError;
-pub use fourier::{fft, ifft, power_spectrum, Complex};
+pub use fourier::{fft, ifft, power_spectrum, Complex, FftPlan};
 pub use packet::{wavelet_packet, WaveletPacket};
 pub use scalogram::Scalogram;
 pub use streaming::{StreamCoefficient, StreamingHaar};

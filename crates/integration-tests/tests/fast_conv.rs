@@ -1,0 +1,167 @@
+//! Cross-crate contracts of the fast convolution engine (PR 3).
+//!
+//! The engine promises two different strengths of equivalence and this
+//! suite pins both at the system level:
+//!
+//! * **Bitwise** — the full-convolution monitor's ring-dot rewrite and
+//!   the biquad monitor feed golden-number sweeps, so they must
+//!   reproduce the historic arithmetic exactly, and sweeps using them
+//!   must stay serial≡parallel bit-identical.
+//! * **Tolerance (1e-9)** — `fir_filter_auto` may reassociate sums or
+//!   go through the frequency domain, so offline trace convolution is
+//!   pinned to the reference within round-off only.
+
+use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext, SweepPoint};
+use didt_core::monitor::{BiquadMonitor, CycleSense, FullConvolutionMonitor, VoltageMonitor};
+use didt_dsp::{fir_filter, fir_filter_auto};
+use didt_uarch::{capture_trace, Benchmark};
+
+const RUN: RunParams = RunParams {
+    instructions: 3_000,
+    warmup_cycles: 1_000,
+};
+
+fn grid() -> Vec<SweepPoint> {
+    Sweep::new()
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Twolf])
+        .pdn_pcts(&[125.0, 150.0])
+        .monitor_terms(&[13])
+        .controllers(&[
+            ControllerSpec::FullConvolution {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+            },
+            ControllerSpec::BiquadRecursive {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.004,
+                delay: 0,
+            },
+        ])
+        .points()
+}
+
+/// The monitor that feeds the tab02 goldens must produce bit-identical
+/// estimates through the contiguous ring-dot path on a real captured
+/// workload trace (not just synthetic waves).
+#[test]
+fn full_conv_monitor_is_bitwise_stable_on_real_trace() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let trace = capture_trace(
+        Benchmark::Gzip,
+        ctx.system().processor(),
+        0xD1D7_2004,
+        5_000,
+        4_096,
+    );
+    let taps = 300; // non-power-of-two: exercises the wrapped segment
+    let mut mon = FullConvolutionMonitor::new(&pdn, taps, 3);
+    let impulse = pdn.impulse_response(taps);
+    // Naive re-implementation: explicit history walk + delay pipeline.
+    let mut history: Vec<f64> = Vec::new();
+    let mut estimates: Vec<f64> = Vec::new();
+    let mut sim = pdn.simulator();
+    for &i in &trace.samples {
+        let v = sim.step(i);
+        history.push(i);
+        let mut droop = 0.0;
+        for (m, &h) in impulse.iter().enumerate() {
+            let lag_val = if m < history.len() {
+                history[history.len() - 1 - m]
+            } else {
+                0.0
+            };
+            droop += h * lag_val;
+        }
+        estimates.push(pdn.vdd() - droop);
+        let n = estimates.len();
+        let expected = if n <= 3 {
+            pdn.vdd()
+        } else {
+            estimates[n - 1 - 3]
+        };
+        let est = mon.observe(CycleSense {
+            current: i,
+            voltage: v,
+        });
+        assert_eq!(est.to_bits(), expected.to_bits());
+    }
+}
+
+/// The biquad monitor is the PDN's own recurrence: with zero delay its
+/// estimate equals the simulator's true voltage bit for bit, on a real
+/// captured trace.
+#[test]
+fn biquad_monitor_is_exact_on_real_trace() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let trace = capture_trace(
+        Benchmark::Twolf,
+        ctx.system().processor(),
+        0xD1D7_2004,
+        5_000,
+        4_096,
+    );
+    let mut mon = BiquadMonitor::new(&pdn, 0);
+    let mut sim = pdn.simulator();
+    for &i in &trace.samples {
+        let v = sim.step(i);
+        let est = mon.observe(CycleSense {
+            current: i,
+            voltage: v,
+        });
+        assert_eq!(est.to_bits(), v.to_bits());
+    }
+}
+
+/// Offline trace convolution through the auto-dispatched engine agrees
+/// with the O(N·K) reference within 1e-9 on a real workload trace and a
+/// real PDN impulse response (the shapes sweeps actually use).
+#[test]
+fn auto_dispatch_matches_reference_on_real_trace() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let trace = capture_trace(
+        Benchmark::Gzip,
+        ctx.system().processor(),
+        0xD1D7_2004,
+        5_000,
+        1 << 14,
+    );
+    for taps in [64usize, 700] {
+        let h = pdn.impulse_response(taps);
+        let fast = fir_filter_auto(&trace.samples, &h);
+        let slow = fir_filter(&trace.samples, &h);
+        assert_eq!(fast.len(), slow.len());
+        for (t, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-9, "taps {taps}, t = {t}: {a} vs {b}");
+        }
+    }
+}
+
+/// Sweeps through the rewritten full-convolution path and the new
+/// biquad controller stay serial≡parallel bit-identical — the fast
+/// paths must not introduce any order dependence.
+#[test]
+fn fast_path_sweeps_serial_parallel_bit_identical() {
+    let points = grid();
+    let serial =
+        SweepContext::standard()
+            .unwrap()
+            .run_sweep(&ExperimentRunner::serial(), &points, RUN);
+    let parallel = SweepContext::standard().unwrap().run_sweep(
+        &ExperimentRunner::with_threads(4),
+        &points,
+        RUN,
+    );
+    assert_eq!(serial, parallel);
+    // And the biquad ceiling really controls: it should never leave
+    // more residual emergencies than the uncontrolled baseline.
+    for r in &serial {
+        if r.point.controller.tag() == "biquad-recursive" {
+            assert!(r.controlled.emergencies() <= r.baseline.emergencies());
+        }
+    }
+}

@@ -67,7 +67,7 @@ proptest! {
     ) {
         let h = pdn.impulse_response(2048);
         let v = pdn.simulate(&i);
-        let droop = didt_dsp::fir_filter(&i, &h);
+        let droop = didt_dsp::fir_filter_auto(&i, &h);
         for n in 0..i.len() {
             prop_assert!((v[n] - (pdn.vdd() - droop[n])).abs() < 1e-8);
         }
