@@ -50,6 +50,8 @@ const EXPERIMENTS: &[&str] = &[
     "ext_width_sensitivity",
     "ext_guardband",
     "perf_report",
+    // Built by didt-serve, not didt-bench; lands in the same bin dir.
+    "load_report",
 ];
 
 struct Outcome {

@@ -852,6 +852,27 @@ impl SweepContext {
     ///
     /// Propagates PDN, monitor and closed-loop errors.
     pub fn run_point(&self, point: &SweepPoint, run: RunParams) -> Result<PointResult, DidtError> {
+        self.run_point_deadline(point, run, None)
+    }
+
+    /// [`Self::run_point`] with a cooperative wall-clock deadline for
+    /// the *controlled* leg (the service path). The cached uncontrolled
+    /// baseline is never aborted: it is computed once per cell, shared
+    /// by every request on the cell, and bounded by the cell's own run
+    /// parameters — aborting it would poison the shared cache for all
+    /// later callers. With `deadline: None` the result is bit-identical
+    /// to [`Self::run_point`].
+    ///
+    /// # Errors
+    ///
+    /// [`DidtError::DeadlineExceeded`] when the deadline expires
+    /// mid-simulation, plus every error of [`Self::run_point`].
+    pub fn run_point_deadline(
+        &self,
+        point: &SweepPoint,
+        run: RunParams,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<PointResult, DidtError> {
         let _span = didt_telemetry::span("sweep.point");
         let baseline = *self.baseline(point.benchmark, point.pdn_pct, run)?;
         let cfg = self.loop_config(point.benchmark, point.pdn_pct, run);
@@ -860,7 +881,8 @@ impl SweepContext {
         } else {
             let pdn = self.pdn(point.pdn_pct)?;
             let mut ctl = self.controller(point)?;
-            ClosedLoop::new(*self.system.processor(), *pdn, cfg).run(ctl.as_mut())?
+            ClosedLoop::new(*self.system.processor(), *pdn, cfg)
+                .run_with_deadline(ctl.as_mut(), deadline)?
         };
         Ok(PointResult {
             point: point.clone(),

@@ -169,7 +169,51 @@ impl ClosedLoop {
     /// Returns [`DidtError::InvalidConfig`] when the run fails to make
     /// forward progress (a pathological controller that stalls forever).
     pub fn run(&self, controller: &mut dyn DidtController) -> Result<ClosedLoopResult, DidtError> {
+        self.run_with_deadline(controller, None)
+    }
+
+    /// [`Self::run`] with a cooperative wall-clock deadline.
+    ///
+    /// The simulation checks the clock every
+    /// [`DEADLINE_CHECK_INTERVAL`] cycles (warmup included) and aborts
+    /// with [`DidtError::DeadlineExceeded`] once `deadline` has passed.
+    /// With `deadline: None` the check is compiled to a no-op branch and
+    /// the result is **bit-identical** to [`Self::run`] — the clock is
+    /// never read, so timing cannot perturb the simulation. Service
+    /// paths (`didt-serve`) rely on this to abort long requests cleanly
+    /// without poisoning shared caches: the partial run is dropped
+    /// whole.
+    ///
+    /// # Errors
+    ///
+    /// [`DidtError::DeadlineExceeded`] past the deadline, plus every
+    /// error of [`Self::run`].
+    pub fn run_with_deadline(
+        &self,
+        controller: &mut dyn DidtController,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<ClosedLoopResult, DidtError> {
         let _span = didt_telemetry::span("core.closed_loop.run");
+        let mut since_check: u32 = 0;
+        let mut simulated: u64 = 0;
+        // One macro, two loops: the deadline test must not touch the
+        // clock unless a deadline was actually set.
+        macro_rules! check_deadline {
+            () => {
+                simulated += 1;
+                if let Some(deadline) = deadline {
+                    since_check += 1;
+                    if since_check >= DEADLINE_CHECK_INTERVAL {
+                        since_check = 0;
+                        if std::time::Instant::now() >= deadline {
+                            return Err(DidtError::DeadlineExceeded {
+                                after_cycles: simulated,
+                            });
+                        }
+                    }
+                }
+            };
+        }
         let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
         let mut cpu = Processor::new(self.processor, gen);
         let mut pdn_sim = self.pdn.simulator();
@@ -180,6 +224,7 @@ impl ClosedLoop {
         // Warmup: run uncontrolled to populate caches, predictors and the
         // PDN filter state.
         for _ in 0..self.config.warmup_cycles {
+            check_deadline!();
             let out = cpu.step(ControlAction::Normal);
             let v = pdn_sim.step(out.current);
             sense = CycleSense {
@@ -196,6 +241,7 @@ impl ClosedLoop {
         let start_committed = cpu.stats().committed;
         let cycle_budget = self.config.instructions * 400 + 1_000_000;
         while cpu.stats().committed - start_committed < self.config.instructions {
+            check_deadline!();
             if result.cycles > cycle_budget {
                 return Err(DidtError::InvalidConfig {
                     name: "controller",
@@ -258,6 +304,13 @@ impl ClosedLoop {
         Ok(result)
     }
 }
+
+/// Cycles simulated between wall-clock reads in
+/// [`ClosedLoop::run_with_deadline`]. At the simulator's throughput
+/// (millions of cycles per second) this bounds deadline overshoot to
+/// well under a millisecond while keeping the common case — thousands
+/// of cycles with no clock syscall — free.
+pub const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 /// The four registry counters a closed-loop scheme reports into,
 /// resolved once per scheme name (see [`scheme_counters`]).
@@ -400,6 +453,43 @@ mod tests {
         // The cached handles point at the same registry counters.
         let again = scheme_counters("counter-test-scheme");
         assert_eq!(again.runs.get(), runs.get());
+    }
+
+    #[test]
+    fn no_deadline_is_bit_identical_to_plain_run() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Swim));
+        let plain = harness.run(&mut NoControl).unwrap();
+        let with_none = harness.run_with_deadline(&mut NoControl, None).unwrap();
+        assert_eq!(plain, with_none);
+        // A generous deadline also changes nothing: the checks only
+        // read the clock, never the simulation state.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let with_far = harness
+            .run_with_deadline(&mut NoControl, Some(far))
+            .unwrap();
+        assert_eq!(plain, with_far);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_cleanly() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let cfg = ClosedLoopConfig {
+            warmup_cycles: 50_000,
+            instructions: 1_000_000,
+            ..ClosedLoopConfig::standard(Benchmark::Gzip)
+        };
+        let harness = ClosedLoop::new(*sys.processor(), pdn, cfg);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        match harness.run_with_deadline(&mut NoControl, Some(past)) {
+            Err(DidtError::DeadlineExceeded { after_cycles }) => {
+                // The abort fires at the first check interval.
+                assert!(after_cycles <= u64::from(DEADLINE_CHECK_INTERVAL) + 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 mod closed_loop;
 mod controllers;
 
-pub use closed_loop::{ClosedLoop, ClosedLoopConfig, ClosedLoopResult};
+pub use closed_loop::{ClosedLoop, ClosedLoopConfig, ClosedLoopResult, DEADLINE_CHECK_INTERVAL};
 pub use controllers::{NoControl, PipelineDamping, ThresholdController};
 
 use crate::monitor::CycleSense;

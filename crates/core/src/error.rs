@@ -29,6 +29,12 @@ pub enum DidtError {
         /// Cycles available.
         got: usize,
     },
+    /// A deadline expired before the operation completed. The work done
+    /// so far is discarded; the operation left no partial state behind.
+    DeadlineExceeded {
+        /// Simulated cycles completed before the abort.
+        after_cycles: u64,
+    },
 }
 
 impl fmt::Display for DidtError {
@@ -42,6 +48,9 @@ impl fmt::Display for DidtError {
             }
             DidtError::TraceTooShort { needed, got } => {
                 write!(f, "trace too short: needed {needed} cycles, got {got}")
+            }
+            DidtError::DeadlineExceeded { after_cycles } => {
+                write!(f, "deadline exceeded after {after_cycles} simulated cycles")
             }
         }
     }

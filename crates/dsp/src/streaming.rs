@@ -156,6 +156,55 @@ impl StreamingHaar {
         (out, Some(carry))
     }
 
+    /// Input samples currently buffered in partially-filled pairs.
+    ///
+    /// Each level can hold at most one unpaired carry; a carry at level
+    /// `ℓ` (0-indexed) stands for `2^ℓ` original samples, so the total
+    /// always equals `samples() mod 2^levels` — the tail that
+    /// [`StreamingHaar::finish`] resolves.
+    #[must_use]
+    pub fn pending_samples(&self) -> u64 {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(level, _)| 1u64 << level)
+            .sum()
+    }
+
+    /// Flush the tail: resolve every unpaired carry by zero-padding.
+    ///
+    /// The batch [`crate::dwt`] has no answer for signals whose length
+    /// is not divisible by `2^levels` — it errors. The streaming
+    /// transform must not silently drop the tail either (the service's
+    /// `Characterize` path feeds it arbitrary-length client traces), so
+    /// `finish` defines the tail story explicitly: synthetic zero
+    /// samples are pushed until the sample count is a multiple of
+    /// `2^levels`, completing every pending pair. The emitted
+    /// coefficients (and final deepest approximation, when one
+    /// completes) are exactly the batch transform of the zero-padded
+    /// signal, and since padding adds no energy, Parseval's identity
+    /// holds against the *original* samples.
+    ///
+    /// After `finish` the pyramid is aligned (no pending carries);
+    /// coefficient indices continue, and [`StreamingHaar::samples`]
+    /// counts the synthetic padding. Calling `finish` on an aligned
+    /// pyramid is a no-op.
+    pub fn finish(&mut self) -> (Vec<StreamCoefficient>, Option<f64>) {
+        let span = 1u64 << self.levels;
+        let pad = (span - self.samples % span) % span;
+        let mut out = Vec::new();
+        let mut last = None;
+        for _ in 0..pad {
+            let (coeffs, approx) = self.push_with_approx(0.0);
+            out.extend(coeffs);
+            if approx.is_some() {
+                last = approx;
+            }
+        }
+        (out, last)
+    }
+
     /// Reset to the empty state.
     pub fn reset(&mut self) {
         self.pending.fill(None);
@@ -246,6 +295,94 @@ mod tests {
         assert!(out.is_empty());
         let out = s.push(2.0);
         assert_eq!(out[0].index, 0);
+    }
+
+    #[test]
+    fn pending_samples_tracks_modular_tail() {
+        let mut s = StreamingHaar::new(3).unwrap();
+        assert_eq!(s.pending_samples(), 0);
+        for i in 0..20 {
+            s.push(i as f64);
+            assert_eq!(s.pending_samples(), s.samples() % 8, "after {i}");
+        }
+    }
+
+    #[test]
+    fn finish_matches_batch_on_zero_padded_signal() {
+        // 100 samples, 3 levels: not divisible by 8, so the batch
+        // transform rejects the raw signal but accepts the padded one.
+        let signal: Vec<f64> = (0..100).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+        assert!(dwt(&signal, &Haar, 3).is_err());
+        let mut padded = signal.clone();
+        padded.resize(104, 0.0);
+        let batch = dwt(&padded, &Haar, 3).unwrap();
+
+        let mut s = StreamingHaar::new(3).unwrap();
+        let mut streamed: Vec<StreamCoefficient> = Vec::new();
+        for &x in &signal {
+            streamed.extend(s.push(x));
+        }
+        assert_eq!(s.pending_samples(), 100 % 8);
+        let (tail, _) = s.finish();
+        streamed.extend(tail);
+        assert_eq!(s.pending_samples(), 0);
+        assert_eq!(s.samples(), 104);
+
+        for level in 1..=3 {
+            let want = batch.detail(level).unwrap();
+            let got: Vec<f64> = streamed
+                .iter()
+                .filter(|c| c.level == level)
+                .map(|c| c.value)
+                .collect();
+            assert_eq!(got.len(), want.len(), "level {level}");
+            for (a, b) in got.iter().zip(want) {
+                assert!((a - b).abs() < 1e-12, "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_preserves_parseval_energy() {
+        // Padding adds zero energy, so detail + approximation energy
+        // after finish() must equal the original signal's energy.
+        let signal: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let mut s = StreamingHaar::new(4).unwrap();
+        let mut energy = 0.0;
+        for &x in &signal {
+            let (coeffs, approx) = s.push_with_approx(x);
+            energy += coeffs.iter().map(|c| c.value * c.value).sum::<f64>();
+            if let Some(a) = approx {
+                energy += a * a;
+            }
+        }
+        let (tail, approx) = s.finish();
+        energy += tail.iter().map(|c| c.value * c.value).sum::<f64>();
+        if let Some(a) = approx {
+            energy += a * a;
+        }
+        let signal_energy: f64 = signal.iter().map(|x| x * x).sum();
+        assert!(
+            (energy - signal_energy).abs() < 1e-9,
+            "parseval violated: {energy} vs {signal_energy}"
+        );
+    }
+
+    #[test]
+    fn finish_on_aligned_pyramid_is_a_noop() {
+        let mut s = StreamingHaar::new(2).unwrap();
+        for i in 0..8 {
+            s.push(i as f64);
+        }
+        let (tail, approx) = s.finish();
+        assert!(tail.is_empty());
+        assert!(approx.is_none());
+        assert_eq!(s.samples(), 8);
+        // Empty pyramid too.
+        let mut fresh = StreamingHaar::new(2).unwrap();
+        let (tail, approx) = fresh.finish();
+        assert!(tail.is_empty() && approx.is_none());
+        assert_eq!(fresh.samples(), 0);
     }
 
     #[test]

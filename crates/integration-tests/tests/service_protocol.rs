@@ -1,0 +1,303 @@
+//! Protocol robustness: hostile and unlucky clients against a live
+//! didt-serve server.
+//!
+//! Every test drives a real TCP connection and asserts the server
+//! answers with a structured error (or hangs up cleanly) — never a
+//! panic, never a leaked worker. Each test ends with a graceful
+//! shutdown and checks `ShutdownReport::worker_panics == 0`.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use didt_serve::{
+    write_frame, CharacterizeSpec, Client, ClientError, ClosedLoopSpec, ErrorCode, FrameError,
+    FrameReader, ServeConfig, Server, Service, TraceSource, MAX_FRAME_LEN,
+};
+use didt_telemetry::Json;
+
+fn start_server(config: ServeConfig) -> Server {
+    Server::start(config, Service::standard().expect("service")).expect("server start")
+}
+
+fn small_server() -> Server {
+    start_server(ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        ..ServeConfig::default()
+    })
+}
+
+/// Raw connection with a bounded read so a silent server fails the
+/// test instead of hanging it.
+fn raw_connect(addr: SocketAddr) -> (TcpStream, FrameReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+    let reader = FrameReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_with_deadline(reader: &mut FrameReader<TcpStream>) -> Result<Json, FrameError> {
+    let give_up = Instant::now() + Duration::from_secs(30);
+    let mut abort = move || Instant::now() >= give_up;
+    reader.read_frame(MAX_FRAME_LEN, &mut abort)
+}
+
+fn error_code(response: &Json) -> Option<&str> {
+    response.get("code").and_then(Json::as_str)
+}
+
+fn tiny_characterize() -> CharacterizeSpec {
+    CharacterizeSpec {
+        trace: TraceSource::Synth {
+            benchmark: "gzip".to_string(),
+            seed: 7,
+            warmup: 100,
+            cycles: 2_048,
+        },
+        window: 64,
+        gauss_windows: 20,
+        ..CharacterizeSpec::default()
+    }
+}
+
+#[test]
+fn malformed_json_payload_gets_error_and_connection_survives() {
+    let server = small_server();
+    let (mut stream, mut reader) = raw_connect(server.local_addr());
+
+    // A well-framed payload that is not JSON: structured bad_request,
+    // framing stays in sync.
+    let garbage = b"{this is not json";
+    stream
+        .write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(garbage).unwrap();
+    let reply = read_with_deadline(&mut reader).expect("error reply");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(error_code(&reply), Some("bad_request"));
+
+    // Valid JSON that is not a request: still recoverable.
+    write_frame(&mut stream, &Json::str("not a request")).unwrap();
+    let reply = read_with_deadline(&mut reader).expect("error reply");
+    assert_eq!(error_code(&reply), Some("bad_request"));
+
+    // The same connection still serves real requests afterwards.
+    let ping = Json::obj(vec![("id", Json::Num(9.0)), ("kind", Json::str("ping"))]);
+    write_frame(&mut stream, &ping).unwrap();
+    let reply = read_with_deadline(&mut reader).expect("ping reply");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(reply.get("id").and_then(Json::as_u64), Some(9));
+
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.protocol_errors >= 2);
+}
+
+#[test]
+fn oversized_length_prefix_is_answered_then_closed() {
+    let server = small_server();
+    let (mut stream, mut reader) = raw_connect(server.local_addr());
+
+    // Announce a 4 GiB frame. The payload can never be resynchronized,
+    // so the server must answer once and hang up.
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let reply = read_with_deadline(&mut reader).expect("error reply");
+    assert_eq!(error_code(&reply), Some("bad_request"));
+    match read_with_deadline(&mut reader) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected connection close, got {other:?}"),
+    }
+
+    // The listener is unaffected: fresh connections still work.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert!(client.ping().is_ok());
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.protocol_errors >= 1);
+}
+
+#[test]
+fn http_lines_read_as_oversized_frames_not_panics() {
+    // An HTTP client hitting the port by mistake: the first 4 bytes
+    // ("GET ") decode as a ~1.2 GB length prefix.
+    let server = small_server();
+    let (mut stream, mut reader) = raw_connect(server.local_addr());
+    stream
+        .write_all(b"GET / HTTP/1.1\r\nHost: didt\r\n\r\n")
+        .unwrap();
+    let reply = read_with_deadline(&mut reader).expect("error reply");
+    assert_eq!(error_code(&reply), Some("bad_request"));
+
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn truncated_payload_and_disconnect_leaves_server_healthy() {
+    let server = small_server();
+
+    // Promise 300 bytes, deliver 10, vanish.
+    {
+        let (mut stream, _reader) = raw_connect(server.local_addr());
+        stream.write_all(&300u32.to_be_bytes()).unwrap();
+        stream.write_all(b"{\"id\": 1, ").unwrap();
+    }
+    // Deliver only half a length prefix, vanish.
+    {
+        let (mut stream, _reader) = raw_connect(server.local_addr());
+        stream.write_all(&[0, 0]).unwrap();
+    }
+
+    // Give the reader threads a poll interval to observe the EOFs, then
+    // prove the server still answers.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if client.ping().is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server stopped answering");
+    }
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.protocol_errors >= 1, "mid-frame EOF must be counted");
+}
+
+#[test]
+fn disconnect_while_request_is_in_flight_does_not_leak_or_panic() {
+    let server = small_server();
+
+    // Queue a real analysis, then drop the connection before the worker
+    // can reply. The worker's write fails; nothing else may.
+    {
+        let (mut stream, _reader) = raw_connect(server.local_addr());
+        let req = didt_serve::Request {
+            id: 1,
+            deadline_ms: None,
+            body: didt_serve::RequestBody::Characterize(tiny_characterize()),
+        };
+        write_frame(&mut stream, &req.to_json()).unwrap();
+    }
+
+    // The pool must still drain and serve new work.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let result = client.characterize(tiny_characterize(), Some(60_000));
+    assert!(result.is_ok(), "post-disconnect request failed: {result:?}");
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn overload_rejections_are_structured_and_backpressure_is_reported() {
+    // One worker, queue depth one: concurrent clients must overflow the
+    // admission queue and get structured Rejected responses.
+    let server = start_server(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        retry_after_ms: 17,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut rejected = 0u64;
+    let mut ok = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut counts = (0u64, 0u64);
+                    for _ in 0..3 {
+                        match client.characterize(tiny_characterize(), Some(60_000)) {
+                            Ok(_) => counts.0 += 1,
+                            Err(ClientError::Rejected { retry_after_ms }) => {
+                                assert_eq!(retry_after_ms, 17);
+                                counts.1 += 1;
+                            }
+                            Err(other) => panic!("unexpected failure: {other}"),
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        for h in handles {
+            let (o, r) = h.join().expect("client thread");
+            ok += o;
+            rejected += r;
+        }
+    });
+
+    assert!(ok >= 1, "at least one request must be served");
+    assert!(rejected >= 1, "tiny queue must shed load");
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert_eq!(report.rejected, rejected);
+}
+
+#[test]
+fn expired_deadline_is_a_clean_structured_error() {
+    let server = small_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // A controlled leg is required: the uncontrolled baseline is shared
+    // cache state and deliberately never aborted, so `None` would reuse
+    // it and finish "instantly" no matter the budget.
+    let spec = ClosedLoopSpec {
+        benchmark: "swim".to_string(),
+        pdn_pct: 100.0,
+        monitor_terms: 13,
+        controller: didt_bench::ControllerSpec::WaveletThreshold {
+            low: 0.975,
+            high: 1.025,
+            hysteresis: 0.004,
+            delay: 1,
+        },
+        instructions: 2_000_000,
+        warmup_cycles: 1_000,
+    };
+    match client.closed_loop(spec, Some(1)) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    // The worker that aborted is still alive and useful.
+    assert!(client.ping().is_ok());
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.deadline_exceeded >= 1);
+}
+
+#[test]
+fn shutdown_drains_admitted_work() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.characterize(tiny_characterize(), Some(60_000))
+    });
+    // Let the request reach the queue before pulling the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = server.shutdown();
+
+    // The in-flight request either completed before the drain finished
+    // or the client saw a clean transport close — never a worker panic.
+    let _ = worker.join().expect("client thread");
+    assert_eq!(report.worker_panics, 0);
+}

@@ -1,0 +1,205 @@
+//! Blocking client for the didt-serve protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues strictly
+//! request-then-response calls, so responses can never arrive out of
+//! order even though the server's worker pool completes pipelined
+//! requests in any order.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use didt_telemetry::Json;
+
+use crate::protocol::{
+    write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader,
+    Request, RequestBody, Response, ResponsePayload, MAX_FRAME_LEN,
+};
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Framing/decoding failure.
+    Frame(FrameError),
+    /// The response was well-formed JSON but not a valid response, or
+    /// answered a different request id.
+    Protocol(String),
+    /// The server shed the request (queue full); retry after the hint.
+    Rejected {
+        /// Backoff hint (ms).
+        retry_after_ms: u64,
+    },
+    /// The server answered with an error.
+    Server {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected { retry_after_ms } => {
+                write!(f, "rejected by server, retry after {retry_after_ms} ms")
+            }
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({}): {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a didt-serve server.
+pub struct Client {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Issue one request and wait for its response (any status).
+    ///
+    /// # Errors
+    ///
+    /// Transport, framing, and response-shape errors; `Rejected` and
+    /// `Error` responses are returned as `Ok` — use [`Client::expect_ok`]
+    /// or the typed helpers to turn them into [`ClientError`]s.
+    pub fn call(
+        &mut self,
+        body: RequestBody,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            deadline_ms,
+            body,
+        };
+        write_frame(&mut self.writer, &request.to_json())?;
+        let mut never = || false;
+        let json = self.reader.read_frame(MAX_FRAME_LEN, &mut never)?;
+        let response = Response::from_json(&json).map_err(ClientError::Protocol)?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Unwrap an `Ok` response's result, mapping `Rejected`/`Error`
+    /// payloads to [`ClientError`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] and [`ClientError::Server`].
+    pub fn expect_ok(response: Response) -> Result<Json, ClientError> {
+        match response.payload {
+            ResponsePayload::Ok { result, .. } => Ok(result),
+            ResponsePayload::Rejected { retry_after_ms, .. } => {
+                Err(ClientError::Rejected { retry_after_ms })
+            }
+            ResponsePayload::Error { code, message } => Err(ClientError::Server { code, message }),
+        }
+    }
+
+    /// Liveness check; returns the protocol version.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let result = Self::expect_ok(self.call(RequestBody::Ping, None)?)?;
+        result
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("ping result lacks `version`".to_string()))
+    }
+
+    /// Server statistics.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::Stats, None)?)
+    }
+
+    /// Offline trace characterization.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn characterize(
+        &mut self,
+        spec: CharacterizeSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::Characterize(spec), deadline_ms)?)
+    }
+
+    /// Closed-loop control simulation.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn closed_loop(
+        &mut self,
+        spec: ClosedLoopSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::ClosedLoop(spec), deadline_ms)?)
+    }
+
+    /// Monitor design report.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn design(
+        &mut self,
+        spec: DesignSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::Design(spec), deadline_ms)?)
+    }
+}

@@ -1,0 +1,50 @@
+//! didt-serve: the characterization pipeline as a network service.
+//!
+//! Everything below this crate runs as batch experiment binaries; this
+//! crate turns the same analyses into an always-on, measured subsystem —
+//! the paper's §5 online-monitor framing ("is this trace about to cause
+//! a voltage emergency?") answered on demand over TCP.
+//!
+//! # Architecture
+//!
+//! * [`protocol`] — a length-prefixed JSON wire format (reusing
+//!   `didt-telemetry`'s vendored JSON layer; the offline build has no
+//!   serde). One `u32` big-endian length prefix, then a UTF-8 JSON
+//!   document. Requests are [`protocol::Request`]; responses are
+//!   [`protocol::Response`].
+//! * [`service`] — [`service::Service`]: the request handlers. One
+//!   process-wide [`didt_bench::SweepContext`] calibration cache is
+//!   shared by every connection, so PDNs, monitor designs, gain models,
+//!   captured traces and uncontrolled baselines are computed once per
+//!   distinct spec no matter how many clients ask.
+//! * [`server`] — [`server::Server`]: a threaded TCP front. A bounded
+//!   admission queue feeds a fixed worker pool; when the queue is full
+//!   the connection thread answers
+//!   [`protocol::ResponsePayload::Rejected`] immediately instead of
+//!   queueing unboundedly. Per-request deadlines abort long simulations
+//!   cooperatively (via [`didt_core::DidtError::DeadlineExceeded`]), and
+//!   shutdown drains in-flight work before returning.
+//! * [`client`] — [`client::Client`]: a small blocking client used by
+//!   the `load_report` harness, the examples and the protocol tests.
+//!
+//! # Binaries
+//!
+//! * `serve` — bind a loopback (or given) address and serve forever.
+//! * `load_report` — the workspace's 20th experiment: drives request
+//!   mixes against a local server and writes `BENCH_pr4.json` with
+//!   throughput, latency quantiles, rejection behaviour under overload,
+//!   cache hit ratios, and a serial-replay fidelity check against the
+//!   batch runner.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader,
+    Request, RequestBody, Response, ResponsePayload, TraceSource, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ShutdownReport};
+pub use service::{Service, ServiceStats};

@@ -1,0 +1,1012 @@
+//! Wire protocol: framing plus the request/response JSON codec.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*: a 4-byte big-endian `u32` payload
+//! length followed by exactly that many bytes of UTF-8 JSON. Frames
+//! longer than the receiver's limit ([`MAX_FRAME_LEN`] by default) are
+//! rejected before any payload is read, so a hostile length prefix
+//! cannot make the server allocate unboundedly.
+//!
+//! [`FrameReader`] is a resumable decoder: it buffers partial frames
+//! across short reads and read timeouts, which is what lets server
+//! connection threads poll a shutdown flag without ever losing frame
+//! sync mid-message.
+//!
+//! # Requests and responses
+//!
+//! A request is `{"id", "kind", "deadline_ms"?, "spec"?}`; a response
+//! is `{"id", "status", ...}` with `status` one of `ok`, `rejected`,
+//! `error`. All f64 fields round-trip bit-exactly through the JSON
+//! layer (shortest-roundtrip rendering), which the `load_report`
+//! replay-fidelity check relies on.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use didt_bench::ControllerSpec;
+use didt_telemetry::{seed_from_hex, seed_to_hex, Json, JsonError};
+
+/// Protocol version reported by `Ping`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default upper bound on a frame payload (16 MiB — a million-sample
+/// inline trace renders to roughly this much JSON).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Peer closed mid-frame.
+    Truncated {
+        /// Bytes the frame promised (prefix + payload).
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// Length prefix exceeds the receiver's limit.
+    TooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Receiver's limit.
+        max: usize,
+    },
+    /// The reader's abort predicate fired while waiting (shutdown).
+    Aborted,
+    /// Payload was not valid JSON.
+    Json(JsonError),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds limit of {max}")
+            }
+            FrameError::Aborted => write!(f, "read aborted"),
+            FrameError::Json(e) => write!(f, "frame payload is not valid JSON: {e}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame: length prefix plus rendered JSON.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let payload = json.render();
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// A resumable frame decoder over any [`Read`].
+///
+/// Partial frames survive short reads and read timeouts: bytes received
+/// so far are buffered, and the next [`FrameReader::read_frame`] call
+/// picks up exactly where the stream left off. Timeouts
+/// (`WouldBlock`/`TimedOut`) are not errors — they poll the caller's
+/// abort predicate and keep waiting.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read one complete frame and parse its payload.
+    ///
+    /// `should_abort` is consulted whenever the underlying read times
+    /// out; returning `true` yields [`FrameError::Aborted`].
+    ///
+    /// # Errors
+    ///
+    /// All [`FrameError`] variants; see their docs.
+    pub fn read_frame(
+        &mut self,
+        max_len: usize,
+        should_abort: &mut dyn FnMut() -> bool,
+    ) -> Result<Json, FrameError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > max_len {
+                    return Err(FrameError::TooLarge { len, max: max_len });
+                }
+                if self.buf.len() >= 4 + len {
+                    let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+                    let text = String::from_utf8(payload).map_err(|e| {
+                        FrameError::Json(JsonError {
+                            message: format!("payload is not UTF-8: {e}"),
+                            offset: 0,
+                        })
+                    })?;
+                    return Json::parse(&text).map_err(FrameError::Json);
+                }
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(FrameError::Closed)
+                    } else {
+                        let expected = if self.buf.len() >= 4 {
+                            4 + u32::from_be_bytes([
+                                self.buf[0],
+                                self.buf[1],
+                                self.buf[2],
+                                self.buf[3],
+                            ]) as usize
+                        } else {
+                            4
+                        };
+                        Err(FrameError::Truncated {
+                            expected,
+                            got: self.buf.len(),
+                        })
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if should_abort() {
+                        return Err(FrameError::Aborted);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Where a `Characterize` request's current trace comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// The request carries the per-cycle current samples inline.
+    Inline(Vec<f64>),
+    /// The server synthesizes the trace from a named benchmark model
+    /// (cached per distinct spec).
+    Synth {
+        /// Benchmark name (`gzip`, `swim`, ...).
+        benchmark: String,
+        /// Workload seed.
+        seed: u64,
+        /// Warmup cycles discarded before capture.
+        warmup: usize,
+        /// Cycles captured.
+        cycles: usize,
+    },
+}
+
+/// Spec for the `Characterize` analysis (paper §4: per-scale variance,
+/// Gaussianity, Gaussian emergency-fraction estimate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeSpec {
+    /// Trace to analyze.
+    pub trace: TraceSource,
+    /// Supply impedance, percent of target.
+    pub pdn_pct: f64,
+    /// Analysis window (power of two, ≥ 8).
+    pub window: usize,
+    /// Emergency voltage threshold (V).
+    pub threshold: f64,
+    /// χ² significance level for the Gaussianity study.
+    pub significance: f64,
+    /// Random windows sampled for the Gaussianity study.
+    pub gauss_windows: usize,
+}
+
+impl Default for CharacterizeSpec {
+    fn default() -> Self {
+        CharacterizeSpec {
+            trace: TraceSource::Synth {
+                benchmark: "gzip".to_string(),
+                seed: 0xD1D7,
+                warmup: 1_000,
+                cycles: 8_192,
+            },
+            pdn_pct: 100.0,
+            window: 256,
+            threshold: 0.95,
+            significance: 0.95,
+            gauss_windows: 200,
+        }
+    }
+}
+
+/// Spec for the `ClosedLoop` analysis (paper §5.3 / Table 2): one
+/// sweep point run through the shared batch-runner context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Supply impedance, percent of target.
+    pub pdn_pct: f64,
+    /// Wavelet monitor term budget.
+    pub monitor_terms: usize,
+    /// Control scheme.
+    pub controller: ControllerSpec,
+    /// Instructions committed in the measured region.
+    pub instructions: u64,
+    /// Warmup cycles before measurement.
+    pub warmup_cycles: u64,
+}
+
+/// Spec for the `Design` analysis (paper §5.2): monitor coefficient
+/// selection and truncation error for a PDN spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Supply impedance, percent of target.
+    pub pdn_pct: f64,
+    /// Monitor window (power of two, ≥ 8).
+    pub window: usize,
+    /// Terms to keep.
+    pub terms: usize,
+    /// Current deviation (A) for the truncation error bound.
+    pub i_dev: f64,
+}
+
+/// The analyses a request can ask for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness / version check.
+    Ping,
+    /// Server statistics (counters, cache activity).
+    Stats,
+    /// Offline characterization of a trace.
+    Characterize(CharacterizeSpec),
+    /// Closed-loop control simulation of one sweep point.
+    ClosedLoop(ClosedLoopSpec),
+    /// Monitor design / truncation report.
+    Design(DesignSpec),
+}
+
+impl RequestBody {
+    /// Stable wire name; also the metrics label.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestBody::Ping => "ping",
+            RequestBody::Stats => "stats",
+            RequestBody::Characterize(_) => "characterize",
+            RequestBody::ClosedLoop(_) => "closed_loop",
+            RequestBody::Design(_) => "design",
+        }
+    }
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Optional wall-clock budget; the server aborts work past it.
+    pub deadline_ms: Option<u64>,
+    /// The analysis.
+    pub body: RequestBody,
+}
+
+fn controller_to_json(c: &ControllerSpec) -> Json {
+    let mut pairs = vec![("scheme", Json::str(c.tag()))];
+    match *c {
+        ControllerSpec::None => {}
+        ControllerSpec::AnalogThreshold {
+            low,
+            high,
+            hysteresis,
+        }
+        | ControllerSpec::FullConvolution {
+            low,
+            high,
+            hysteresis,
+        } => {
+            pairs.push(("low", Json::num(low)));
+            pairs.push(("high", Json::num(high)));
+            pairs.push(("hysteresis", Json::num(hysteresis)));
+        }
+        ControllerSpec::PipelineDamping { window, max_delta } => {
+            pairs.push(("window", Json::num(window as f64)));
+            pairs.push(("max_delta", Json::num(max_delta)));
+        }
+        ControllerSpec::WaveletThreshold {
+            low,
+            high,
+            hysteresis,
+            delay,
+        }
+        | ControllerSpec::BiquadRecursive {
+            low,
+            high,
+            hysteresis,
+            delay,
+        } => {
+            pairs.push(("low", Json::num(low)));
+            pairs.push(("high", Json::num(high)));
+            pairs.push(("hysteresis", Json::num(hysteresis)));
+            pairs.push(("delay", Json::num(delay as f64)));
+        }
+    }
+    Json::obj(pairs)
+}
+
+fn req_f64(json: &Json, key: &str) -> Result<f64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn req_usize(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn controller_from_json(json: &Json) -> Result<ControllerSpec, String> {
+    let scheme = json
+        .get("scheme")
+        .and_then(Json::as_str)
+        .ok_or("controller is missing string field `scheme`")?;
+    let thresholds = || -> Result<(f64, f64, f64), String> {
+        Ok((
+            req_f64(json, "low")?,
+            req_f64(json, "high")?,
+            req_f64(json, "hysteresis")?,
+        ))
+    };
+    match scheme {
+        "none" => Ok(ControllerSpec::None),
+        "analog-sensor" => {
+            let (low, high, hysteresis) = thresholds()?;
+            Ok(ControllerSpec::AnalogThreshold {
+                low,
+                high,
+                hysteresis,
+            })
+        }
+        "full-convolution" => {
+            let (low, high, hysteresis) = thresholds()?;
+            Ok(ControllerSpec::FullConvolution {
+                low,
+                high,
+                hysteresis,
+            })
+        }
+        "pipeline-damping" => Ok(ControllerSpec::PipelineDamping {
+            window: req_usize(json, "window")?,
+            max_delta: req_f64(json, "max_delta")?,
+        }),
+        "wavelet-convolution" => {
+            let (low, high, hysteresis) = thresholds()?;
+            Ok(ControllerSpec::WaveletThreshold {
+                low,
+                high,
+                hysteresis,
+                delay: req_usize(json, "delay")?,
+            })
+        }
+        "biquad-recursive" => {
+            let (low, high, hysteresis) = thresholds()?;
+            Ok(ControllerSpec::BiquadRecursive {
+                low,
+                high,
+                hysteresis,
+                delay: req_usize(json, "delay")?,
+            })
+        }
+        other => Err(format!("unknown controller scheme `{other}`")),
+    }
+}
+
+impl Request {
+    /// Encode to the wire JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::num(self.id as f64)),
+            ("kind", Json::str(self.body.kind())),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::num(ms as f64)));
+        }
+        let spec = match &self.body {
+            RequestBody::Ping | RequestBody::Stats => None,
+            RequestBody::Characterize(s) => {
+                let mut sp = Vec::new();
+                match &s.trace {
+                    TraceSource::Inline(samples) => {
+                        sp.push((
+                            "trace",
+                            Json::Arr(samples.iter().map(|&x| Json::num(x)).collect()),
+                        ));
+                    }
+                    TraceSource::Synth {
+                        benchmark,
+                        seed,
+                        warmup,
+                        cycles,
+                    } => {
+                        sp.push((
+                            "synth",
+                            Json::obj(vec![
+                                ("benchmark", Json::str(benchmark.as_str())),
+                                ("seed_hex", Json::str(seed_to_hex(*seed))),
+                                ("warmup", Json::num(*warmup as f64)),
+                                ("cycles", Json::num(*cycles as f64)),
+                            ]),
+                        ));
+                    }
+                }
+                sp.push(("pdn_pct", Json::num(s.pdn_pct)));
+                sp.push(("window", Json::num(s.window as f64)));
+                sp.push(("threshold", Json::num(s.threshold)));
+                sp.push(("significance", Json::num(s.significance)));
+                sp.push(("gauss_windows", Json::num(s.gauss_windows as f64)));
+                Some(Json::obj(sp))
+            }
+            RequestBody::ClosedLoop(s) => Some(Json::obj(vec![
+                ("benchmark", Json::str(s.benchmark.as_str())),
+                ("pdn_pct", Json::num(s.pdn_pct)),
+                ("monitor_terms", Json::num(s.monitor_terms as f64)),
+                ("controller", controller_to_json(&s.controller)),
+                ("instructions", Json::num(s.instructions as f64)),
+                ("warmup_cycles", Json::num(s.warmup_cycles as f64)),
+            ])),
+            RequestBody::Design(s) => Some(Json::obj(vec![
+                ("pdn_pct", Json::num(s.pdn_pct)),
+                ("window", Json::num(s.window as f64)),
+                ("terms", Json::num(s.terms as f64)),
+                ("i_dev", Json::num(s.i_dev)),
+            ])),
+        };
+        if let Some(spec) = spec {
+            pairs.push(("spec", spec));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the wire JSON shape.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending field.
+    pub fn from_json(json: &Json) -> Result<Request, String> {
+        let id = json
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("request is missing integer field `id`")?;
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("request is missing string field `kind`")?;
+        let deadline_ms = match json.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("field `deadline_ms` must be a non-negative integer")?,
+            ),
+        };
+        let spec = json.get("spec");
+        let need_spec =
+            || -> Result<&Json, String> { spec.ok_or_else(|| format!("`{kind}` needs a `spec`")) };
+        let body = match kind {
+            "ping" => RequestBody::Ping,
+            "stats" => RequestBody::Stats,
+            "characterize" => {
+                let s = need_spec()?;
+                let d = CharacterizeSpec::default();
+                let trace = if let Some(arr) = s.get("trace") {
+                    let arr = arr.as_arr().ok_or("field `trace` must be an array")?;
+                    let mut samples = Vec::with_capacity(arr.len());
+                    for v in arr {
+                        samples.push(v.as_f64().ok_or("field `trace` must hold only numbers")?);
+                    }
+                    TraceSource::Inline(samples)
+                } else if let Some(sy) = s.get("synth") {
+                    let benchmark = sy
+                        .get("benchmark")
+                        .and_then(Json::as_str)
+                        .ok_or("`synth` is missing string field `benchmark`")?
+                        .to_string();
+                    let seed = match sy.get("seed_hex").and_then(Json::as_str) {
+                        Some(hex) => seed_from_hex(hex)?,
+                        None => 0xD1D7,
+                    };
+                    TraceSource::Synth {
+                        benchmark,
+                        seed,
+                        warmup: req_usize(sy, "warmup").unwrap_or(1_000),
+                        cycles: req_usize(sy, "cycles").unwrap_or(8_192),
+                    }
+                } else {
+                    return Err("`characterize` needs either `trace` or `synth`".to_string());
+                };
+                RequestBody::Characterize(CharacterizeSpec {
+                    trace,
+                    pdn_pct: req_f64(s, "pdn_pct").unwrap_or(d.pdn_pct),
+                    window: req_usize(s, "window").unwrap_or(d.window),
+                    threshold: req_f64(s, "threshold").unwrap_or(d.threshold),
+                    significance: req_f64(s, "significance").unwrap_or(d.significance),
+                    gauss_windows: req_usize(s, "gauss_windows").unwrap_or(d.gauss_windows),
+                })
+            }
+            "closed_loop" => {
+                let s = need_spec()?;
+                RequestBody::ClosedLoop(ClosedLoopSpec {
+                    benchmark: s
+                        .get("benchmark")
+                        .and_then(Json::as_str)
+                        .ok_or("`closed_loop` is missing string field `benchmark`")?
+                        .to_string(),
+                    pdn_pct: req_f64(s, "pdn_pct")?,
+                    monitor_terms: req_usize(s, "monitor_terms").unwrap_or(13),
+                    controller: controller_from_json(
+                        s.get("controller")
+                            .ok_or("`closed_loop` needs a `controller`")?,
+                    )?,
+                    instructions: s
+                        .get("instructions")
+                        .and_then(Json::as_u64)
+                        .ok_or("`closed_loop` is missing integer field `instructions`")?,
+                    warmup_cycles: s
+                        .get("warmup_cycles")
+                        .and_then(Json::as_u64)
+                        .ok_or("`closed_loop` is missing integer field `warmup_cycles`")?,
+                })
+            }
+            "design" => {
+                let s = need_spec()?;
+                RequestBody::Design(DesignSpec {
+                    pdn_pct: req_f64(s, "pdn_pct")?,
+                    window: req_usize(s, "window").unwrap_or(256),
+                    terms: req_usize(s, "terms")?,
+                    i_dev: req_f64(s, "i_dev").unwrap_or(10.0),
+                })
+            }
+            other => return Err(format!("unknown request kind `{other}`")),
+        };
+        Ok(Request {
+            id,
+            deadline_ms,
+            body,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be decoded or named an invalid spec.
+    BadRequest,
+    /// The request's deadline expired (in queue or mid-simulation).
+    DeadlineExceeded,
+    /// The handler failed internally (including a caught panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// The three response shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponsePayload {
+    /// Success; `result` is the analysis-specific report.
+    Ok {
+        /// The request kind this answers.
+        kind: String,
+        /// Analysis report.
+        result: Json,
+    },
+    /// The admission queue was full; retry after the hinted delay.
+    Rejected {
+        /// Client backoff hint (ms).
+        retry_after_ms: u64,
+        /// Queue occupancy at rejection time.
+        queue_len: u64,
+    },
+    /// The request failed.
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id (0 when the id could not be decoded).
+    pub id: u64,
+    /// Outcome.
+    pub payload: ResponsePayload,
+}
+
+impl Response {
+    /// A success response.
+    #[must_use]
+    pub fn ok(id: u64, kind: &str, result: Json) -> Response {
+        Response {
+            id,
+            payload: ResponsePayload::Ok {
+                kind: kind.to_string(),
+                result,
+            },
+        }
+    }
+
+    /// A structured overload rejection.
+    #[must_use]
+    pub fn rejected(id: u64, retry_after_ms: u64, queue_len: u64) -> Response {
+        Response {
+            id,
+            payload: ResponsePayload::Rejected {
+                retry_after_ms,
+                queue_len,
+            },
+        }
+    }
+
+    /// An error response.
+    #[must_use]
+    pub fn error(id: u64, code: ErrorCode, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            payload: ResponsePayload::Error {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Encode to the wire JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("id", Json::num(self.id as f64))];
+        match &self.payload {
+            ResponsePayload::Ok { kind, result } => {
+                pairs.push(("status", Json::str("ok")));
+                pairs.push(("kind", Json::str(kind.as_str())));
+                pairs.push(("result", result.clone()));
+            }
+            ResponsePayload::Rejected {
+                retry_after_ms,
+                queue_len,
+            } => {
+                pairs.push(("status", Json::str("rejected")));
+                pairs.push(("retry_after_ms", Json::num(*retry_after_ms as f64)));
+                pairs.push(("queue_len", Json::num(*queue_len as f64)));
+            }
+            ResponsePayload::Error { code, message } => {
+                pairs.push(("status", Json::str("error")));
+                pairs.push(("code", Json::str(code.as_str())));
+                pairs.push(("message", Json::str(message.as_str())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the wire JSON shape.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending field.
+    pub fn from_json(json: &Json) -> Result<Response, String> {
+        let id = json
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("response is missing integer field `id`")?;
+        let status = json
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response is missing string field `status`")?;
+        let payload = match status {
+            "ok" => ResponsePayload::Ok {
+                kind: json
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("ok response is missing `kind`")?
+                    .to_string(),
+                result: json
+                    .get("result")
+                    .cloned()
+                    .ok_or("ok response is missing `result`")?,
+            },
+            "rejected" => ResponsePayload::Rejected {
+                retry_after_ms: json
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("rejected response is missing `retry_after_ms`")?,
+                queue_len: json.get("queue_len").and_then(Json::as_u64).unwrap_or(0),
+            },
+            "error" => ResponsePayload::Error {
+                code: json
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or("error response has an unknown `code`")?,
+                message: json
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            },
+            other => return Err(format!("unknown response status `{other}`")),
+        };
+        Ok(Response { id, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) {
+        let json = req.to_json();
+        let text = json.render();
+        let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(*req, back);
+    }
+
+    #[test]
+    fn requests_roundtrip_through_wire_json() {
+        roundtrip_request(&Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Ping,
+        });
+        roundtrip_request(&Request {
+            id: 2,
+            deadline_ms: Some(250),
+            body: RequestBody::Stats,
+        });
+        roundtrip_request(&Request {
+            id: 3,
+            deadline_ms: Some(5_000),
+            body: RequestBody::Characterize(CharacterizeSpec {
+                trace: TraceSource::Inline(vec![1.0, 2.5, -0.125, 19.0625]),
+                ..CharacterizeSpec::default()
+            }),
+        });
+        roundtrip_request(&Request {
+            id: 4,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec::default()),
+        });
+        roundtrip_request(&Request {
+            id: 5,
+            deadline_ms: None,
+            body: RequestBody::ClosedLoop(ClosedLoopSpec {
+                benchmark: "swim".to_string(),
+                pdn_pct: 150.0,
+                monitor_terms: 13,
+                controller: ControllerSpec::WaveletThreshold {
+                    low: 0.975,
+                    high: 1.025,
+                    hysteresis: 0.004,
+                    delay: 1,
+                },
+                instructions: 10_000,
+                warmup_cycles: 2_000,
+            }),
+        });
+        roundtrip_request(&Request {
+            id: 6,
+            deadline_ms: None,
+            body: RequestBody::Design(DesignSpec {
+                pdn_pct: 125.0,
+                window: 256,
+                terms: 17,
+                i_dev: 10.0,
+            }),
+        });
+    }
+
+    #[test]
+    fn every_controller_variant_roundtrips() {
+        let variants = [
+            ControllerSpec::None,
+            ControllerSpec::AnalogThreshold {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.002,
+            },
+            ControllerSpec::FullConvolution {
+                low: 0.97,
+                high: 1.03,
+                hysteresis: 0.002,
+            },
+            ControllerSpec::PipelineDamping {
+                window: 15,
+                max_delta: 6.5,
+            },
+            ControllerSpec::WaveletThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+            },
+            ControllerSpec::BiquadRecursive {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 2,
+            },
+        ];
+        for c in variants {
+            let back = controller_from_json(&controller_to_json(&c)).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_wire_json() {
+        for resp in [
+            Response::ok(9, "ping", Json::obj(vec![("version", Json::num(1.0))])),
+            Response::rejected(10, 50, 64),
+            Response::error(11, ErrorCode::DeadlineExceeded, "too slow"),
+            Response::error(0, ErrorCode::BadRequest, "no id"),
+        ] {
+            let back =
+                Response::from_json(&Json::parse(&resp.to_json().render()).unwrap()).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn inline_trace_samples_roundtrip_bit_exactly() {
+        let samples = vec![
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            -1_234.567_890_123_456_7,
+        ];
+        let req = Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                trace: TraceSource::Inline(samples.clone()),
+                ..CharacterizeSpec::default()
+            }),
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().render()).unwrap()).unwrap();
+        match back.body {
+            RequestBody::Characterize(CharacterizeSpec {
+                trace: TraceSource::Inline(got),
+                ..
+            }) => {
+                for (a, b) in samples.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let json = Json::obj(vec![("k", Json::num(42.0))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &json).unwrap();
+        write_frame(&mut wire, &json).unwrap();
+        // A reader that returns one byte at a time forces maximal
+        // fragmentation.
+        struct OneByte(std::io::Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut r = FrameReader::new(OneByte(std::io::Cursor::new(wire)));
+        let mut no = || false;
+        assert_eq!(r.read_frame(1024, &mut no).unwrap(), json);
+        assert_eq!(r.read_frame(1024, &mut no).unwrap(), json);
+        assert!(matches!(
+            r.read_frame(1024, &mut no),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefix_without_reading_payload() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"whatever");
+        let mut r = FrameReader::new(std::io::Cursor::new(wire));
+        let mut no = || false;
+        match r.read_frame(1024, &mut no) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_reader_reports_truncation() {
+        let json = Json::obj(vec![("k", Json::str("truncate me please"))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &json).unwrap();
+        wire.truncate(wire.len() - 5);
+        let mut r = FrameReader::new(std::io::Cursor::new(wire));
+        let mut no = || false;
+        assert!(matches!(
+            r.read_frame(1024, &mut no),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_flags_bad_json_payload() {
+        let mut wire = Vec::new();
+        let payload = b"{not json";
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(payload);
+        let mut r = FrameReader::new(std::io::Cursor::new(wire));
+        let mut no = || false;
+        assert!(matches!(
+            r.read_frame(1024, &mut no),
+            Err(FrameError::Json(_))
+        ));
+    }
+}

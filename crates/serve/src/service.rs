@@ -1,0 +1,699 @@
+//! Request handlers over one process-wide calibration cache.
+//!
+//! [`Service`] is transport-agnostic: [`Service::handle`] maps one
+//! decoded [`Request`] to one [`Response`], synchronously, on whatever
+//! thread calls it. The TCP front in [`crate::server`] owns the worker
+//! pool; tests and the in-process example call `handle` directly.
+//!
+//! All expensive intermediates — calibrated PDNs, monitor designs,
+//! captured traces, gain models, uncontrolled baselines — live in one
+//! shared [`SweepContext`], so every connection benefits from every
+//! other connection's calibration work, and repeated specs are answered
+//! from cache. The `ClosedLoop` handler goes through the *same*
+//! [`SweepContext::run_point_deadline`] path as the batch experiment
+//! binaries, which is what makes serial client replay bit-identical to
+//! batch-runner results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use didt_bench::{SweepContext, SweepPoint};
+use didt_core::characterize::{EmergencyEstimator, GaussianityStudy, VarianceModel};
+use didt_core::monitor::TermKind;
+use didt_core::DidtError;
+use didt_dsp::streaming::StreamingHaar;
+use didt_stats::lag_correlation;
+use didt_telemetry::{seed_to_hex, Json, MetricsRegistry};
+use didt_uarch::Benchmark;
+
+use crate::protocol::{
+    CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, Request, RequestBody, Response,
+    TraceSource, PROTOCOL_VERSION,
+};
+
+/// Seed for server-side gain calibrations. Fixed so identical
+/// `Characterize` specs give identical answers across connections,
+/// restarts and hosts.
+pub const GAIN_CALIBRATION_SEED: u64 = 0xCA11_B8A7E;
+
+/// Shared service counters. The [`crate::server::Server`] front updates
+/// the admission/worker counters; the handlers only read them (for the
+/// `Stats` response).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests answered (any status, including errors).
+    pub served: AtomicU64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Requests whose deadline expired (in queue or mid-simulation).
+    pub deadline_exceeded: AtomicU64,
+    /// Frames that failed to decode (bad length, JSON, or request shape).
+    pub protocol_errors: AtomicU64,
+    /// Handler panics caught by the worker pool.
+    pub worker_panics: AtomicU64,
+    /// Worker pool width (set once at server start).
+    pub workers: AtomicU64,
+    /// Admission queue capacity (set once at server start).
+    pub queue_capacity: AtomicU64,
+}
+
+impl ServiceStats {
+    fn snapshot_pairs(&self) -> Vec<(&'static str, Json)> {
+        let n = |a: &AtomicU64| Json::num(a.load(Ordering::Relaxed) as f64);
+        vec![
+            ("served", n(&self.served)),
+            ("rejected", n(&self.rejected)),
+            ("deadline_exceeded", n(&self.deadline_exceeded)),
+            ("protocol_errors", n(&self.protocol_errors)),
+            ("worker_panics", n(&self.worker_panics)),
+            ("workers", n(&self.workers)),
+            ("queue_capacity", n(&self.queue_capacity)),
+        ]
+    }
+}
+
+/// The dI/dt characterization service.
+#[derive(Debug, Clone)]
+pub struct Service {
+    ctx: Arc<SweepContext>,
+    stats: Arc<ServiceStats>,
+    started: Instant,
+}
+
+type HandlerResult = Result<Json, (ErrorCode, String)>;
+
+fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
+    (ErrorCode::BadRequest, msg.into())
+}
+
+fn didt_err(e: &DidtError) -> (ErrorCode, String) {
+    match e {
+        DidtError::DeadlineExceeded { .. } => (ErrorCode::DeadlineExceeded, e.to_string()),
+        _ => bad(e.to_string()),
+    }
+}
+
+fn check_deadline(deadline: Option<Instant>) -> Result<(), (ErrorCode, String)> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err((
+            ErrorCode::DeadlineExceeded,
+            "deadline exceeded between analysis stages".to_string(),
+        )),
+        _ => Ok(()),
+    }
+}
+
+impl Service {
+    /// A service over the standard Table 1 system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failure.
+    pub fn standard() -> Result<Service, DidtError> {
+        Ok(Service::new(SweepContext::standard()?))
+    }
+
+    /// A service over an existing shared context (lets tests and the
+    /// load harness inspect the cache the server is using).
+    #[must_use]
+    pub fn new(ctx: Arc<SweepContext>) -> Service {
+        Service {
+            ctx,
+            stats: Arc::new(ServiceStats::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared calibration context.
+    #[must_use]
+    pub fn context(&self) -> &Arc<SweepContext> {
+        &self.ctx
+    }
+
+    /// The shared counters (the server front updates these).
+    #[must_use]
+    pub fn stats(&self) -> Arc<ServiceStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Handle one request synchronously.
+    ///
+    /// Never panics across this boundary by contract — handler errors
+    /// become [`crate::protocol::ResponsePayload::Error`] responses; the
+    /// worker pool additionally catches panics as a last line of
+    /// defense.
+    #[must_use]
+    pub fn handle(&self, request: &Request, deadline: Option<Instant>) -> Response {
+        let kind = request.body.kind();
+        let metrics = MetricsRegistry::global();
+        metrics.counter(&format!("serve.requests.{kind}")).incr();
+        let _span = match &request.body {
+            RequestBody::Ping => didt_telemetry::span("serve.handle.ping"),
+            RequestBody::Stats => didt_telemetry::span("serve.handle.stats"),
+            RequestBody::Characterize(_) => didt_telemetry::span("serve.handle.characterize"),
+            RequestBody::ClosedLoop(_) => didt_telemetry::span("serve.handle.closed_loop"),
+            RequestBody::Design(_) => didt_telemetry::span("serve.handle.design"),
+        };
+        let t0 = Instant::now();
+        let result = match &request.body {
+            RequestBody::Ping => Ok(Json::obj(vec![(
+                "version",
+                Json::num(PROTOCOL_VERSION as f64),
+            )])),
+            RequestBody::Stats => Ok(self.stats_report()),
+            RequestBody::Characterize(spec) => self.characterize(spec, deadline),
+            RequestBody::ClosedLoop(spec) => self.closed_loop(spec, deadline),
+            RequestBody::Design(spec) => self.design(spec),
+        };
+        metrics
+            .histogram("serve.handle_ns")
+            .record_duration(t0.elapsed());
+        match result {
+            Ok(json) => Response::ok(request.id, kind, json),
+            Err((code, message)) => {
+                if code == ErrorCode::DeadlineExceeded {
+                    self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    metrics.counter("serve.deadline_exceeded").incr();
+                }
+                Response::error(request.id, code, message)
+            }
+        }
+    }
+
+    fn stats_report(&self) -> Json {
+        let mut pairs = vec![(
+            "uptime_ms",
+            Json::num(self.started.elapsed().as_millis() as f64),
+        )];
+        pairs.extend(self.stats.snapshot_pairs());
+        let activity = self.ctx.cache_activity();
+        let requests: u64 = activity.iter().map(|c| c.requests).sum();
+        let hits: u64 = activity.iter().map(|c| c.hits()).sum();
+        let classes: Vec<Json> = activity
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("name", Json::str(c.name)),
+                    ("computed", Json::num(c.computed as f64)),
+                    ("requests", Json::num(c.requests as f64)),
+                ])
+            })
+            .collect();
+        pairs.push(("cache", Json::Arr(classes)));
+        pairs.push((
+            "cache_hit_ratio",
+            Json::num(if requests > 0 {
+                hits as f64 / requests as f64
+            } else {
+                0.0
+            }),
+        ));
+        Json::obj(pairs)
+    }
+
+    fn resolve_trace(&self, source: &TraceSource) -> Result<Arc<Vec<f64>>, (ErrorCode, String)> {
+        match source {
+            TraceSource::Inline(samples) => {
+                if samples.iter().any(|x| !x.is_finite()) {
+                    return Err(bad("inline trace holds non-finite samples"));
+                }
+                Ok(Arc::new(samples.clone()))
+            }
+            TraceSource::Synth {
+                benchmark,
+                seed,
+                warmup,
+                cycles,
+            } => {
+                let bench = parse_benchmark(benchmark)?;
+                if *cycles == 0 || *cycles > 4_000_000 {
+                    return Err(bad("`synth.cycles` must be in 1..=4000000"));
+                }
+                let trace = self.ctx.trace(
+                    bench,
+                    self.ctx.system().processor(),
+                    *seed,
+                    *warmup,
+                    *cycles,
+                );
+                Ok(Arc::new(trace.samples.clone()))
+            }
+        }
+    }
+
+    fn characterize(&self, spec: &CharacterizeSpec, deadline: Option<Instant>) -> HandlerResult {
+        if !spec.window.is_power_of_two() || spec.window < 8 {
+            return Err(bad("`window` must be a power of two, at least 8"));
+        }
+        if !(0.0..1.0).contains(&spec.significance) {
+            return Err(bad("`significance` must be in (0, 1)"));
+        }
+        let trace = self.resolve_trace(&spec.trace)?;
+        if trace.len() < spec.window {
+            return Err(bad(format!(
+                "trace too short: {} samples for a {}-cycle window",
+                trace.len(),
+                spec.window
+            )));
+        }
+        let levels = spec.window.trailing_zeros() as usize;
+
+        // Per-scale variance over the whole (arbitrary-length) trace:
+        // streaming pyramid plus an explicit zero-padded tail, so no
+        // client sample is silently dropped.
+        check_deadline(deadline)?;
+        let mut pyramid =
+            StreamingHaar::new(levels).map_err(|e| bad(format!("pyramid setup: {e}")))?;
+        let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); levels];
+        for &x in trace.iter() {
+            for c in pyramid.push(x) {
+                per_level[c.level - 1].push(c.value);
+            }
+        }
+        let (tail, _) = pyramid.finish();
+        for c in tail {
+            per_level[c.level - 1].push(c.value);
+        }
+        let n = trace.len() as f64;
+        let scales: Vec<Json> = per_level
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let variance = d.iter().map(|x| x * x).sum::<f64>() / n;
+                let corr = if d.len() >= 3 {
+                    lag_correlation(d).unwrap_or(0.0)
+                } else {
+                    0.0
+                };
+                Json::obj(vec![
+                    ("level", Json::num((i + 1) as f64)),
+                    ("span", Json::num((1usize << (i + 1)) as f64)),
+                    ("variance", Json::num(variance)),
+                    ("adjacent_correlation", Json::num(corr)),
+                ])
+            })
+            .collect();
+
+        // χ² Gaussianity verdict over sampled windows (paper §4.2).
+        check_deadline(deadline)?;
+        let gauss = GaussianityStudy::new(spec.significance, GAIN_CALIBRATION_SEED)
+            .classify(&trace, spec.window, spec.gauss_windows)
+            .map_err(|e| didt_err(&e))?;
+
+        // Gaussian emergency-fraction estimate (paper §4.3 step 5).
+        check_deadline(deadline)?;
+        let gains = self
+            .ctx
+            .gain_model(spec.pdn_pct, spec.window, GAIN_CALIBRATION_SEED)
+            .map_err(|e| didt_err(&e))?;
+        let estimator =
+            EmergencyEstimator::new(VarianceModel::new((*gains).clone()), spec.threshold);
+        let (fraction, windows, mean_v) =
+            estimator.estimate_trace(&trace).map_err(|e| didt_err(&e))?;
+
+        Ok(Json::obj(vec![
+            ("trace_len", Json::num(trace.len() as f64)),
+            ("window", Json::num(spec.window as f64)),
+            ("scales", Json::Arr(scales)),
+            (
+                "gaussianity",
+                Json::obj(vec![
+                    ("tested", Json::num(gauss.tested as f64)),
+                    ("accepted", Json::num(gauss.accepted as f64)),
+                    ("rejected", Json::num(gauss.rejected as f64)),
+                    ("degenerate", Json::num(gauss.degenerate as f64)),
+                    ("acceptance_rate", Json::num(gauss.acceptance_rate())),
+                    ("overall_variance", Json::num(gauss.overall_variance)),
+                    (
+                        "non_gaussian_variance",
+                        Json::num(gauss.non_gaussian_variance),
+                    ),
+                ]),
+            ),
+            (
+                "emergency",
+                Json::obj(vec![
+                    ("threshold", Json::num(spec.threshold)),
+                    ("estimated_fraction", Json::num(fraction)),
+                    ("windows", Json::num(windows as f64)),
+                    ("mean_voltage", Json::num(mean_v)),
+                ]),
+            ),
+        ]))
+    }
+
+    fn closed_loop(&self, spec: &ClosedLoopSpec, deadline: Option<Instant>) -> HandlerResult {
+        let benchmark = parse_benchmark(&spec.benchmark)?;
+        if spec.instructions == 0 || spec.instructions > 10_000_000 {
+            return Err(bad("`instructions` must be in 1..=10000000"));
+        }
+        let point = SweepPoint {
+            benchmark,
+            pdn_pct: spec.pdn_pct,
+            monitor_terms: spec.monitor_terms,
+            controller: spec.controller,
+        };
+        let run = didt_bench::RunParams {
+            instructions: spec.instructions,
+            warmup_cycles: spec.warmup_cycles,
+        };
+        let result = self
+            .ctx
+            .run_point_deadline(&point, run, deadline)
+            .map_err(|e| didt_err(&e))?;
+        let leg = |r: &didt_core::control::ClosedLoopResult| {
+            Json::obj(vec![
+                ("cycles", Json::num(r.cycles as f64)),
+                ("instructions", Json::num(r.instructions as f64)),
+                ("low_emergencies", Json::num(r.low_emergencies as f64)),
+                ("high_emergencies", Json::num(r.high_emergencies as f64)),
+                ("stall_cycles", Json::num(r.stall_cycles as f64)),
+                ("nop_cycles", Json::num(r.nop_cycles as f64)),
+                ("false_positives", Json::num(r.false_positives as f64)),
+                ("v_min", Json::num(r.v_min)),
+                ("v_max", Json::num(r.v_max)),
+                ("mean_power", Json::num(r.mean_power)),
+            ])
+        };
+        Ok(Json::obj(vec![
+            ("benchmark", Json::str(benchmark.name())),
+            ("controller", Json::str(point.controller.tag())),
+            ("seed_hex", Json::str(seed_to_hex(result.seed))),
+            ("baseline", leg(&result.baseline)),
+            ("controlled", leg(&result.controlled)),
+            ("slowdown_pct", Json::num(result.slowdown_pct())),
+            (
+                "false_positive_rate",
+                Json::num(result.controlled.false_positive_rate()),
+            ),
+            (
+                "control_fraction",
+                Json::num(result.controlled.control_fraction()),
+            ),
+        ]))
+    }
+
+    fn design(&self, spec: &DesignSpec) -> HandlerResult {
+        if !spec.window.is_power_of_two() || spec.window < 8 {
+            return Err(bad("`window` must be a power of two, at least 8"));
+        }
+        let design = self
+            .ctx
+            .monitor_design(spec.pdn_pct, spec.window)
+            .map_err(|e| didt_err(&e))?;
+        let weights = design.weights();
+        let kept = spec.terms.min(weights.len());
+        let terms: Vec<Json> = weights[..kept]
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    (
+                        "kind",
+                        Json::str(match t.kind {
+                            TermKind::Detail => "detail",
+                            TermKind::Approximation => "approximation",
+                        }),
+                    ),
+                    ("level", Json::num(t.level as f64)),
+                    ("index", Json::num(t.index as f64)),
+                    ("weight", Json::num(t.weight)),
+                ])
+            })
+            .collect();
+        Ok(Json::obj(vec![
+            ("window", Json::num(spec.window as f64)),
+            ("total_terms", Json::num(weights.len() as f64)),
+            ("kept", Json::num(kept as f64)),
+            (
+                "truncation_error_bound",
+                Json::num(design.truncation_error_bound(kept, spec.i_dev)),
+            ),
+            ("terms", Json::Arr(terms)),
+        ]))
+    }
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, (ErrorCode, String)> {
+    name.parse::<Benchmark>()
+        .map_err(|_| bad(format!("unknown benchmark `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ResponsePayload;
+    use didt_bench::ControllerSpec;
+
+    fn service() -> Service {
+        Service::standard().expect("standard system")
+    }
+
+    fn ok_result(resp: Response) -> Json {
+        match resp.payload {
+            ResponsePayload::Ok { result, .. } => result,
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_and_stats_answer() {
+        let svc = service();
+        let ping = ok_result(svc.handle(
+            &Request {
+                id: 1,
+                deadline_ms: None,
+                body: RequestBody::Ping,
+            },
+            None,
+        ));
+        assert_eq!(ping.get("version").and_then(Json::as_u64), Some(1));
+        let stats = ok_result(svc.handle(
+            &Request {
+                id: 2,
+                deadline_ms: None,
+                body: RequestBody::Stats,
+            },
+            None,
+        ));
+        assert!(stats.get("cache").is_some());
+        assert_eq!(stats.get("worker_panics").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn characterize_synth_is_deterministic_and_complete() {
+        let svc = service();
+        let req = Request {
+            id: 7,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                window: 64,
+                gauss_windows: 40,
+                trace: TraceSource::Synth {
+                    benchmark: "gzip".to_string(),
+                    seed: 0xD1D7,
+                    warmup: 500,
+                    cycles: 2_048,
+                },
+                ..CharacterizeSpec::default()
+            }),
+        };
+        let a = ok_result(svc.handle(&req, None));
+        let b = ok_result(svc.handle(&req, None));
+        assert_eq!(a.render(), b.render(), "same spec must give same answer");
+        assert_eq!(
+            a.get("scales").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(6)
+        );
+        let frac = a
+            .get("emergency")
+            .and_then(|e| e.get("estimated_fraction"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn characterize_rejects_bad_specs() {
+        let svc = service();
+        let mk = |spec: CharacterizeSpec| Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Characterize(spec),
+        };
+        // Non-power-of-two window.
+        let resp = svc.handle(
+            &mk(CharacterizeSpec {
+                window: 100,
+                ..CharacterizeSpec::default()
+            }),
+            None,
+        );
+        assert!(matches!(
+            resp.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // Trace shorter than the window.
+        let resp = svc.handle(
+            &mk(CharacterizeSpec {
+                trace: TraceSource::Inline(vec![1.0; 16]),
+                window: 64,
+                ..CharacterizeSpec::default()
+            }),
+            None,
+        );
+        assert!(matches!(
+            resp.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // Unknown benchmark.
+        let resp = svc.handle(
+            &mk(CharacterizeSpec {
+                trace: TraceSource::Synth {
+                    benchmark: "doom".to_string(),
+                    seed: 1,
+                    warmup: 0,
+                    cycles: 1_024,
+                },
+                ..CharacterizeSpec::default()
+            }),
+            None,
+        );
+        assert!(matches!(resp.payload, ResponsePayload::Error { .. }));
+    }
+
+    #[test]
+    fn closed_loop_matches_batch_runner_bitwise() {
+        let svc = service();
+        let spec = ClosedLoopSpec {
+            benchmark: "gzip".to_string(),
+            pdn_pct: 150.0,
+            monitor_terms: 13,
+            controller: ControllerSpec::WaveletThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+            },
+            instructions: 2_000,
+            warmup_cycles: 1_000,
+        };
+        let resp = ok_result(svc.handle(
+            &Request {
+                id: 3,
+                deadline_ms: None,
+                body: RequestBody::ClosedLoop(spec),
+            },
+            None,
+        ));
+        // The same point through the batch path, on a fresh context.
+        let ctx = SweepContext::standard().unwrap();
+        let want = ctx
+            .run_point(
+                &SweepPoint {
+                    benchmark: Benchmark::Gzip,
+                    pdn_pct: 150.0,
+                    monitor_terms: 13,
+                    controller: ControllerSpec::WaveletThreshold {
+                        low: 0.975,
+                        high: 1.025,
+                        hysteresis: 0.004,
+                        delay: 1,
+                    },
+                },
+                didt_bench::RunParams {
+                    instructions: 2_000,
+                    warmup_cycles: 1_000,
+                },
+            )
+            .unwrap();
+        let got = |key: &str, field: &str| {
+            resp.get(key)
+                .and_then(|l| l.get(field))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(got("controlled", "cycles") as u64, want.controlled.cycles);
+        assert_eq!(
+            got("controlled", "v_min").to_bits(),
+            want.controlled.v_min.to_bits(),
+            "voltage must survive the wire bit-exactly"
+        );
+        assert_eq!(
+            got("baseline", "mean_power").to_bits(),
+            want.baseline.mean_power.to_bits()
+        );
+        assert_eq!(
+            resp.get("seed_hex").and_then(Json::as_str).unwrap(),
+            seed_to_hex(want.seed)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let svc = service();
+        let resp = svc.handle(
+            &Request {
+                id: 4,
+                deadline_ms: Some(0),
+                body: RequestBody::ClosedLoop(ClosedLoopSpec {
+                    benchmark: "swim".to_string(),
+                    pdn_pct: 150.0,
+                    monitor_terms: 13,
+                    controller: ControllerSpec::WaveletThreshold {
+                        low: 0.975,
+                        high: 1.025,
+                        hysteresis: 0.004,
+                        delay: 1,
+                    },
+                    instructions: 50_000,
+                    warmup_cycles: 5_000,
+                }),
+            },
+            Some(Instant::now()),
+        );
+        assert!(matches!(
+            resp.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn design_reports_sorted_terms_and_bound() {
+        let svc = service();
+        let resp = ok_result(svc.handle(
+            &Request {
+                id: 5,
+                deadline_ms: None,
+                body: RequestBody::Design(DesignSpec {
+                    pdn_pct: 150.0,
+                    window: 64,
+                    terms: 13,
+                    i_dev: 10.0,
+                }),
+            },
+            None,
+        ));
+        assert_eq!(resp.get("kept").and_then(Json::as_u64), Some(13));
+        let terms = resp.get("terms").and_then(Json::as_arr).unwrap();
+        assert_eq!(terms.len(), 13);
+        let w0 = terms[0].get("weight").and_then(Json::as_f64).unwrap();
+        let w12 = terms[12].get("weight").and_then(Json::as_f64).unwrap();
+        assert!(w0.abs() >= w12.abs(), "terms must be sorted by |weight|");
+        assert!(
+            resp.get("truncation_error_bound")
+                .and_then(Json::as_f64)
+                .unwrap()
+                >= 0.0
+        );
+    }
+}

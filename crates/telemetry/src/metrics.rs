@@ -97,11 +97,14 @@ pub fn bucket_index(value: u64) -> usize {
     }
 }
 
-/// Inclusive lower bound of bucket `index`.
+/// Inclusive lower bound of bucket `index`. Indices past the last
+/// bucket saturate to `u64::MAX`, so `bucket_lower_bound(i + 1)` is a
+/// safe exclusive upper bound for any bucket, including the top one.
 #[must_use]
 pub fn bucket_lower_bound(index: usize) -> u64 {
     match index {
         0 => 0,
+        i if i >= HISTOGRAM_BUCKETS => u64::MAX,
         i => 1u64 << (i - 1),
     }
 }
@@ -163,6 +166,30 @@ impl Histogram {
             }
         }
         bucket_lower_bound(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// Exact bounds of the bucket containing the `q`-th recorded value:
+    /// `(inclusive lower, exclusive upper)`. The true quantile is
+    /// guaranteed to lie in this half-open interval — the precise
+    /// statement behind [`Histogram::quantile`]'s factor-of-√2 accuracy
+    /// claim, and the form the quantile tests pin exactly. `(0, 0)`
+    /// when empty.
+    #[must_use]
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let count = self.count();
+        if count == 0 {
+            return (0, 0);
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (bucket_lower_bound(i), bucket_lower_bound(i + 1));
+            }
+        }
+        let last = HISTOGRAM_BUCKETS - 1;
+        (bucket_lower_bound(last), u64::MAX)
     }
 
     /// Non-empty buckets as `(inclusive lower bound, count)` pairs.
@@ -227,7 +254,7 @@ impl MetricsRegistry {
 
     /// Snapshot every metric into a JSON object with stable (sorted)
     /// ordering: counters as integers, gauges as floats, histograms as
-    /// `{count, sum, mean, p50, p99, buckets}`.
+    /// `{count, sum, mean, p50, p95, p99, buckets}`.
     #[must_use]
     pub fn snapshot(&self) -> Json {
         let counters: Vec<(String, Json)> = self
@@ -262,6 +289,7 @@ impl MetricsRegistry {
                         ("sum", Json::Num(h.sum() as f64)),
                         ("mean", Json::Num(h.mean())),
                         ("p50", Json::Num(h.quantile(0.5))),
+                        ("p95", Json::Num(h.quantile(0.95))),
                         ("p99", Json::Num(h.quantile(0.99))),
                         ("buckets", Json::Arr(buckets)),
                     ]),
@@ -339,11 +367,69 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_pinned_on_uniform_1_to_1000() {
+        // 1..=1000 recorded once each: the true p50 is 500 and the true
+        // p99 is 990, so the containing buckets — and therefore the
+        // reported geometric midpoints — are known exactly.
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True p50 = 500 lives in [256, 512); cumulative count through
+        // that bucket is 511 >= rank 500.
+        assert_eq!(h.quantile_bounds(0.5), (256, 512));
+        assert!((256..512).contains(&500u64));
+        assert_eq!(h.quantile(0.5), (256.0f64 * 512.0).sqrt());
+        // p95 (true value 950) and p99 (true value 990) both live in
+        // [512, 1024).
+        assert_eq!(h.quantile_bounds(0.95), (512, 1024));
+        assert_eq!(h.quantile_bounds(0.99), (512, 1024));
+        assert!((512..1024).contains(&990u64));
+        assert_eq!(h.quantile(0.99), (512.0f64 * 1024.0).sqrt());
+        // The geometric midpoint of a power-of-two bucket is within a
+        // factor of sqrt(2) of any value in it — check against the true
+        // order statistics.
+        for (q, truth) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let ratio = est / truth;
+            assert!(
+                (std::f64::consts::FRAC_1_SQRT_2..=std::f64::consts::SQRT_2).contains(&ratio),
+                "q={q}: est {est} vs true {truth} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_pinned_on_point_mass() {
+        // Every quantile of a point mass is the mass point's bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_bounds(q), (524_288, 1_048_576), "q={q}");
+            assert_eq!(h.quantile(q), (524_288.0f64 * 1_048_576.0).sqrt());
+        }
+        let (lo, hi) = h.quantile_bounds(0.5);
+        assert!((lo..hi).contains(&1_000_000u64));
+    }
+
+    #[test]
+    fn quantiles_in_top_bucket_do_not_overflow() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_bounds(1.0), (1 << 63, u64::MAX));
+        let p = h.quantile(1.0);
+        assert!(p.is_finite() && p >= (1u64 << 63) as f64);
+    }
+
+    #[test]
     fn empty_histogram_is_well_defined() {
         let h = Histogram::default();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile_bounds(0.5), (0, 0));
         assert!(h.nonzero_buckets().is_empty());
     }
 

@@ -1,0 +1,74 @@
+//! End-to-end service round trip: start an in-process server, issue one
+//! `Characterize` request over real TCP, print the report.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use didt_serve::{CharacterizeSpec, Client, ServeConfig, Server, Service, TraceSource};
+use didt_telemetry::Json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A real server on a loopback port, backed by the shared
+    // calibration cache every connection benefits from.
+    let server = Server::start(ServeConfig::default(), Service::standard()?)?;
+    let addr = server.local_addr();
+    println!("server up on {addr}");
+
+    let mut client = Client::connect(addr)?;
+    println!("ping: protocol version {}", client.ping()?);
+
+    // Characterize a synthesized gzip trace at 150 % supply impedance:
+    // per-scale wavelet variance, a chi-squared Gaussianity verdict and
+    // the Gaussian emergency-fraction estimate, all computed server-side.
+    let report = client.characterize(
+        CharacterizeSpec {
+            trace: TraceSource::Synth {
+                benchmark: "gzip".to_string(),
+                seed: 0xD1D7,
+                warmup: 1_000,
+                cycles: 8_192,
+            },
+            pdn_pct: 150.0,
+            window: 256,
+            ..CharacterizeSpec::default()
+        },
+        Some(30_000),
+    )?;
+
+    let f = |path: &[&str]| {
+        let mut v = Some(&report);
+        for key in path {
+            v = v.and_then(|j| j.get(key));
+        }
+        v.and_then(Json::as_f64).unwrap_or(f64::NAN)
+    };
+    println!("trace length: {} cycles", f(&["trace_len"]));
+    if let Some(scales) = report.get("scales").and_then(Json::as_arr) {
+        println!("per-scale variance (level: A^2):");
+        for s in scales {
+            println!(
+                "  level {:2} (span {:4}): {:.6e}",
+                s.get("level").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                s.get("span").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                s.get("variance").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            );
+        }
+    }
+    println!(
+        "gaussianity: {:.1} % of {} windows accepted",
+        100.0 * f(&["gaussianity", "acceptance_rate"]),
+        f(&["gaussianity", "tested"]),
+    );
+    println!(
+        "emergency estimate: {:.4} of windows below {} V (mean voltage {:.4} V)",
+        f(&["emergency", "estimated_fraction"]),
+        f(&["emergency", "threshold"]),
+        f(&["emergency", "mean_voltage"]),
+    );
+
+    let report = server.shutdown();
+    println!(
+        "server drained: {} served, {} rejected, {} panics",
+        report.served, report.rejected, report.worker_panics
+    );
+    Ok(())
+}
