@@ -127,37 +127,111 @@ pub fn point_seed(point: &SweepPoint) -> u64 {
 // Memoization
 // ---------------------------------------------------------------------------
 
-/// A concurrent compute-once cache.
+/// Lock shards per [`MemoCache`]. Power of two so shard selection is a
+/// mask; 16 comfortably exceeds any worker count this engine sees, so
+/// two threads touching *different* keys almost never share a lock.
+pub const MEMO_SHARDS: usize = 16;
+
+/// FNV-1a [`std::hash::Hasher`] — deterministic (unlike the std
+/// `RandomState` default), so a key lands on the same shard in every
+/// run and shard-occupancy numbers are reproducible.
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a(self.0, bytes);
+    }
+}
+
+/// A concurrent compute-once cache, sharded by key hash.
 ///
 /// The first caller of [`MemoCache::get_or_compute`] for a key runs the
 /// closure; concurrent callers for the same key block on the same
 /// [`OnceLock`] slot and share the resulting [`Arc`] — the closure runs
 /// **exactly once per key** per process, no matter the interleaving.
-/// The outer map lock is held only while locating the slot, never while
-/// computing, so distinct keys compute in parallel.
-#[derive(Debug, Default)]
+///
+/// The key map is split across [`MEMO_SHARDS`] independent mutexes
+/// (selected by FNV-1a key hash), and a shard lock is held only while
+/// locating the slot — never while computing — so distinct keys compute
+/// in parallel and slot lookups for different shards never serialize at
+/// all. Each slot-lookup that finds its shard lock already held counts
+/// into [`MemoCache::contended`] and the global
+/// `runner.cache.shard_contention` telemetry counter.
+#[derive(Debug)]
 pub struct MemoCache<K, V> {
-    slots: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    shards: Vec<Mutex<Shard<K, V>>>,
     computations: AtomicUsize,
     requests: AtomicUsize,
+    contended: AtomicUsize,
+}
+
+/// One shard's key map: each key owns a compute-once slot shared by
+/// every caller that raced on it.
+type Shard<K, V> = HashMap<K, Arc<OnceLock<Arc<V>>>>;
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            computations: AtomicUsize::new(0),
+            requests: AtomicUsize::new(0),
+            contended: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Shard-summed [`MemoCache`] statistics, gathered without ever waiting
+/// on an in-flight compute (fills run outside the shard locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Distinct keys resident, summed over shards.
+    pub keys: usize,
+    /// Compute closures actually run.
+    pub computations: usize,
+    /// Total `get_or_compute` calls.
+    pub requests: usize,
+    /// Requests served from cache (`requests - computations`).
+    pub hits: usize,
+    /// Slot lookups that found their shard lock held by another thread.
+    pub contended: usize,
 }
 
 impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
     /// An empty cache.
     #[must_use]
     pub fn new() -> Self {
-        MemoCache {
-            slots: Mutex::new(HashMap::new()),
-            computations: AtomicUsize::new(0),
-            requests: AtomicUsize::new(0),
-        }
+        MemoCache::default()
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut hasher = FnvHasher(FNV_OFFSET);
+        key.hash(&mut hasher);
+        let h = hasher.0;
+        // Fold the high bits in: FNV's low bits alone mix weakly for
+        // short integer keys.
+        ((h ^ (h >> 32)) as usize) & (MEMO_SHARDS - 1)
     }
 
     /// The value for `key`, computing it with `compute` on first use.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_of(&key)];
         let slot = {
-            let mut slots = self.slots.lock().expect("memo cache poisoned");
+            let mut slots = match shard.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    self.contended.fetch_add(1, Ordering::Relaxed);
+                    didt_telemetry::MetricsRegistry::global()
+                        .counter("runner.cache.shard_contention")
+                        .incr();
+                    shard.lock().expect("memo cache poisoned")
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => panic!("memo cache poisoned: {e}"),
+            };
             Arc::clone(slots.entry(key).or_default())
         };
         Arc::clone(slot.get_or_init(|| {
@@ -166,10 +240,15 @@ impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
         }))
     }
 
-    /// Number of distinct keys resident.
+    /// Number of distinct keys resident, summed over shards. Shard
+    /// locks are taken one at a time and are never held during a
+    /// compute, so this cannot block (or be blocked by) a fill.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("memo cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo cache poisoned").len())
+            .sum()
     }
 
     /// `true` when nothing has been cached yet.
@@ -199,6 +278,59 @@ impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
     pub fn hits(&self) -> usize {
         self.requests().saturating_sub(self.computations())
     }
+
+    /// Slot lookups that hit a busy shard lock and had to wait. Purely
+    /// a timing observable — it varies with interleaving and belongs in
+    /// timing fields only, unlike [`MemoCache::requests`].
+    #[must_use]
+    pub fn contended(&self) -> usize {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// All counters in one shard-summed snapshot; see [`MemoStats`].
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            keys: self.len(),
+            computations: self.computations(),
+            requests: self.requests(),
+            hits: self.hits(),
+            contended: self.contended(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-worker-thread simulation scratch arena.
+///
+/// Each worker thread of a sweep (and each `didt-serve` request worker)
+/// owns one of these through [`with_worker_scratch`]: the closed-loop
+/// processor, warmup trace buffer and wavelet-estimate buffers are
+/// allocated on the thread's first point and rewound in place for every
+/// point after that. Purely an allocation optimization — results are
+/// bit-identical with or without reuse (see
+/// [`didt_core::control::SimScratch`]).
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Closed-loop scratch: the processor and warmup trace buffer.
+    pub sim: didt_core::control::SimScratch,
+    /// DWT scratch for per-window variance estimates.
+    pub estimate: didt_core::characterize::EstimateScratch,
+}
+
+thread_local! {
+    static WORKER_SCRATCH: std::cell::RefCell<WorkerScratch> =
+        std::cell::RefCell::new(WorkerScratch::default());
+}
+
+/// Run `f` with the calling thread's [`WorkerScratch`]. Nested calls
+/// would panic on the `RefCell` — keep the closure leaf-level (one
+/// simulation, not a whole sweep point).
+pub fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+    WORKER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 // ---------------------------------------------------------------------------
@@ -763,7 +895,9 @@ impl SweepContext {
         let result = self.baselines.get_or_compute(key, || {
             let _span = didt_telemetry::span("cache.fill.baselines");
             let harness = ClosedLoop::new(*self.system.processor(), *pdn, cfg);
-            harness.run(&mut NoControl)
+            with_worker_scratch(|scratch| {
+                harness.run_with_deadline_scratch(&mut NoControl, None, &mut scratch.sim)
+            })
         });
         match result.as_ref() {
             Ok(r) => Ok(Arc::new(*r)),
@@ -881,8 +1015,10 @@ impl SweepContext {
         } else {
             let pdn = self.pdn(point.pdn_pct)?;
             let mut ctl = self.controller(point)?;
-            ClosedLoop::new(*self.system.processor(), *pdn, cfg)
-                .run_with_deadline(ctl.as_mut(), deadline)?
+            let harness = ClosedLoop::new(*self.system.processor(), *pdn, cfg);
+            with_worker_scratch(|scratch| {
+                harness.run_with_deadline_scratch(ctl.as_mut(), deadline, &mut scratch.sim)
+            })?
         };
         Ok(PointResult {
             point: point.clone(),
@@ -1005,6 +1141,35 @@ mod tests {
         assert_eq!(cache.computations(), 1);
         cache.get_or_compute(2, || 20);
         assert_eq!((cache.len(), cache.computations()), (2, 2));
+    }
+
+    #[test]
+    fn memo_cache_stats_are_shard_summed_and_consistent() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        // Enough keys to populate several shards under the FNV mapping.
+        for k in 0..64u64 {
+            let v = cache.get_or_compute(k, || k * 2);
+            assert_eq!(*v, k * 2);
+            let again = cache.get_or_compute(k, || unreachable!("must be cached"));
+            assert_eq!(*again, k * 2);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.keys, 64);
+        assert_eq!(stats.computations, 64);
+        assert_eq!(stats.requests, 128);
+        assert_eq!(stats.hits, 64);
+        assert_eq!(stats.contended, 0, "single thread cannot contend");
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn memo_cache_shard_choice_is_deterministic() {
+        let a: MemoCache<(u64, usize), u8> = MemoCache::new();
+        let b: MemoCache<(u64, usize), u8> = MemoCache::new();
+        for k in 0..32u64 {
+            assert_eq!(a.shard_of(&(k, 7)), b.shard_of(&(k, 7)));
+            assert!(a.shard_of(&(k, 7)) < MEMO_SHARDS);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! execution cycles spent below the control point, compared against the
 //! fraction observed in a direct PDN simulation of the same trace.
 
-use crate::characterize::{VarianceModel, WindowEstimate, WindowModel};
+use crate::characterize::{EstimateScratch, VarianceModel, WindowEstimate, WindowModel};
 use crate::DidtError;
 use didt_pdn::SecondOrderPdn;
 
@@ -79,8 +79,11 @@ impl<M: WindowModel> EmergencyEstimator<M> {
         let mut prob_sum = 0.0;
         let mut vmean_sum = 0.0;
         let mut count = 0usize;
+        // One scratch for the whole tiling: the per-window DWT buffers
+        // are allocated once, not once per 256-cycle window.
+        let mut scratch = EstimateScratch::new();
         for window in trace.chunks_exact(w) {
-            let est: WindowEstimate = self.model.estimate(window)?;
+            let est: WindowEstimate = self.model.estimate_scratch(window, &mut scratch)?;
             prob_sum += est.probability_below(self.threshold);
             vmean_sum += est.v_mean;
             count += 1;

@@ -9,7 +9,7 @@
 //! [`super::VarianceModel`] with packet bands and plugs into the same
 //! [`super::EmergencyEstimator`] through the [`WindowModel`] trait.
 
-use crate::characterize::{VarianceModel, WindowEstimate};
+use crate::characterize::{EstimateScratch, VarianceModel, WindowEstimate};
 use crate::DidtError;
 use didt_dsp::packet::{wavelet_packet, WaveletPacket};
 use didt_dsp::wavelet::Haar;
@@ -33,6 +33,21 @@ pub trait WindowModel {
     /// Implementations return [`DidtError::TraceTooShort`] on length
     /// mismatch and propagate transform errors.
     fn estimate(&self, window: &[f64]) -> Result<WindowEstimate, DidtError>;
+
+    /// [`WindowModel::estimate`] with caller-provided scratch buffers,
+    /// so window loops stay allocation-free. Models without reusable
+    /// buffers ignore the scratch; the default just forwards.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`WindowModel::estimate`].
+    fn estimate_scratch(
+        &self,
+        window: &[f64],
+        _scratch: &mut EstimateScratch,
+    ) -> Result<WindowEstimate, DidtError> {
+        self.estimate(window)
+    }
 }
 
 impl WindowModel for VarianceModel {
@@ -42,6 +57,14 @@ impl WindowModel for VarianceModel {
 
     fn estimate(&self, window: &[f64]) -> Result<WindowEstimate, DidtError> {
         VarianceModel::estimate(self, window)
+    }
+
+    fn estimate_scratch(
+        &self,
+        window: &[f64],
+        scratch: &mut EstimateScratch,
+    ) -> Result<WindowEstimate, DidtError> {
+        self.estimate_with(window, scratch)
     }
 }
 

@@ -115,6 +115,35 @@ impl ClosedLoopResult {
     }
 }
 
+/// Reusable per-worker simulation scratch for closed-loop runs.
+///
+/// A sweep worker (or a `didt-serve` request worker) runs thousands of
+/// closed-loop simulations back to back; each one needs a fully built
+/// [`Processor`] (window ring, cache arrays, predictor tables, timing
+/// wheel) and a warmup trace buffer. Holding one `SimScratch` per
+/// worker and running through
+/// [`ClosedLoop::run_with_deadline_scratch`] reuses all of those
+/// allocations across runs: the processor is rewound in place with
+/// [`Processor::reset`] (bit-identical to a fresh build) and the trace
+/// buffer keeps its capacity.
+///
+/// The scratch is inert state — results are bit-identical with or
+/// without it, for any sequence of runs on any mix of configs (a
+/// geometry change falls back to a rebuild inside `reset`).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    cpu: Option<Processor<WorkloadGenerator>>,
+    warm_trace: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Empty scratch; buffers are built on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
+
 /// The closed-loop harness.
 ///
 /// # Examples
@@ -193,7 +222,54 @@ impl ClosedLoop {
         controller: &mut dyn DidtController,
         deadline: Option<std::time::Instant>,
     ) -> Result<ClosedLoopResult, DidtError> {
+        self.run_with_deadline_scratch(controller, deadline, &mut SimScratch::new())
+    }
+
+    /// [`Self::run_with_deadline`] reusing a caller-held [`SimScratch`]
+    /// — the per-worker fast path. The processor and warmup buffer
+    /// inside `scratch` are rewound, not rebuilt, so a worker looping
+    /// over sweep points (or service requests) allocates the simulator
+    /// once. Bit-identical to the scratch-free entry points.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::run_with_deadline`]. The scratch stays
+    /// valid (and reusable) after an error.
+    pub fn run_with_deadline_scratch(
+        &self,
+        controller: &mut dyn DidtController,
+        deadline: Option<std::time::Instant>,
+        scratch: &mut SimScratch,
+    ) -> Result<ClosedLoopResult, DidtError> {
         let _span = didt_telemetry::span("core.closed_loop.run");
+        let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
+        match scratch.cpu.as_mut() {
+            Some(cpu) => cpu.reset(self.processor, gen),
+            None => scratch.cpu = Some(Processor::new(self.processor, gen)),
+        }
+        let cpu = scratch.cpu.as_mut().expect("installed above");
+        scratch.warm_trace.clear();
+        let started = std::time::Instant::now();
+        let result = self.run_core(controller, deadline, cpu, &mut scratch.warm_trace);
+        if let Ok(r) = &result {
+            // Global simulator throughput: consumers (didt-serve stats,
+            // perf tooling) derive cycles/s as sim.cycles / sim.wall_ns.
+            // Timing wraps the run — the clock value never reaches the
+            // simulation, so results stay bit-identical.
+            let (cycles, wall_ns) = sim_throughput_counters();
+            cycles.add(self.config.warmup_cycles + r.cycles);
+            wall_ns.add(started.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn run_core(
+        &self,
+        controller: &mut dyn DidtController,
+        deadline: Option<std::time::Instant>,
+        cpu: &mut Processor<WorkloadGenerator>,
+        warm_trace: &mut Vec<f64>,
+    ) -> Result<ClosedLoopResult, DidtError> {
         let mut since_check: u32 = 0;
         let mut simulated: u64 = 0;
         // One macro, two loops: the deadline test must not touch the
@@ -214,22 +290,49 @@ impl ClosedLoop {
                 }
             };
         }
-        let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
-        let mut cpu = Processor::new(self.processor, gen);
         let mut pdn_sim = self.pdn.simulator();
         let mut sense = CycleSense {
             current: 0.0,
             voltage: self.pdn.vdd(),
         };
         // Warmup: run uncontrolled to populate caches, predictors and the
-        // PDN filter state.
-        for _ in 0..self.config.warmup_cycles {
-            check_deadline!();
-            let out = cpu.step(ControlAction::Normal);
-            let v = pdn_sim.step(out.current);
+        // PDN filter state. The action cannot change mid-warmup, so the
+        // processor leg is batched (`step_trace`) and the PDN filter
+        // replays the captured currents afterwards — the filter consumes
+        // the identical sequence in the identical order, so its state is
+        // bit-identical to the interleaved formulation. With a deadline
+        // set, batches stop at the same cycles the per-cycle loop would
+        // have read the clock, preserving `after_cycles` on abort.
+        let mut remaining = self.config.warmup_cycles;
+        while remaining > 0 {
+            let chunk = if deadline.is_some() {
+                remaining.min(u64::from(DEADLINE_CHECK_INTERVAL - since_check))
+            } else {
+                remaining
+            };
+            cpu.step_trace(chunk, ControlAction::Normal, warm_trace);
+            simulated += chunk;
+            remaining -= chunk;
+            if let Some(deadline) = deadline {
+                since_check += chunk as u32;
+                if since_check >= DEADLINE_CHECK_INTERVAL {
+                    since_check = 0;
+                    if std::time::Instant::now() >= deadline {
+                        return Err(DidtError::DeadlineExceeded {
+                            after_cycles: simulated,
+                        });
+                    }
+                }
+            }
+        }
+        let mut v_last = self.pdn.vdd();
+        for &current in warm_trace.iter() {
+            v_last = pdn_sim.step(current);
+        }
+        if let Some(&current) = warm_trace.last() {
             sense = CycleSense {
-                current: out.current,
-                voltage: v,
+                current,
+                voltage: v_last,
             };
         }
         let mut result = ClosedLoopResult {
@@ -238,9 +341,12 @@ impl ClosedLoop {
             ..ClosedLoopResult::default()
         };
         let mut power_accum = 0.0;
-        let start_committed = cpu.stats().committed;
+        // Committed instructions are accumulated from the per-cycle
+        // outputs instead of re-reading the full stats struct every
+        // cycle; the sum is the same delta by construction.
+        let mut committed: u64 = 0;
         let cycle_budget = self.config.instructions * 400 + 1_000_000;
-        while cpu.stats().committed - start_committed < self.config.instructions {
+        while committed < self.config.instructions {
             check_deadline!();
             if result.cycles > cycle_budget {
                 return Err(DidtError::InvalidConfig {
@@ -250,6 +356,7 @@ impl ClosedLoop {
             }
             let action = controller.decide(sense);
             let out = cpu.step(action);
+            committed += u64::from(out.committed);
             let v = pdn_sim.step(out.current);
             result.cycles += 1;
             power_accum += out.power;
@@ -287,7 +394,7 @@ impl ClosedLoop {
                 voltage: v,
             };
         }
-        result.instructions = cpu.stats().committed - start_committed;
+        result.instructions = committed;
         result.mean_power = if result.cycles > 0 {
             power_accum / result.cycles as f64
         } else {
@@ -311,6 +418,29 @@ impl ClosedLoop {
 /// well under a millisecond while keeping the common case — thousands
 /// of cycles with no clock syscall — free.
 pub const DEADLINE_CHECK_INTERVAL: u32 = 4096;
+
+/// The process-global simulator throughput counters (`sim.cycles`,
+/// `sim.wall_ns`), resolved from the registry once. Every completed
+/// closed-loop run adds its total simulated cycles (warmup + measured)
+/// and its wall time; `sim.cycles / sim.wall_ns` is the process's
+/// aggregate simulation rate.
+fn sim_throughput_counters() -> &'static (
+    std::sync::Arc<didt_telemetry::Counter>,
+    std::sync::Arc<didt_telemetry::Counter>,
+) {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<(
+        std::sync::Arc<didt_telemetry::Counter>,
+        std::sync::Arc<didt_telemetry::Counter>,
+    )> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let metrics = didt_telemetry::MetricsRegistry::global();
+        (
+            metrics.counter("sim.cycles"),
+            metrics.counter("sim.wall_ns"),
+        )
+    })
+}
 
 /// The four registry counters a closed-loop scheme reports into,
 /// resolved once per scheme name (see [`scheme_counters`]).
@@ -490,6 +620,52 @@ mod tests {
             }
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_mixed_runs() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let mut scratch = SimScratch::new();
+        // Run several different benchmarks through ONE scratch and
+        // compare each against a fresh-allocation run: the rewound
+        // processor must be indistinguishable from a new one.
+        for bench in [
+            Benchmark::Gzip,
+            Benchmark::Mcf,
+            Benchmark::Swim,
+            Benchmark::Gzip,
+        ] {
+            let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(bench));
+            let fresh = harness.run(&mut NoControl).unwrap();
+            let reused = harness
+                .run_with_deadline_scratch(&mut NoControl, None, &mut scratch)
+                .unwrap();
+            assert_eq!(fresh, reused, "{bench:?} diverged under scratch reuse");
+        }
+        // A controlled run through the same scratch also matches.
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Mgrid));
+        let mut a = ThresholdController::new(AnalogSensor::new(1.0, 1), 0.97, 1.03, 0.004);
+        let mut b = ThresholdController::new(AnalogSensor::new(1.0, 1), 0.97, 1.03, 0.004);
+        let fresh = harness.run(&mut a).unwrap();
+        let reused = harness
+            .run_with_deadline_scratch(&mut b, None, &mut scratch)
+            .unwrap();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn sim_throughput_counters_accumulate() {
+        let metrics = didt_telemetry::MetricsRegistry::global();
+        let cycles = metrics.counter("sim.cycles");
+        let wall = metrics.counter("sim.wall_ns");
+        let (c0, w0) = (cycles.get(), wall.get());
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Gzip));
+        let r = harness.run(&mut NoControl).unwrap();
+        assert!(cycles.get() - c0 >= r.cycles + 5_000);
+        assert!(wall.get() > w0, "wall-clock counter must advance");
     }
 
     #[test]

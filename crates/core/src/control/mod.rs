@@ -11,7 +11,9 @@
 mod closed_loop;
 mod controllers;
 
-pub use closed_loop::{ClosedLoop, ClosedLoopConfig, ClosedLoopResult, DEADLINE_CHECK_INTERVAL};
+pub use closed_loop::{
+    ClosedLoop, ClosedLoopConfig, ClosedLoopResult, SimScratch, DEADLINE_CHECK_INTERVAL,
+};
 pub use controllers::{NoControl, PipelineDamping, ThresholdController};
 
 use crate::monitor::CycleSense;

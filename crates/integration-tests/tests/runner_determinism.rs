@@ -103,6 +103,48 @@ fn memo_cache_computes_exactly_once_under_concurrency() {
         2,
         "a key's value was computed more than once"
     );
+    // Shard-summed stats stay coherent under the same interleaving:
+    // every one of the 12*40 requests is accounted for, hits are the
+    // non-computing remainder, and contention (however much the host
+    // produced) never inflates the compute count.
+    let stats = cache.stats();
+    assert_eq!(stats.keys, 2);
+    assert_eq!(stats.computations, 2);
+    assert_eq!(stats.requests, 12 * 40);
+    assert_eq!(stats.hits, 12 * 40 - 2);
+    assert!(stats.contended <= stats.requests);
+}
+
+/// Compute-once must also hold when many *distinct* keys land across
+/// shards at once — the sharded map must not duplicate a slot while two
+/// threads race to insert it into the same shard.
+#[test]
+fn memo_cache_computes_exactly_once_across_shards() {
+    const KEYS: u32 = 64;
+    let cache: Arc<MemoCache<u32, u64>> = Arc::new(MemoCache::new());
+    std::thread::scope(|s| {
+        for t in 0..8u32 {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..KEYS {
+                        // Different starting offsets per thread so shard
+                        // locks are hit in conflicting orders.
+                        let key = (i + t * 17 + round) % KEYS;
+                        let v = cache.get_or_compute(key, || u64::from(key) * 3);
+                        assert_eq!(*v, u64::from(key) * 3);
+                    }
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.keys, KEYS as usize);
+    assert_eq!(
+        stats.computations, KEYS as usize,
+        "a key's value was computed more than once"
+    );
+    assert_eq!(stats.requests, 8 * 4 * KEYS as usize);
 }
 
 #[test]

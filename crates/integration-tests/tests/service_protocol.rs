@@ -284,6 +284,60 @@ fn expired_deadline_is_a_clean_structured_error() {
 }
 
 #[test]
+fn stats_reports_sim_throughput_and_queue_wait_quantiles() {
+    let server = small_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // One real closed-loop run so the simulator throughput counters and
+    // the worker queue-wait histogram both have data.
+    let spec = ClosedLoopSpec {
+        benchmark: "gzip".to_string(),
+        pdn_pct: 150.0,
+        monitor_terms: 13,
+        controller: didt_bench::ControllerSpec::WaveletThreshold {
+            low: 0.975,
+            high: 1.025,
+            hysteresis: 0.004,
+            delay: 1,
+        },
+        instructions: 2_000,
+        warmup_cycles: 500,
+    };
+    client
+        .closed_loop(spec, Some(120_000))
+        .expect("closed loop run");
+
+    let stats = client.stats().expect("stats");
+    let sim = stats.get("sim").expect("stats must report a `sim` block");
+    assert!(
+        sim.get("cycles").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "sim.cycles must count the closed-loop run: {stats:?}"
+    );
+    assert!(
+        sim.get("cycles_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            > 0.0,
+        "sim.cycles_per_sec must be positive after a run: {stats:?}"
+    );
+
+    // The closed-loop request and the stats request itself both went
+    // through the worker queue, so the histogram has at least two
+    // samples and ordered quantiles.
+    let wait = stats
+        .get("queue_wait_ns")
+        .expect("stats must report `queue_wait_ns`");
+    let q = |k: &str| wait.get(k).and_then(Json::as_f64).expect(k);
+    assert!(q("count") >= 2.0, "queue_wait_ns.count: {wait:?}");
+    assert!(q("p50") <= q("p95"), "quantiles out of order: {wait:?}");
+    assert!(q("p95") <= q("p99"), "quantiles out of order: {wait:?}");
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
 fn shutdown_drains_admitted_work() {
     let server = small_server();
     let addr = server.local_addr();

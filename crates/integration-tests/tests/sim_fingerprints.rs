@@ -1,0 +1,141 @@
+//! Bit-identity regression suite for the cycle simulator.
+//!
+//! The PR 5 fast-path work rewrites the hot structures inside
+//! `didt_uarch` (flat ROB ring, precomputed workload tables, hoisted
+//! cache/branch index math) under a hard contract: **the simulated
+//! machine must not change**. Every RNG draw, every f64 operation and
+//! every stat must land exactly where it did before the rewrite.
+//!
+//! These fingerprints were captured from the pre-rewrite simulator and
+//! pin, per benchmark: an FNV-1a hash over the bit patterns of the
+//! first 4096 current samples, plus the full `SimStats` (mean power as
+//! raw bits). Any optimization that reorders arithmetic, adds or drops
+//! an RNG draw, or perturbs a single stat fails loudly here.
+//!
+//! Regenerate (only when a simulator *behaviour* change is intended):
+//!
+//! ```text
+//! cargo test -p didt-integration-tests --release \
+//!     regenerate_sim_fingerprints -- --ignored
+//! ```
+
+use didt_uarch::{
+    capture_trace, Benchmark, ControlAction, CurrentTrace, Processor, ProcessorConfig,
+    WorkloadGenerator,
+};
+use proptest::prelude::*;
+
+/// Workload seed for the pinned traces — the standard closed-loop seed.
+const SEED: u64 = 0xD1D7;
+/// Samples fingerprinted per benchmark.
+const CYCLES: usize = 4096;
+
+const GOLDEN: &str = include_str!("data/sim_fingerprints_v1.txt");
+
+fn fnv1a_u64(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fingerprint_line(trace: &CurrentTrace) -> String {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for sample in &trace.samples {
+        hash = fnv1a_u64(hash, sample.to_bits());
+    }
+    let s = trace.stats;
+    format!(
+        "{} trace={:016x} cycles={} committed={} nops={} fetched={} branches={} \
+         mispredicts={} l1d_misses={} l1d_accesses={} l2_misses={} l2_accesses={} \
+         l1i_misses={} mean_power_bits={:016x}",
+        trace.benchmark,
+        hash,
+        s.cycles,
+        s.committed,
+        s.nops_injected,
+        s.fetched,
+        s.branches,
+        s.branch_mispredicts,
+        s.l1d_misses,
+        s.l1d_accesses,
+        s.l2_misses,
+        s.l2_accesses,
+        s.l1i_misses,
+        s.mean_power.to_bits(),
+    )
+}
+
+fn current_fingerprints() -> Vec<String> {
+    let config = ProcessorConfig::table1();
+    Benchmark::all()
+        .into_iter()
+        .map(|b| fingerprint_line(&capture_trace(b, &config, SEED, 0, CYCLES)))
+        .collect()
+}
+
+/// The heart of the suite: each benchmark's first 4096 current samples
+/// and full run statistics are bitwise what they were before the
+/// fast-path rewrite.
+#[test]
+fn simulator_fingerprints_are_bitwise_stable() {
+    let golden: Vec<&str> = GOLDEN.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(golden.len(), 26, "expected one golden line per benchmark");
+    for (line, want) in current_fingerprints().iter().zip(&golden) {
+        assert_eq!(
+            line, want,
+            "simulator output diverged from the pinned pre-rewrite fingerprint"
+        );
+    }
+}
+
+proptest! {
+    /// `step_n` is the same machine as repeated `step`, for arbitrary
+    /// schedules of control actions and batch lengths: identical batch
+    /// outputs (committed count and final cycle), identical final stats.
+    #[test]
+    fn step_n_equals_repeated_step_for_arbitrary_schedules(
+        bench_idx in 0usize..26,
+        seed in 0u64..1_000,
+        schedule in prop::collection::vec((0u8..3, 1u64..200), 1..8),
+    ) {
+        let bench = Benchmark::all()[bench_idx];
+        let config = ProcessorConfig::table1();
+        let mut stepped = Processor::new(config, WorkloadGenerator::new(bench.profile(), seed));
+        let mut batched = Processor::new(config, WorkloadGenerator::new(bench.profile(), seed));
+        for &(action_code, n) in &schedule {
+            let action = match action_code {
+                0 => ControlAction::Normal,
+                1 => ControlAction::StallIssue,
+                _ => ControlAction::InjectNops,
+            };
+            let mut committed = 0u64;
+            let mut last = None;
+            for _ in 0..n {
+                let out = stepped.step(action);
+                committed += u64::from(out.committed);
+                last = Some(out);
+            }
+            let batch = batched.step_n(n, action);
+            prop_assert_eq!(batch.committed, committed);
+            prop_assert_eq!(Some(batch.last), last);
+        }
+        prop_assert_eq!(stepped.stats(), batched.stats());
+    }
+}
+
+/// Rewrites the golden file from the current simulator. Run only when a
+/// behaviour change is intentional; the diff is the review artifact.
+#[test]
+#[ignore = "regenerates the golden fingerprint file"]
+fn regenerate_sim_fingerprints() {
+    let mut out = current_fingerprints().join("\n");
+    out.push('\n');
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/sim_fingerprints_v1.txt"
+    );
+    std::fs::write(path, out).expect("write golden fingerprints");
+}

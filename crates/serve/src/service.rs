@@ -209,6 +209,39 @@ impl Service {
                 0.0
             }),
         ));
+        // Simulator throughput, accumulated by the closed-loop kernel
+        // over every run this process has done (serve and batch share
+        // the counters). Zero until the first `ClosedLoop` request.
+        let metrics = MetricsRegistry::global();
+        let sim_cycles = metrics.counter("sim.cycles").get();
+        let sim_wall_ns = metrics.counter("sim.wall_ns").get();
+        pairs.push((
+            "sim",
+            Json::obj(vec![
+                ("cycles", Json::num(sim_cycles as f64)),
+                (
+                    "cycles_per_sec",
+                    Json::num(if sim_wall_ns > 0 {
+                        sim_cycles as f64 / sim_wall_ns as f64 * 1e9
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ));
+        // Queue-wait distribution, recorded by the worker pool at
+        // dequeue. Empty (all zeros) when `handle` is called without
+        // the TCP front, e.g. from tests or the in-process example.
+        let queue_wait = metrics.histogram("serve.queue_wait_ns");
+        pairs.push((
+            "queue_wait_ns",
+            Json::obj(vec![
+                ("count", Json::num(queue_wait.count() as f64)),
+                ("p50", Json::num(queue_wait.quantile(0.5))),
+                ("p95", Json::num(queue_wait.quantile(0.95))),
+                ("p99", Json::num(queue_wait.quantile(0.99))),
+            ]),
+        ));
         Json::obj(pairs)
     }
 
@@ -478,6 +511,14 @@ mod tests {
         ));
         assert!(stats.get("cache").is_some());
         assert_eq!(stats.get("worker_panics").and_then(Json::as_u64), Some(0));
+        // The throughput block is always present, even before any
+        // closed-loop request (rates read 0 rather than NaN).
+        let sim = stats.get("sim").expect("sim block");
+        assert!(sim.get("cycles_per_sec").and_then(Json::as_f64).is_some());
+        let wait = stats.get("queue_wait_ns").expect("queue_wait_ns block");
+        for key in ["count", "p50", "p95", "p99"] {
+            assert!(wait.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
     }
 
     #[test]

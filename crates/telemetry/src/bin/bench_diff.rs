@@ -1,0 +1,183 @@
+//! `bench_diff`: compare two BENCH JSON reports with tolerance bands.
+//!
+//! CI runs the perf smoke job on every push, writes a fresh smoke
+//! report, and diffs it against the committed full-run reference
+//! (`BENCH_pr5.json`) with this tool. Two kinds of metric get two kinds
+//! of band:
+//!
+//! * **ratio metrics** (speedup of one code path over another, measured
+//!   on the same machine in the same process) transfer across hosts, so
+//!   they get the tight default band (`--ratio-tolerance`, default
+//!   0.5 = the candidate may lose up to half the reference ratio);
+//! * **absolute rates** (cycles/s, samples/s) depend on the host the
+//!   reference was captured on, so they get a loose band
+//!   (`--rate-tolerance`, default 0.9 = flag only order-of-magnitude
+//!   collapses) and are otherwise informational.
+//!
+//! Structural fields (schema, serial/parallel bit-identity) are checked
+//! exactly. Exit status is nonzero when any check fails, so the CI step
+//! is just `bench_diff <reference> <candidate>`.
+
+use didt_telemetry::Json;
+use std::process::ExitCode;
+
+/// One comparison: a dotted path into both reports plus its band kind.
+struct Metric {
+    path: &'static [&'static str],
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    /// Same-machine ratio — portable across hosts, tight band.
+    Ratio,
+    /// Absolute throughput — host-dependent, loose band.
+    Rate,
+}
+
+const METRICS: &[Metric] = &[
+    Metric {
+        path: &["headline", "speedup"],
+        kind: Kind::Ratio,
+    },
+    Metric {
+        path: &["monitors", "full_conv_speedup_vs_naive"],
+        kind: Kind::Ratio,
+    },
+    Metric {
+        path: &["monitors", "biquad_speedup_vs_naive"],
+        kind: Kind::Ratio,
+    },
+    Metric {
+        path: &["monitors", "full_conv_cycles_per_sec"],
+        kind: Kind::Rate,
+    },
+    Metric {
+        path: &["monitors", "biquad_cycles_per_sec"],
+        kind: Kind::Rate,
+    },
+    Metric {
+        path: &["sim", "serial_cycles_per_sec"],
+        kind: Kind::Rate,
+    },
+];
+
+fn lookup<'a>(root: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    let mut node = root;
+    for key in path {
+        node = node.get(key)?;
+    }
+    Some(node)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn usage() -> String {
+    "usage: bench_diff <reference.json> <candidate.json> \
+     [--ratio-tolerance F] [--rate-tolerance F]"
+        .to_string()
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut ratio_tol = 0.5f64;
+    let mut rate_tol = 0.9f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ratio-tolerance" | "--rate-tolerance" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&v) {
+                    return Err("tolerance must be in [0, 1)".to_string());
+                }
+                if arg == "--ratio-tolerance" {
+                    ratio_tol = v;
+                } else {
+                    rate_tol = v;
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => files.push(other),
+        }
+    }
+    let [reference_path, candidate_path] = files.as_slice() else {
+        return Err(usage());
+    };
+    let reference = load(reference_path)?;
+    let candidate = load(candidate_path)?;
+
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        println!("FAIL  {msg}");
+        ok = false;
+    };
+
+    // Structural checks: exact.
+    let schema = |j: &Json| j.get("schema").and_then(Json::as_str).map(str::to_string);
+    match (schema(&reference), schema(&candidate)) {
+        (Some(a), Some(b)) if a == b => println!("ok    schema: {a}"),
+        (a, b) => fail(format!("schema mismatch: reference {a:?}, candidate {b:?}")),
+    }
+    match lookup(&candidate, &["sweep", "serial_parallel_identical"]) {
+        Some(Json::Bool(true)) => println!("ok    sweep.serial_parallel_identical: true"),
+        other => fail(format!(
+            "sweep.serial_parallel_identical must be true, got {other:?}"
+        )),
+    }
+
+    // Banded metric checks.
+    for metric in METRICS {
+        let name = metric.path.join(".");
+        let (want, got) = match (
+            lookup(&reference, metric.path).and_then(Json::as_f64),
+            lookup(&candidate, metric.path).and_then(Json::as_f64),
+        ) {
+            (Some(w), Some(g)) => (w, g),
+            (w, g) => {
+                fail(format!(
+                    "{name}: missing (reference {w:?}, candidate {g:?})"
+                ));
+                continue;
+            }
+        };
+        let tolerance = match metric.kind {
+            Kind::Ratio => ratio_tol,
+            Kind::Rate => rate_tol,
+        };
+        let floor = want * (1.0 - tolerance);
+        if got >= floor {
+            println!("ok    {name}: {got:.3e} vs reference {want:.3e} (floor {floor:.3e})");
+        } else {
+            fail(format!(
+                "{name}: {got:.3e} fell below {floor:.3e} \
+                 (reference {want:.3e}, tolerance {tolerance})"
+            ));
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench_diff: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("bench_diff: regressions detected");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

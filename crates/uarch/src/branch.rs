@@ -52,6 +52,9 @@ pub struct BranchPredictor {
     history_mask: u64,
     btb_tags: Vec<u64>,
     btb_ways: usize,
+    /// Hoisted `btb_tags.len() / btb_ways`, so the hot BTB paths do no
+    /// per-call division.
+    btb_sets: usize,
     ras: Vec<u64>,
     ras_capacity: usize,
     lookups: u64,
@@ -88,6 +91,7 @@ impl BranchPredictor {
             history_mask: (1u64 << cfg.gshare_history_bits) - 1,
             btb_tags: vec![u64::MAX; cfg.btb_entries],
             btb_ways: cfg.btb_ways,
+            btb_sets: cfg.btb_entries / cfg.btb_ways,
             ras: Vec::with_capacity(cfg.ras_entries),
             ras_capacity: cfg.ras_entries,
             lookups: 0,
@@ -118,6 +122,39 @@ impl BranchPredictor {
         }
     }
 
+    /// Predict the branch at `pc` and immediately train with the actual
+    /// outcome — the fused form of [`BranchPredictor::predict`] followed
+    /// by [`BranchPredictor::update`], computing each table index once.
+    /// Returns the prediction, and is bit-identical to the split calls
+    /// (the pipeline's fetch stage always predicts and trains
+    /// back-to-back).
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let bi = self.bimodal_index(pc);
+        let gi = self.gshare_index(pc);
+        let ci = self.chooser_index(pc);
+        let bimodal_pred = self.bimodal[bi].predict();
+        let gshare_pred = self.gshare[gi].predict();
+        let predicted = if self.chooser[ci].predict() {
+            gshare_pred
+        } else {
+            bimodal_pred
+        };
+        self.lookups += 1;
+        if predicted != taken {
+            self.mispredicts += 1;
+        }
+        let bimodal_correct = bimodal_pred == taken;
+        let gshare_correct = gshare_pred == taken;
+        // Chooser trains toward whichever component was right.
+        if gshare_correct != bimodal_correct {
+            self.chooser[ci].update(gshare_correct);
+        }
+        self.bimodal[bi].update(taken);
+        self.gshare[gi].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        predicted
+    }
+
     /// Train with the actual outcome; `predicted` must be the direction
     /// returned by the matching [`BranchPredictor::predict`] call so the
     /// misprediction statistics stay truthful.
@@ -143,8 +180,7 @@ impl BranchPredictor {
     /// Look up the target for `pc` in the BTB; `true` means the target is
     /// known (taken branches with a BTB miss still pay a redirect).
     pub fn btb_lookup(&mut self, pc: u64) -> bool {
-        let sets = self.btb_tags.len() / self.btb_ways;
-        let set = (pc >> 2) as usize & (sets - 1);
+        let set = (pc >> 2) as usize & (self.btb_sets - 1);
         let base = set * self.btb_ways;
         let ways = &mut self.btb_tags[base..base + self.btb_ways];
         if let Some(pos) = ways.iter().position(|&t| t == pc) {
@@ -159,8 +195,7 @@ impl BranchPredictor {
 
     /// Install `pc` into the BTB (called for taken branches).
     pub fn btb_insert(&mut self, pc: u64) {
-        let sets = self.btb_tags.len() / self.btb_ways;
-        let set = (pc >> 2) as usize & (sets - 1);
+        let set = (pc >> 2) as usize & (self.btb_sets - 1);
         let base = set * self.btb_ways;
         let ways = &mut self.btb_tags[base..base + self.btb_ways];
         if !ways.contains(&pc) {
@@ -192,6 +227,21 @@ impl BranchPredictor {
     #[must_use]
     pub fn mispredicts(&self) -> u64 {
         self.mispredicts
+    }
+
+    /// Rewind every table, the history register, the BTB, the RAS and
+    /// the statistics to the as-built state — bit-identical to a fresh
+    /// `BranchPredictor::new` with the same configuration, reusing the
+    /// table allocations (the processor-recycle path depends on this).
+    pub fn reset(&mut self) {
+        self.bimodal.fill(Counter2(2));
+        self.gshare.fill(Counter2(2));
+        self.chooser.fill(Counter2(1));
+        self.history = 0;
+        self.btb_tags.fill(u64::MAX);
+        self.ras.clear();
+        self.lookups = 0;
+        self.mispredicts = 0;
     }
 
     /// Misprediction rate (0 when no branches seen).
@@ -310,6 +360,53 @@ mod tests {
         assert!(!bp.btb_lookup(a));
         assert!(bp.btb_lookup(b));
         assert!(bp.btb_lookup(c));
+    }
+
+    #[test]
+    fn fused_predict_and_update_matches_split_calls() {
+        let mut fused = predictor();
+        let mut split = predictor();
+        let mut state = 0x9E37u64;
+        for i in 0..6000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pc = 0x400 + (state % 97) * 4;
+            let taken = match i % 3 {
+                0 => true,
+                1 => i % 2 == 0,
+                _ => state & 8 != 0,
+            };
+            let a = fused.predict_and_update(pc, taken);
+            let b = split.predict(pc);
+            split.update(pc, taken, b);
+            assert_eq!(a, b, "iteration {i}");
+        }
+        assert_eq!(fused.lookups(), split.lookups());
+        assert_eq!(fused.mispredicts(), split.mispredicts());
+    }
+
+    #[test]
+    fn reset_matches_fresh_predictor() {
+        let mut bp = predictor();
+        for i in 0..500u64 {
+            let pc = 0x100 + (i % 37) * 4;
+            let p = bp.predict_and_update(pc, i % 3 == 0);
+            let _ = p;
+            bp.btb_insert(pc);
+        }
+        bp.ras_push(42);
+        bp.reset();
+        let mut fresh = predictor();
+        for i in 0..500u64 {
+            let pc = 0x100 + (i % 37) * 4;
+            assert_eq!(
+                bp.predict_and_update(pc, i % 2 == 0),
+                fresh.predict_and_update(pc, i % 2 == 0)
+            );
+            assert_eq!(bp.btb_lookup(pc), fresh.btb_lookup(pc));
+        }
+        assert_eq!(bp.ras_pop(), None);
     }
 
     #[test]

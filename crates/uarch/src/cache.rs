@@ -89,6 +89,13 @@ impl Cache {
         let set = (line & self.set_mask) as usize;
         let assoc = self.config.associativity;
         let base = set * assoc;
+        // MRU fast path: most accesses re-touch the most recent line in
+        // the set, where the LRU rotation is a no-op — skip the scans.
+        let mru_way = self.lru[base] as usize;
+        if self.tags[base + mru_way] == line {
+            self.hits += 1;
+            return true;
+        }
         let tags = &mut self.tags[base..base + assoc];
         let lru = &mut self.lru[base..base + assoc];
         if let Some(way) = tags.iter().position(|&t| t == line) {
@@ -135,9 +142,15 @@ impl Cache {
         }
     }
 
-    /// Invalidate all lines and zero the statistics.
+    /// Invalidate all lines and zero the statistics. Also restores the
+    /// LRU rank order of every set to the as-built state, so a recycled
+    /// cache is indistinguishable from a fresh `Cache::new`.
     pub fn reset(&mut self) {
         self.tags.fill(u64::MAX);
+        let assoc = self.config.associativity;
+        for (i, rank) in self.lru.iter_mut().enumerate() {
+            *rank = (i % assoc) as u8;
+        }
         self.hits = 0;
         self.misses = 0;
     }
@@ -161,6 +174,10 @@ pub struct Hierarchy {
     last_miss_line: u64,
     stream_trigger: u64,
     stream_next: u64,
+    /// Hoisted L1 line geometry, so the hot access path does no
+    /// per-call `trailing_zeros` recomputation.
+    line_shift: u32,
+    line_bytes: u64,
 }
 
 impl Hierarchy {
@@ -169,6 +186,8 @@ impl Hierarchy {
     #[must_use]
     pub fn new(l1: CacheConfig, l2: CacheConfig, memory_latency: u32) -> Self {
         Hierarchy {
+            line_shift: l1.line_bytes.trailing_zeros(),
+            line_bytes: l1.line_bytes as u64,
             l1: Cache::new(l1),
             l2: Cache::new(l2),
             memory_latency,
@@ -187,7 +206,7 @@ impl Hierarchy {
     /// Pull `STREAM_PREFETCH_DEGREE` lines starting at `stream_next` into
     /// both cache levels and advance the trigger.
     fn prefetch_ahead(&mut self) {
-        let line_bytes = self.l1.config().line_bytes as u64;
+        let line_bytes = self.line_bytes;
         for k in 0..STREAM_PREFETCH_DEGREE {
             let addr = (self.stream_next + k) * line_bytes;
             if !self.l1.access(addr) {
@@ -201,7 +220,7 @@ impl Hierarchy {
 
     /// Access `addr`, returning where it hit and the total latency.
     pub fn access(&mut self, addr: u64) -> (AccessLevel, u32) {
-        let line = addr >> self.l1.config().line_bytes.trailing_zeros();
+        let line = addr >> self.line_shift;
         let result = if self.l1.access(addr) {
             (AccessLevel::L1, self.l1.config().latency)
         } else if self.l2.access(addr) {
@@ -244,10 +263,15 @@ impl Hierarchy {
         &self.l2
     }
 
-    /// Invalidate everything and zero statistics.
+    /// Invalidate everything, zero statistics, and disarm the stream
+    /// prefetcher — bit-identical to a freshly built hierarchy (the
+    /// prefetch enable flag is configuration and is left as set).
     pub fn reset(&mut self) {
         self.l1.reset();
         self.l2.reset();
+        self.last_miss_line = u64::MAX - 1;
+        self.stream_trigger = u64::MAX;
+        self.stream_next = u64::MAX;
     }
 }
 
@@ -424,6 +448,31 @@ mod tests {
             (0.9..1.1).contains(&ratio),
             "prefetch changed random-miss rate: {ratio}"
         );
+    }
+
+    #[test]
+    fn hierarchy_reset_matches_fresh() {
+        let l2cfg = CacheConfig {
+            size_bytes: 64 * 1024,
+            associativity: 4,
+            line_bytes: 64,
+            latency: 16,
+        };
+        let mut h = Hierarchy::new(small(), l2cfg, 250);
+        // Launch a prefetch stream and dirty both levels...
+        for line in 0..256u64 {
+            h.access(0x4000_0000 + line * 64);
+        }
+        h.reset();
+        // ...then the recycled hierarchy must replay exactly like new,
+        // including the (re-disarmed) stream prefetcher.
+        let mut fresh = Hierarchy::new(small(), l2cfg, 250);
+        for line in 0..256u64 {
+            let addr = 0x4000_0000 + line * 64;
+            assert_eq!(h.access(addr), fresh.access(addr), "line {line}");
+        }
+        assert_eq!(h.l1().misses(), fresh.l1().misses());
+        assert_eq!(h.l2().misses(), fresh.l2().misses());
     }
 
     #[test]

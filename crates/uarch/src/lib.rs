@@ -42,7 +42,7 @@ pub mod workload;
 
 pub use config::{CacheConfig, FunctionalUnits, PredictorConfig, ProcessorConfig};
 pub use op::{MicroOp, OpClass};
-pub use pipeline::{ControlAction, CycleOutput, Processor, SimStats};
+pub use pipeline::{BatchOutput, ControlAction, CycleOutput, Processor, SimStats};
 pub use power::{CycleActivity, PowerModel};
 pub use trace::{capture_trace, capture_trace_with_events, CurrentTrace, EventTrace};
 pub use workload::{

@@ -128,7 +128,22 @@ impl PowerModel {
         }
     }
 
+    /// Power (watts) drawn by a cycle with no events: the always-on
+    /// clock-tree/leakage base plus the occupancy (CAM) power of held
+    /// window and LSQ entries. Exactly the occupancy terms of
+    /// [`PowerModel::cycle_power`], in the same evaluation order, so
+    /// `cycle_power(a) - idle_power(..)` isolates the event-driven share
+    /// bit-exactly.
+    #[inline]
+    #[must_use]
+    pub fn idle_power(&self, window_occupancy: u32, lsq_occupancy: u32) -> f64 {
+        self.base
+            + self.window_entry * f64::from(window_occupancy)
+            + self.lsq_entry * f64::from(lsq_occupancy)
+    }
+
     /// Power (watts) drawn during a cycle with the given activity.
+    #[inline]
     #[must_use]
     pub fn cycle_power(&self, a: &CycleActivity) -> f64 {
         self.base
@@ -233,6 +248,20 @@ mod tests {
             assert!(p > last);
             last = p;
         }
+    }
+
+    #[test]
+    fn idle_power_matches_occupancy_only_cycle() {
+        let m = PowerModel::table1();
+        let a = CycleActivity {
+            window_occupancy: 80,
+            lsq_occupancy: 40,
+            ..CycleActivity::default()
+        };
+        // Bitwise equality matters: the pipeline subtracts idle_power
+        // from cycle_power to isolate event power.
+        assert_eq!(m.idle_power(80, 40), m.cycle_power(&a));
+        assert_eq!(m.idle_power(0, 0), m.base);
     }
 
     #[test]

@@ -599,8 +599,34 @@ struct BranchSite {
 pub struct WorkloadGenerator {
     profile: WorkloadProfile,
     rng: SmallRng,
-    cumulative: [(OpClass, f64); 9],
+    /// Op-mix cumulative thresholds and their classes, split into
+    /// parallel arrays for the scan in `pick_op`.
+    op_cum: [f64; 9],
+    op_classes: [OpClass; 9],
+    /// First cumulative index worth testing for a uniform draw in bucket
+    /// `b/256` — skips the prefix of the scan that cannot match.
+    op_guide: [u8; 256],
     sites: Vec<BranchSite>,
+    /// Static branch PCs and jump targets per site (pure functions of
+    /// the site index and code footprint, precomputed).
+    site_pc: Vec<u64>,
+    site_target: Vec<u64>,
+    /// Hoisted `(1 - 1/dep_mean_distance).ln()` for geometric sampling.
+    ln_one_minus_p: f64,
+    /// Hoisted address-picker thresholds: `stream_frac`, and
+    /// `stream_frac + cold_frac` for the normal and alternate phases.
+    thr_stream: f64,
+    thr_cold_normal: f64,
+    thr_cold_alt: f64,
+    /// Hoisted `.max(1)` working-set line counts.
+    hot_lines: u64,
+    cold_lines: u64,
+    /// Hoisted end of the code footprint.
+    code_end: u64,
+    /// Instructions until the next phase toggle (`u64::MAX`-loaded when
+    /// the profile is single-phase).
+    phase_countdown: u64,
+    phase_reload: u64,
     stream_ptr: u64,
     pc: u64,
     emitted: u64,
@@ -650,11 +676,55 @@ impl WorkloadGenerator {
             })
             .collect();
         let cumulative = profile.mix.cumulative();
+        let mut op_cum = [0.0f64; 9];
+        let mut op_classes = [OpClass::IntAlu; 9];
+        for (i, (op, cum)) in cumulative.into_iter().enumerate() {
+            op_cum[i] = cum;
+            op_classes[i] = op;
+        }
+        // For a draw x in bucket [b/256, (b+1)/256), every entry with
+        // cum <= b/256 can never satisfy x < cum — start the scan past
+        // them. Result is identical to scanning from index 0.
+        let mut op_guide = [9u8; 256];
+        for (b, slot) in op_guide.iter_mut().enumerate() {
+            let lo = b as f64 / 256.0;
+            if let Some(i) = op_cum.iter().position(|&c| c > lo) {
+                *slot = i as u8;
+            }
+        }
+        let span = profile.code_lines * 64;
+        let site_count = profile.branch_sites.max(1) as usize;
+        let site_pc = (0..site_count as u64)
+            .map(|s| CODE_BASE + ((s.wrapping_mul(2_654_435_761) % span) & !3))
+            .collect();
+        let site_target = (0..site_count as u64)
+            .map(|s| CODE_BASE + ((s.wrapping_mul(0x9E37_79B9) % span) & !3))
+            .collect();
+        let p = 1.0 / profile.dep_mean_distance.max(1.0);
+        let cold_alt = (profile.cold_frac * profile.phase_mem_boost).min(0.9);
+        let phase_reload = if profile.phase_period > 0 {
+            profile.phase_period
+        } else {
+            u64::MAX
+        };
         WorkloadGenerator {
-            profile,
             rng,
-            cumulative,
+            op_cum,
+            op_classes,
+            op_guide,
             sites,
+            site_pc,
+            site_target,
+            ln_one_minus_p: (1.0 - p).ln(),
+            thr_stream: profile.stream_frac,
+            thr_cold_normal: profile.stream_frac + profile.cold_frac,
+            thr_cold_alt: profile.stream_frac + cold_alt,
+            hot_lines: profile.hot_ws_lines.max(1),
+            cold_lines: profile.cold_ws_lines.max(1),
+            code_end: CODE_BASE + span,
+            phase_countdown: phase_reload,
+            phase_reload,
+            profile,
             stream_ptr: STREAM_BASE,
             pc: CODE_BASE,
             emitted: 0,
@@ -676,9 +746,12 @@ impl WorkloadGenerator {
 
     fn pick_op(&mut self) -> OpClass {
         let x: f64 = self.rng.random();
-        for &(op, cum) in &self.cumulative {
-            if x < cum {
-                return op;
+        // x < 1.0, so the bucket index is already in range; the `min` is
+        // pure belt-and-braces against a pathological uniform source.
+        let bucket = ((x * 256.0) as usize).min(255);
+        for i in usize::from(self.op_guide[bucket])..9 {
+            if x < self.op_cum[i] {
+                return self.op_classes[i];
             }
         }
         OpClass::IntAlu
@@ -689,30 +762,30 @@ impl WorkloadGenerator {
             return 0;
         }
         // Geometric distance with the profile's mean, at least 1.
-        let p = 1.0 / self.profile.dep_mean_distance.max(1.0);
         let u: f64 = self.rng.random::<f64>().max(1e-12);
-        let d = (u.ln() / (1.0 - p).ln()).ceil();
+        let d = (u.ln() / self.ln_one_minus_p).ceil();
         (d as u32).clamp(1, 64)
     }
 
     fn pick_addr(&mut self) -> u64 {
-        let mut cold_frac = self.profile.cold_frac;
-        if self.in_alt_phase {
-            cold_frac = (cold_frac * self.profile.phase_mem_boost).min(0.9);
-        }
+        let thr_cold = if self.in_alt_phase {
+            self.thr_cold_alt
+        } else {
+            self.thr_cold_normal
+        };
         let x: f64 = self.rng.random();
-        if x < self.profile.stream_frac {
+        if x < self.thr_stream {
             // Sequential 8-byte stride through the stream region.
             self.stream_ptr += 8;
             if self.stream_ptr > STREAM_BASE + (1 << 28) {
                 self.stream_ptr = STREAM_BASE;
             }
             self.stream_ptr
-        } else if x < self.profile.stream_frac + cold_frac {
-            let line = self.rng.random_range(0..self.profile.cold_ws_lines.max(1));
+        } else if x < thr_cold {
+            let line = self.rng.random_range(0..self.cold_lines);
             COLD_BASE + line * 64 + self.rng.random_range(0..8u64) * 8
         } else {
-            let line = self.rng.random_range(0..self.profile.hot_ws_lines.max(1));
+            let line = self.rng.random_range(0..self.hot_lines);
             HOT_BASE + line * 64 + self.rng.random_range(0..8u64) * 8
         }
     }
@@ -739,14 +812,18 @@ impl Iterator for WorkloadGenerator {
 
     fn next(&mut self) -> Option<MicroOp> {
         self.emitted += 1;
-        if self.profile.phase_period > 0 && self.emitted.is_multiple_of(self.profile.phase_period) {
+        // Countdown form of `emitted % phase_period == 0` (single-phase
+        // profiles load u64::MAX and never fire).
+        self.phase_countdown -= 1;
+        if self.phase_countdown == 0 {
             self.in_alt_phase = !self.in_alt_phase;
+            self.phase_countdown = self.phase_reload;
         }
         let op = self.pick_op();
         let pc = self.pc;
         self.pc += 4;
         // Wrap the PC within the code footprint.
-        if self.pc >= CODE_BASE + self.profile.code_lines * 64 {
+        if self.pc >= self.code_end {
             self.pc = CODE_BASE;
         }
         let mut uop = MicroOp {
@@ -776,13 +853,13 @@ impl Iterator for WorkloadGenerator {
                 uop.branch_site = site as u32;
                 // A static branch lives at a fixed PC: derive it from the
                 // site so the (PC-indexed) branch predictor can learn the
-                // site's behaviour, exactly as for real code.
-                let span = self.profile.code_lines * 64;
-                uop.pc = CODE_BASE + (((site as u64).wrapping_mul(2_654_435_761) % span) & !3);
+                // site's behaviour, exactly as for real code. (The hash
+                // is precomputed per site at construction.)
+                uop.pc = self.site_pc[site];
                 uop.taken = self.branch_outcome(site);
                 if uop.taken {
                     // Jump to the site's target within the code footprint.
-                    self.pc = CODE_BASE + (((site as u64).wrapping_mul(0x9E37_79B9) % span) & !3);
+                    self.pc = self.site_target[site];
                 }
             }
             OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv => {
