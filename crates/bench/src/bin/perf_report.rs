@@ -3,6 +3,8 @@
 //! Times the convolution kernels (reference vs auto-dispatched engine
 //! across a size × taps grid), per-cycle monitor throughput (naive lag
 //! walk vs ring-dot full convolution vs the biquad recurrence), the
+//! DWT engine (filter-generic `dwt_boundary_into` against the legacy
+//! Haar kernel — the generic path must stay within timing noise), the
 //! cycle simulator itself (per-benchmark `ClosedLoop::run` throughput,
 //! serial and 16-thread), and a whole closed-loop sweep (serial and
 //! parallel, checking the results stay bit-identical), then writes a
@@ -27,7 +29,11 @@ use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
 use didt_core::monitor::{
     BiquadMonitor, CycleSense, FullConvolutionMonitor, HistoryRing, VoltageMonitor,
 };
-use didt_dsp::{conv_crossover_taps, fir_filter, fir_filter_auto};
+use didt_dsp::wavelet::Haar;
+use didt_dsp::{
+    conv_crossover_taps, dwt_boundary_into, dwt_into, fir_filter, fir_filter_auto, BoundaryMode,
+    DwtScratch, WaveletDecomposition, WaveletFamily,
+};
 use didt_telemetry::{discover_git_sha, Json};
 use didt_uarch::Benchmark;
 
@@ -190,7 +196,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", mt.render());
 
     // ------------------------------------------------------------------
-    // 3. Simulator throughput: per-benchmark `ClosedLoop::run` cycles/s,
+    // 3. DWT engine: the filter-generic periodic path against the
+    //    legacy Haar kernel on the monitor-window hot shape. The two
+    //    share `dwt_core`'s periodic arm, so the generic engine must
+    //    stay within timing noise of the pre-family throughput.
+    // ------------------------------------------------------------------
+    let dwt_window = 256usize;
+    let dwt_levels = 8usize;
+    let dwt_reps: usize = if smoke { 4_000 } else { 40_000 };
+    let window: Vec<f64> = (0..dwt_window)
+        .map(|i| 30.0 + 25.0 * ((i as f64) * 0.21).sin())
+        .collect();
+    let mut scratch = DwtScratch::new();
+    let mut decomp = WaveletDecomposition::empty();
+    let legacy_dwt_ms = best_ms(3, || {
+        let mut acc = 0.0;
+        for _ in 0..dwt_reps {
+            dwt_into(&window, &Haar, dwt_levels, &mut scratch, &mut decomp).expect("legacy dwt");
+            acc += decomp.approximation()[0];
+        }
+        acc
+    });
+    let generic_dwt_ms = best_ms(3, || {
+        let mut acc = 0.0;
+        for _ in 0..dwt_reps {
+            dwt_boundary_into(
+                &window,
+                &WaveletFamily::Haar,
+                dwt_levels,
+                BoundaryMode::Periodic,
+                &mut scratch,
+                &mut decomp,
+            )
+            .expect("generic dwt");
+            acc += decomp.approximation()[0];
+        }
+        acc
+    });
+    // Informational: a mid-ladder family through the expansive path.
+    let db3_dwt_ms = best_ms(3, || {
+        let mut acc = 0.0;
+        for _ in 0..dwt_reps {
+            dwt_boundary_into(
+                &window,
+                &WaveletFamily::Db3,
+                dwt_levels,
+                BoundaryMode::Symmetric,
+                &mut scratch,
+                &mut decomp,
+            )
+            .expect("db3 dwt");
+            acc += decomp.approximation()[0];
+        }
+        acc
+    });
+    let dwt_rate = |ms: f64| (dwt_reps * dwt_window) as f64 / (ms / 1e3);
+    let dwt_ratio = generic_dwt_ms / legacy_dwt_ms;
+    let dwt_within_noise = dwt_ratio <= 1.25;
+    let mut dt = TextTable::new(&["transform path", "samples/s", "vs legacy haar"]);
+    for (name, ms) in [
+        ("legacy dwt_into (haar)", legacy_dwt_ms),
+        ("generic dwt_boundary_into (haar/periodic)", generic_dwt_ms),
+        ("generic dwt_boundary_into (db3/symmetric)", db3_dwt_ms),
+    ] {
+        dt.row_owned(vec![
+            name.to_string(),
+            format!("{:.2e}", dwt_rate(ms)),
+            format!("{:.2}x", ms / legacy_dwt_ms),
+        ]);
+    }
+    println!("{}", dt.render());
+    println!(
+        "dwt engine: generic haar/periodic at {:.2}x legacy time (within noise: {dwt_within_noise})\n",
+        dwt_ratio
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Simulator throughput: per-benchmark `ClosedLoop::run` cycles/s,
     //    serial and on a 16-thread pool. The serial aggregate against
     //    the pinned PR 4 baseline is this PR's headline.
     // ------------------------------------------------------------------
@@ -277,7 +359,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ------------------------------------------------------------------
-    // 4. Whole-sweep wall clock, serial vs parallel, results compared.
+    // 5. Whole-sweep wall clock, serial vs parallel, results compared.
     // ------------------------------------------------------------------
     let run = if smoke {
         RunParams {
@@ -346,7 +428,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exp.golden("serial_parallel_identical", f64::from(u8::from(identical)));
 
     // ------------------------------------------------------------------
-    // 5. The BENCH JSON report.
+    // 6. The BENCH JSON report.
     // ------------------------------------------------------------------
     let report = Json::obj(vec![
         ("schema", Json::str("didt-bench-v2")),
@@ -393,6 +475,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("biquad_cycles_per_sec", Json::Num(rate(biquad_ms))),
                 ("full_conv_speedup_vs_naive", Json::Num(naive_ms / full_ms)),
                 ("biquad_speedup_vs_naive", Json::Num(naive_ms / biquad_ms)),
+            ]),
+        ),
+        (
+            "dwt",
+            Json::obj(vec![
+                ("window", Json::Num(dwt_window as f64)),
+                ("levels", Json::Num(dwt_levels as f64)),
+                ("reps", Json::Num(dwt_reps as f64)),
+                (
+                    "legacy_haar_samples_per_sec",
+                    Json::Num(dwt_rate(legacy_dwt_ms)),
+                ),
+                (
+                    "generic_haar_samples_per_sec",
+                    Json::Num(dwt_rate(generic_dwt_ms)),
+                ),
+                (
+                    "generic_db3_symmetric_samples_per_sec",
+                    Json::Num(dwt_rate(db3_dwt_ms)),
+                ),
+                ("generic_over_legacy_time", Json::Num(dwt_ratio)),
+                ("noise_budget", Json::Num(1.25)),
+                ("within_noise", Json::Bool(dwt_within_noise)),
             ]),
         ),
         (

@@ -27,6 +27,7 @@ use std::process::Command;
 
 use didt_bench::runner::MONITOR_WINDOW;
 use didt_bench::{ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext};
+use didt_dsp::{BoundaryMode, WaveletFamily};
 use didt_uarch::Benchmark;
 
 /// Every experiment binary, in the order they appear in EXPERIMENTS.md.
@@ -49,6 +50,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_offline_predicts_control",
     "ext_width_sensitivity",
     "ext_guardband",
+    "ext_wavelet_family",
     "perf_report",
     // Built by didt-serve, not didt-bench; lands in the same bin dir.
     "load_report",
@@ -181,6 +183,15 @@ fn run_smoke(serial: bool) -> Result<(), Box<dyn std::error::Error>> {
                 hysteresis: 0.004,
                 delay: 1,
             },
+            // Filter-generic path: fills/hits the family design cache.
+            ControllerSpec::WaveletFamilyThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+                family: WaveletFamily::Db3,
+                boundary: BoundaryMode::Periodic,
+            },
         ]);
     let run = RunParams {
         instructions: 3_000,
@@ -207,6 +218,7 @@ fn run_smoke(serial: bool) -> Result<(), Box<dyn std::error::Error>> {
             let _ = ctx.trace(bench, ctx.system().processor(), 0xD1D7, 1_000, 4_096);
         }
         ctx.gain_model(150.0, 64, 0xCAB1)?;
+        ctx.gain_model_family(150.0, 64, 0xCAB1, WaveletFamily::Db3)?;
     }
     exp.points(&first, &first_times);
     exp.points(&second, &second_times);

@@ -86,7 +86,8 @@ fn main() {
             (FullConvolutionMonitor::paper_default(&pdn).term_count(), 3)
         }
         ControllerSpec::PipelineDamping { .. } => (1, 0),
-        ControllerSpec::WaveletThreshold { delay, .. } => (TERMS, *delay),
+        ControllerSpec::WaveletThreshold { delay, .. }
+        | ControllerSpec::WaveletFamilyThreshold { delay, .. } => (TERMS, *delay),
         ControllerSpec::BiquadRecursive { delay, .. } => (5, *delay),
         ControllerSpec::None => (0, 0),
     };

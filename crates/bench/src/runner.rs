@@ -35,9 +35,10 @@ use didt_core::control::{
     ThresholdController,
 };
 use didt_core::monitor::{
-    AnalogSensor, BiquadMonitor, FullConvolutionMonitor, WaveletMonitorDesign,
+    AnalogSensor, BiquadMonitor, FamilyMonitorDesign, FullConvolutionMonitor, WaveletMonitorDesign,
 };
 use didt_core::{DidtError, DidtSystem};
+use didt_dsp::{BoundaryMode, Wavelet, WaveletFamily};
 use didt_pdn::SecondOrderPdn;
 use didt_uarch::{capture_trace, Benchmark, CurrentTrace, ProcessorConfig};
 
@@ -119,6 +120,21 @@ pub fn point_seed(point: &SweepPoint) -> u64 {
                 h = fnv1a(h, &v.to_bits().to_le_bytes());
             }
             fnv1a(h, &(delay as u64).to_le_bytes())
+        }
+        ControllerSpec::WaveletFamilyThreshold {
+            low,
+            high,
+            hysteresis,
+            delay,
+            family,
+            boundary,
+        } => {
+            for v in [low, high, hysteresis] {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+            h = fnv1a(h, &(delay as u64).to_le_bytes());
+            h = fnv1a(h, family.name().as_bytes());
+            fnv1a(h, boundary.name().as_bytes())
         }
     }
 }
@@ -504,6 +520,27 @@ pub enum ControllerSpec {
         /// Estimate-pipeline delay in cycles.
         delay: usize,
     },
+    /// Threshold controller on the filter-generic
+    /// [`didt_core::monitor::FamilyMonitor`] — the `ext_wavelet_family`
+    /// scheme: wavelet-compressed impulse response in any Daubechies
+    /// basis and boundary mode, truncated to the sweep point's
+    /// `monitor_terms` budget. With `family: Haar` and
+    /// `boundary: Periodic` the retained-coefficient set matches
+    /// [`ControllerSpec::WaveletThreshold`]'s.
+    WaveletFamilyThreshold {
+        /// Low control point (V).
+        low: f64,
+        /// High control point (V).
+        high: f64,
+        /// Release hysteresis (V).
+        hysteresis: f64,
+        /// Sensor delay in cycles.
+        delay: usize,
+        /// Wavelet basis family.
+        family: WaveletFamily,
+        /// Boundary extension mode of the design decomposition.
+        boundary: BoundaryMode,
+    },
 }
 
 impl ControllerSpec {
@@ -517,6 +554,7 @@ impl ControllerSpec {
             ControllerSpec::PipelineDamping { .. } => "pipeline-damping",
             ControllerSpec::WaveletThreshold { .. } => "wavelet-convolution",
             ControllerSpec::BiquadRecursive { .. } => "biquad-recursive",
+            ControllerSpec::WaveletFamilyThreshold { .. } => "wavelet-family",
         }
     }
 }
@@ -699,10 +737,14 @@ pub struct CacheStats {
     pub pdns: usize,
     /// Wavelet monitor designs decomposed.
     pub designs: usize,
+    /// Filter-generic family monitor designs decomposed.
+    pub family_designs: usize,
     /// Current traces captured.
     pub traces: usize,
     /// Per-scale gain calibrations run.
     pub gains: usize,
+    /// Non-Haar per-scale gain calibrations run.
+    pub family_gains: usize,
     /// Uncontrolled baselines simulated.
     pub baselines: usize,
 }
@@ -715,10 +757,16 @@ pub struct SweepContext {
     system: DidtSystem,
     pdns: MemoCache<u64, SecondOrderPdn>,
     designs: MemoCache<(u64, usize), WaveletMonitorDesign>,
+    family_designs: MemoCache<FamilyDesignKey, FamilyMonitorDesign>,
     traces: MemoCache<TraceKey, CurrentTrace>,
     gains: MemoCache<(u64, usize, u64), ScaleGainModel>,
+    family_gains: MemoCache<(u64, usize, u64, &'static str), ScaleGainModel>,
     baselines: MemoCache<BaselineKey, Result<ClosedLoopResult, DidtError>>,
 }
+
+/// Family design cache key: (impedance millipercent, window, family
+/// name, boundary-mode name). Names are the stable `name()` strings.
+type FamilyDesignKey = (u64, usize, &'static str, &'static str);
 
 /// Baseline cache key: (impedance millipercent, benchmark name,
 /// instructions, warmup cycles, workload seed).
@@ -741,8 +789,10 @@ impl SweepContext {
             system,
             pdns: MemoCache::new(),
             designs: MemoCache::new(),
+            family_designs: MemoCache::new(),
             traces: MemoCache::new(),
             gains: MemoCache::new(),
+            family_gains: MemoCache::new(),
             baselines: MemoCache::new(),
         })
     }
@@ -761,8 +811,10 @@ impl SweepContext {
         CacheStats {
             pdns: self.pdns.computations(),
             designs: self.designs.computations(),
+            family_designs: self.family_designs.computations(),
             traces: self.traces.computations(),
             gains: self.gains.computations(),
+            family_gains: self.family_gains.computations(),
             baselines: self.baselines.computations(),
         }
     }
@@ -785,8 +837,10 @@ impl SweepContext {
         vec![
             rec("pdns", &self.pdns),
             rec("designs", &self.designs),
+            rec("family_designs", &self.family_designs),
             rec("traces", &self.traces),
             rec("gains", &self.gains),
+            rec("family_gains", &self.family_gains),
             rec("baselines", &self.baselines),
         ]
     }
@@ -823,6 +877,29 @@ impl SweepContext {
         Ok(self.designs.get_or_compute((pct_millis(pct), window), || {
             let _span = didt_telemetry::span("cache.fill.designs");
             WaveletMonitorDesign::new(&pdn, window).expect("probed above")
+        }))
+    }
+
+    /// The filter-generic monitor design (wavelet-compressed impulse
+    /// response in `family`/`boundary`) for `window` cycles at `pct`
+    /// impedance, computed once per distinct combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN and design errors.
+    pub fn family_monitor_design(
+        &self,
+        pct: f64,
+        window: usize,
+        family: WaveletFamily,
+        boundary: BoundaryMode,
+    ) -> Result<Arc<FamilyMonitorDesign>, DidtError> {
+        let pdn = self.pdn(pct)?;
+        FamilyMonitorDesign::new(&pdn, window, family, boundary)?;
+        let key = (pct_millis(pct), window, family.name(), boundary.name());
+        Ok(self.family_designs.get_or_compute(key, || {
+            let _span = didt_telemetry::span("cache.fill.family_designs");
+            FamilyMonitorDesign::new(&pdn, window, family, boundary).expect("probed above")
         }))
     }
 
@@ -864,6 +941,33 @@ impl SweepContext {
                 let _span = didt_telemetry::span("cache.fill.gains");
                 ScaleGainModel::calibrate(&pdn, window, seed).expect("probed above")
             }))
+    }
+
+    /// A per-scale gain calibration in an arbitrary wavelet basis.
+    /// `Haar` delegates to [`Self::gain_model`] (same cache, bit-
+    /// identical artifact); other families memoize per (pct, window,
+    /// seed, family).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN and calibration errors.
+    pub fn gain_model_family(
+        &self,
+        pct: f64,
+        window: usize,
+        seed: u64,
+        family: WaveletFamily,
+    ) -> Result<Arc<ScaleGainModel>, DidtError> {
+        if family == WaveletFamily::Haar {
+            return self.gain_model(pct, window, seed);
+        }
+        let pdn = self.pdn(pct)?;
+        ScaleGainModel::calibrate_family(&pdn, window, seed, family)?;
+        let key = (pct_millis(pct), window, seed, family.name());
+        Ok(self.family_gains.get_or_compute(key, || {
+            let _span = didt_telemetry::span("cache.fill.family_gains");
+            ScaleGainModel::calibrate_family(&pdn, window, seed, family).expect("probed above")
+        }))
     }
 
     /// The uncontrolled closed-loop baseline for one (benchmark,
@@ -971,6 +1075,23 @@ impl SweepContext {
                 let pdn = self.pdn(point.pdn_pct)?;
                 Box::new(ThresholdController::new(
                     BiquadMonitor::new(&pdn, delay),
+                    low,
+                    high,
+                    hysteresis,
+                ))
+            }
+            ControllerSpec::WaveletFamilyThreshold {
+                low,
+                high,
+                hysteresis,
+                delay,
+                family,
+                boundary,
+            } => {
+                let design =
+                    self.family_monitor_design(point.pdn_pct, MONITOR_WINDOW, family, boundary)?;
+                Box::new(ThresholdController::new(
+                    design.build(point.monitor_terms, delay)?,
                     low,
                     high,
                     hysteresis,
@@ -1219,6 +1340,63 @@ mod tests {
             point_seed(&p(13, w)),
             point_seed(&p(13, ControllerSpec::None))
         );
+    }
+
+    #[test]
+    fn family_seed_distinguishes_family_and_boundary() {
+        let p = |family, boundary| SweepPoint {
+            benchmark: Benchmark::Gzip,
+            pdn_pct: 150.0,
+            monitor_terms: 13,
+            controller: ControllerSpec::WaveletFamilyThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+                family,
+                boundary,
+            },
+        };
+        let base = p(WaveletFamily::Haar, BoundaryMode::Periodic);
+        assert_eq!(point_seed(&base), point_seed(&base));
+        assert_ne!(
+            point_seed(&base),
+            point_seed(&p(WaveletFamily::Db3, BoundaryMode::Periodic))
+        );
+        assert_ne!(
+            point_seed(&base),
+            point_seed(&p(WaveletFamily::Haar, BoundaryMode::Symmetric))
+        );
+        assert_eq!(base.controller.tag(), "wavelet-family");
+    }
+
+    #[test]
+    fn family_controller_builds_and_caches_design_once() {
+        let ctx = SweepContext::standard().unwrap();
+        let point = SweepPoint {
+            benchmark: Benchmark::Gzip,
+            pdn_pct: 150.0,
+            monitor_terms: 13,
+            controller: ControllerSpec::WaveletFamilyThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+                family: WaveletFamily::Db3,
+                boundary: BoundaryMode::Periodic,
+            },
+        };
+        let c1 = ctx.controller(&point).unwrap();
+        let c2 = ctx.controller(&point).unwrap();
+        assert_eq!(c1.name(), c2.name());
+        assert_eq!(ctx.family_designs.computations(), 1);
+        let run = RunParams {
+            instructions: 2_000,
+            warmup_cycles: 1_000,
+        };
+        let r = ctx.run_point(&point, run).unwrap();
+        let ctx2 = SweepContext::standard().unwrap();
+        assert_eq!(r, ctx2.run_point(&point, run).unwrap());
     }
 
     #[test]

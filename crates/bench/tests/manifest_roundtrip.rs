@@ -52,8 +52,9 @@ fn smoke_manifest_roundtrips_through_json() {
         !manifest.grid.is_empty(),
         "smoke manifest must record its grid"
     );
-    // 8-point grid, both passes recorded.
-    assert_eq!(manifest.points.len(), 16);
+    // 12-point grid (2 benchmarks × 2 impedances × 3 controllers),
+    // both passes recorded.
+    assert_eq!(manifest.points.len(), 24);
     assert!(
         manifest
             .golden

@@ -15,7 +15,9 @@
 //! function of both scale and correlation.
 
 use crate::DidtError;
-use didt_dsp::{dwt, dwt_into, idwt, wavelet::Haar, DwtScratch, WaveletDecomposition};
+use didt_dsp::{
+    dwt, dwt_into, idwt, wavelet::Haar, DwtScratch, WaveletDecomposition, WaveletFamily, Wavelet,
+};
 use didt_pdn::SecondOrderPdn;
 use didt_stats::variance;
 use rand::rngs::SmallRng;
@@ -90,23 +92,64 @@ pub struct ScaleGainModel {
     /// is just the IR drop").
     resistance: f64,
     vdd: f64,
+    /// The wavelet family the per-scale factors were calibrated in; the
+    /// variance model must decompose its windows in the same basis.
+    family: WaveletFamily,
 }
 
 impl ScaleGainModel {
     /// Calibrate against `pdn` for `window`-cycle analyses (a power of
-    /// two; the paper uses 256). Deterministic in `seed`.
+    /// two; the paper uses 256). Deterministic in `seed`. Uses the
+    /// paper's Haar basis; see [`Self::calibrate_family`] for the
+    /// generalized ladder.
     ///
     /// # Errors
     ///
     /// Returns [`DidtError::InvalidConfig`] for an invalid window.
     pub fn calibrate(pdn: &SecondOrderPdn, window: usize, seed: u64) -> Result<Self, DidtError> {
+        Self::calibrate_family(pdn, window, seed, WaveletFamily::Haar)
+    }
+
+    /// Calibrate per-scale gains in an arbitrary [`WaveletFamily`] basis.
+    ///
+    /// Identical procedure to [`Self::calibrate`] (synthesize AR(1)
+    /// detail noise per scale, measure the PDN's variance response), but
+    /// the noise is synthesized and re-analyzed in `family`'s filter
+    /// bank. Longer filters cannot run the periodic pyramid all the way
+    /// down — the depth is capped so every step is at least one filter
+    /// long (`floor(log2(window / taps)) + 1` levels), which is why a
+    /// db8 model on a 256 window calibrates 5 levels where Haar
+    /// calibrates 8. With `WaveletFamily::Haar` this is bit-identical to
+    /// [`Self::calibrate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DidtError::InvalidConfig`] for an invalid window (or one
+    /// shorter than the family's filter).
+    pub fn calibrate_family(
+        pdn: &SecondOrderPdn,
+        window: usize,
+        seed: u64,
+        family: WaveletFamily,
+    ) -> Result<Self, DidtError> {
         if window < 8 || !window.is_power_of_two() {
             return Err(DidtError::InvalidConfig {
                 name: "window",
                 reason: "window must be a power of two >= 8",
             });
         }
-        let levels = window.trailing_zeros() as usize;
+        if family.filter_len() > window {
+            return Err(DidtError::InvalidConfig {
+                name: "window",
+                reason: "window shorter than the wavelet filter",
+            });
+        }
+        let mut levels = window.trailing_zeros() as usize;
+        // Cap the periodic pyramid where a step would undercut the
+        // filter length (only reachable for the longer dbN banks).
+        while levels > 1 && (window >> (levels - 1)) < family.filter_len() {
+            levels -= 1;
+        }
         // 48 windows of synthetic noise per (level, rho) point: the first
         // 8 settle the filter, the rest are measured.
         let tiles = 48usize;
@@ -124,7 +167,7 @@ impl ScaleGainModel {
                 let innov = (1.0 - rho * rho).sqrt();
                 // All-zero decomposition reused across tiles; only the
                 // `level` detail row is (fully) rewritten per tile.
-                let mut decomp = dwt(&vec![0.0f64; window], &Haar, levels)?;
+                let mut decomp = dwt(&vec![0.0f64; window], &family, levels)?;
                 for _ in 0..tiles {
                     {
                         let d = decomp.detail_mut(level)?;
@@ -158,6 +201,7 @@ impl ScaleGainModel {
             gains,
             resistance: pdn.resistance(),
             vdd: pdn.vdd(),
+            family,
         })
     }
 
@@ -247,6 +291,7 @@ impl ScaleGainModel {
             gains,
             resistance: pdn.resistance(),
             vdd: pdn.vdd(),
+            family: WaveletFamily::Haar,
         })
     }
 
@@ -260,6 +305,12 @@ impl ScaleGainModel {
     #[must_use]
     pub fn levels(&self) -> usize {
         self.levels
+    }
+
+    /// The wavelet family the gains were calibrated in.
+    #[must_use]
+    pub fn family(&self) -> WaveletFamily {
+        self.family
     }
 
     /// PDN DC resistance (for the IR-drop mean estimate).
@@ -391,6 +442,46 @@ mod tests {
         let a = ScaleGainModel::calibrate(&pdn(), 64, 5).unwrap();
         let b = ScaleGainModel::calibrate(&pdn(), 64, 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn family_haar_calibration_is_the_legacy_calibration() {
+        let a = ScaleGainModel::calibrate(&pdn(), 64, 9).unwrap();
+        let b = ScaleGainModel::calibrate_family(&pdn(), 64, 9, WaveletFamily::Haar).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.family(), WaveletFamily::Haar);
+    }
+
+    #[test]
+    fn family_calibration_caps_depth_by_filter_length() {
+        // 64-cycle window: Haar runs 6 levels, db8 (16 taps) only 3
+        // (the coarsest periodic step must still hold one filter).
+        let haar = ScaleGainModel::calibrate_family(&pdn(), 64, 9, WaveletFamily::Haar).unwrap();
+        let db8 = ScaleGainModel::calibrate_family(&pdn(), 64, 9, WaveletFamily::Db8).unwrap();
+        assert_eq!(haar.levels(), 6);
+        assert_eq!(db8.levels(), 3);
+        assert_eq!(db8.family(), WaveletFamily::Db8);
+        for level in 1..=db8.levels() {
+            for rho in [-0.8, 0.0, 0.8] {
+                let g = db8.gain(level, rho).unwrap();
+                assert!(g.is_finite() && g >= 0.0, "level {level} rho {rho}: {g}");
+            }
+        }
+        // A window shorter than the filter is rejected outright.
+        assert!(ScaleGainModel::calibrate_family(&pdn(), 8, 9, WaveletFamily::Db8).is_err());
+    }
+
+    #[test]
+    fn family_resonant_scales_still_dominate() {
+        // The physics doesn't care about the basis: scales spanning the
+        // 30-cycle resonant period must lead in any family.
+        let m = ScaleGainModel::calibrate_family(&pdn(), 256, 11, WaveletFamily::Db3).unwrap();
+        let ranked = m.levels_by_gain();
+        assert!(
+            ranked[0] == 4 || ranked[0] == 5,
+            "db3 top level {} unexpected",
+            ranked[0]
+        );
     }
 
     #[test]

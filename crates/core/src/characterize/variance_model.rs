@@ -14,7 +14,9 @@
 
 use crate::characterize::ScaleGainModel;
 use crate::DidtError;
-use didt_dsp::{dwt_into, scale_variances, wavelet::Haar, DwtScratch, WaveletDecomposition};
+use didt_dsp::{
+    dwt_boundary_into, scale_variances, BoundaryMode, DwtScratch, WaveletDecomposition,
+};
 use didt_stats::{mean, Normal};
 
 /// Reusable buffers for [`VarianceModel::estimate_with`].
@@ -101,16 +103,24 @@ pub struct VarianceModel {
     gains: ScaleGainModel,
     /// Levels used in the estimate, strongest gain first.
     active_levels: Vec<usize>,
+    /// Boundary extension for the per-window decomposition. `Periodic`
+    /// (the default) is the paper's convention and the bit-stable legacy
+    /// path; the expansive modes exist for the `ext_wavelet_family`
+    /// boundary-sensitivity study.
+    boundary: BoundaryMode,
 }
 
 impl VarianceModel {
-    /// Build the model using all calibrated levels.
+    /// Build the model using all calibrated levels (and the basis the
+    /// gains were calibrated in — Haar for [`ScaleGainModel::calibrate`],
+    /// the chosen family for [`ScaleGainModel::calibrate_family`]).
     #[must_use]
     pub fn new(gains: ScaleGainModel) -> Self {
         let active_levels = gains.levels_by_gain();
         VarianceModel {
             gains,
             active_levels,
+            boundary: BoundaryMode::Periodic,
         }
     }
 
@@ -123,7 +133,31 @@ impl VarianceModel {
         VarianceModel {
             gains,
             active_levels,
+            boundary: BoundaryMode::Periodic,
         }
+    }
+
+    /// Build the model with an explicit [`BoundaryMode`] and optional
+    /// level budget (`None` keeps every calibrated level) — the full
+    /// parameter surface of the `ext_wavelet_family` study.
+    #[must_use]
+    pub fn with_boundary(
+        gains: ScaleGainModel,
+        keep: Option<usize>,
+        boundary: BoundaryMode,
+    ) -> Self {
+        let mut model = match keep {
+            Some(k) => Self::with_level_budget(gains, k),
+            None => Self::new(gains),
+        };
+        model.boundary = boundary;
+        model
+    }
+
+    /// The boundary extension used for per-window decompositions.
+    #[must_use]
+    pub fn boundary(&self) -> BoundaryMode {
+        self.boundary
     }
 
     /// The calibrated gains in use.
@@ -166,10 +200,14 @@ impl VarianceModel {
                 got: window.len(),
             });
         }
-        dwt_into(
+        // The generic engine: for Haar/Periodic (every legacy caller)
+        // this takes the exact legacy pyramid loop and stays
+        // bit-identical to the old hard-coded `dwt_into(&Haar, …)` call.
+        dwt_boundary_into(
             window,
-            &Haar,
+            &self.gains.family(),
             self.gains.levels(),
+            self.boundary,
             &mut scratch.dwt,
             &mut scratch.decomp,
         )?;
@@ -312,6 +350,44 @@ mod tests {
             let fresh = m.estimate(&w).unwrap();
             let reused = m.estimate_with(&w, &mut scratch).unwrap();
             assert_eq!(fresh, reused, "amp {amp}");
+        }
+    }
+
+    #[test]
+    fn family_models_estimate_comparably_to_haar() {
+        // The db3 basis sees the same resonant energy; its estimate must
+        // land in the same ballpark as Haar's (the ext_wavelet_family
+        // question is about the *margin*, not the order of magnitude).
+        use didt_dsp::WaveletFamily;
+        let haar = model();
+        let db3 = VarianceModel::new(
+            ScaleGainModel::calibrate_family(&pdn(), 256, 11, WaveletFamily::Db3).unwrap(),
+        );
+        let w = resonant_window(12.0);
+        let vh = haar.estimate(&w).unwrap().v_variance;
+        let vd = db3.estimate(&w).unwrap().v_variance;
+        assert!(vd > 0.0);
+        let ratio = vd / vh;
+        assert!((0.2..5.0).contains(&ratio), "db3/haar variance ratio {ratio}");
+    }
+
+    #[test]
+    fn boundary_mode_perturbs_but_does_not_break_the_estimate() {
+        use didt_dsp::BoundaryMode;
+        let gains = ScaleGainModel::calibrate(&pdn(), 256, 11).unwrap();
+        let periodic = VarianceModel::new(gains.clone());
+        let w = resonant_window(12.0);
+        let vp = periodic.estimate(&w).unwrap().v_variance;
+        for mode in BoundaryMode::EXTENSIONS {
+            let m = VarianceModel::with_boundary(gains.clone(), None, mode);
+            assert_eq!(m.boundary(), mode);
+            let v = m.estimate(&w).unwrap().v_variance;
+            let ratio = v / vp;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: variance ratio {ratio}",
+                mode.name()
+            );
         }
     }
 

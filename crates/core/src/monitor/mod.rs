@@ -11,20 +11,26 @@
 //! | [`AnalogSensor`] | voltage directly (analog circuit) | — | 2 |
 //! | (pipeline damping) | current deltas, no voltage estimate — see [`crate::control`] | — | 0 |
 //!
-//! One extra design goes beyond the paper's table: [`BiquadMonitor`]
+//! Two extra designs go beyond the paper's table. [`BiquadMonitor`]
 //! runs the PDN's exact second-order recurrence on the sensed current
 //! (five terms per cycle, zero truncation error) — the streaming O(1)
 //! limit of the full-convolution idea, used as a performance ceiling in
 //! long closed-loop runs and as a bitwise oracle in tests.
+//! [`FamilyMonitor`] generalises [`WaveletMonitor`]'s Haar truncation to
+//! the whole Daubechies ladder (db2–db8, any boundary mode) by running
+//! the wavelet-compressed impulse response as a windowed FIR — the
+//! accuracy model behind the `ext_wavelet_family` study.
 
 mod analog;
 mod biquad_monitor;
+mod family_monitor;
 mod full_conv;
 mod shift_register;
 mod wavelet_monitor;
 
 pub use analog::AnalogSensor;
 pub use biquad_monitor::BiquadMonitor;
+pub use family_monitor::{FamilyMonitor, FamilyMonitorDesign};
 pub use full_conv::FullConvolutionMonitor;
 pub use shift_register::{HistoryRing, SlidingTerm, TermKind};
 pub use wavelet_monitor::{TermWeight, WaveletMonitor, WaveletMonitorDesign};

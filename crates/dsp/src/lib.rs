@@ -6,11 +6,15 @@
 //! Martonosi):
 //!
 //! * [`wavelet`] — wavelet bases: the [`wavelet::Haar`] basis the paper
-//!   uses (Figure 1) and [`wavelet::Daubechies4`] for basis ablations.
+//!   uses (Figure 1), [`wavelet::Daubechies4`] for basis ablations, and
+//!   the filter-generic [`WaveletFamily`] ladder (Haar, db2–db8) behind
+//!   the `ext_wavelet_family` study.
 //! * [`transform`] — the fast discrete wavelet transform (`O(N)` pyramid
 //!   algorithm, paper §2.1) and its inverse, producing a
 //!   [`transform::WaveletDecomposition`] (the coefficient matrix of
-//!   Figure 2).
+//!   Figure 2). [`dwt_boundary`] selects a [`BoundaryMode`] extension
+//!   operator (zero-pad / symmetric / zeroth-order hold) for
+//!   arbitrary-length signals.
 //! * [`subband`] — projection of wavelet coefficients back into
 //!   time-domain subband signals (paper §2.2, equations 4–5), the
 //!   machinery behind per-scale voltage superposition.
@@ -65,6 +69,9 @@ pub use packet::{wavelet_packet, WaveletPacket};
 pub use scalogram::Scalogram;
 pub use streaming::{StreamCoefficient, StreamingHaar};
 pub use subband::{approximation_signal, detail_signal, subband_decompose};
-pub use transform::{dwt, dwt_into, idwt, DwtScratch, WaveletDecomposition};
+pub use transform::{
+    dwt, dwt_boundary, dwt_boundary_into, dwt_into, idwt, max_dwt_levels, BoundaryMode,
+    DwtScratch, WaveletDecomposition, LEVELS_CLAMPED_COUNTER,
+};
 pub use variance::{scale_variances, wavelet_variance, ScaleVariance};
-pub use wavelet::{Daubechies4, Haar, Wavelet};
+pub use wavelet::{Daubechies4, Haar, Wavelet, WaveletFamily};

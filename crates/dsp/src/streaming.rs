@@ -6,6 +6,24 @@
 //! samples completes a level-1 coefficient pair, every pair of level-1
 //! approximations completes a level-2 pair, and so on. Coefficients are
 //! identical (to round-off) to the batch transform of any aligned prefix.
+//!
+//! # Haar-only, by design
+//!
+//! There is deliberately no `StreamingDwt` sibling for the wider
+//! [`crate::WaveletFamily`] ladder. Haar's 2-tap filter equals the
+//! downsampling stride, so each coefficient closes over exactly one
+//! sample pair and the pyramid state is one pending value per level. A
+//! `2N`-tap dbN filter overlaps `N` output strides: a streaming variant
+//! would keep a `2N`-sample shift register per level, emit with `2N − 2`
+//! samples of latency, and still have to pick a boundary policy for the
+//! stream head — the per-level state and latency grow linearly with the
+//! filter while losing the O(1)-per-sample property that justifies the
+//! online path (and the paper's Haar-first hardware argument, §6). Batch
+//! analyses in other bases go through [`crate::dwt_boundary`]; online
+//! consumers (the serve characterize fast path, the online monitors)
+//! are a documented Haar-only capability, enforced end to end by the
+//! `characterize_over_tcp_is_bit_identical_to_batch_for_haar` service
+//! test.
 
 use crate::wavelet::FRAC_1_SQRT_2;
 use crate::DspError;

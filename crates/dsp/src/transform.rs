@@ -15,9 +15,121 @@
 //! * Filters are orthonormal, so Parseval's relation holds exactly:
 //!   signal energy equals total coefficient energy (verified by tests and
 //!   exploited by [`crate::variance`]).
+//!
+//! # Boundary handling
+//!
+//! [`dwt`]/[`dwt_into`] keep the legacy **periodic** wrap: orthonormal,
+//! non-expansive, but restricted to lengths divisible by `2^levels`.
+//! [`dwt_boundary`]/[`dwt_boundary_into`] accept a [`BoundaryMode`]
+//! selecting one of the three finite-signal extension operators
+//! (zero-pad, symmetric reflection, zeroth-order hold). Those modes are
+//! *expansive* — each pyramid step emits `(n−1)/2 + L/2` coefficients per
+//! subband for an `n`-sample input and `L`-tap filter, every coefficient
+//! whose filter support overlaps the signal — which is what makes them
+//! work for **any** length, power of two or not, down to a single
+//! sample. Synthesis drops the contributions that land outside the
+//! original extent, which reconstructs exactly for every mode; Parseval
+//! equality additionally holds for `Periodic` and `ZeroPad` (the modes
+//! whose coefficients form an orthonormal expansion of the signal
+//! itself), while `Symmetric`/`ZerothOrder` coefficients carry at least
+//! the signal energy plus whatever the edge extension added.
 
 use crate::wavelet::Wavelet;
 use crate::DspError;
+
+/// How the transform treats samples past the ends of a finite signal —
+/// the three extension operators of the paper's design-tool lineage
+/// (SNIPPETS.md, `waveletDesign.m`) plus the crate's legacy periodic
+/// wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundaryMode {
+    /// Circular wrap (the legacy behavior of [`dwt`]): `x[i mod n]`.
+    /// Non-expansive and exactly orthonormal, but the signal length must
+    /// be divisible by `2^levels` and each pyramid step must be at least
+    /// as long as the filter.
+    #[default]
+    Periodic,
+    /// Samples outside the signal read as zero. Expansive; Parseval
+    /// equality still holds exactly (coefficients of translates that miss
+    /// the signal are zero, so nothing is lost).
+    ZeroPad,
+    /// Half-sample symmetric reflection `… x1 x0 | x0 x1 …`, folded as
+    /// often as needed for supports longer than the signal. Expansive;
+    /// avoids the artificial edge discontinuity of zero padding.
+    Symmetric,
+    /// Zeroth-order hold: the edge samples repeat outward. Expansive;
+    /// the natural choice for current traces that idle at a steady level
+    /// before and after the captured window.
+    ZerothOrder,
+}
+
+impl BoundaryMode {
+    /// Every mode, legacy periodic first.
+    pub const ALL: [BoundaryMode; 4] = [
+        BoundaryMode::Periodic,
+        BoundaryMode::ZeroPad,
+        BoundaryMode::Symmetric,
+        BoundaryMode::ZerothOrder,
+    ];
+
+    /// The three expansive extension operators (everything but the
+    /// legacy periodic wrap).
+    pub const EXTENSIONS: [BoundaryMode; 3] = [
+        BoundaryMode::ZeroPad,
+        BoundaryMode::Symmetric,
+        BoundaryMode::ZerothOrder,
+    ];
+
+    /// Short stable name (used by manifests and the wire protocol).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundaryMode::Periodic => "periodic",
+            BoundaryMode::ZeroPad => "zero-pad",
+            BoundaryMode::Symmetric => "symmetric",
+            BoundaryMode::ZerothOrder => "zeroth-order",
+        }
+    }
+
+    /// Parse a mode from its [`Self::name`] string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "periodic" => Some(BoundaryMode::Periodic),
+            "zero-pad" => Some(BoundaryMode::ZeroPad),
+            "symmetric" => Some(BoundaryMode::Symmetric),
+            "zeroth-order" => Some(BoundaryMode::ZerothOrder),
+            _ => None,
+        }
+    }
+}
+
+/// Read `x[i]` through a boundary extension (callers guarantee
+/// `x` is non-empty).
+#[inline]
+fn extend(x: &[f64], i: isize, mode: BoundaryMode) -> f64 {
+    let n = x.len() as isize;
+    if (0..n).contains(&i) {
+        return x[i as usize];
+    }
+    match mode {
+        BoundaryMode::Periodic => x[i.rem_euclid(n) as usize],
+        BoundaryMode::ZeroPad => 0.0,
+        BoundaryMode::ZerothOrder => {
+            if i < 0 {
+                x[0]
+            } else {
+                x[(n - 1) as usize]
+            }
+        }
+        BoundaryMode::Symmetric => {
+            // The reflected signal has period 2n; fold once into it.
+            let p = i.rem_euclid(2 * n);
+            let p = if p < n { p } else { 2 * n - 1 - p };
+            x[p as usize]
+        }
+    }
+}
 
 /// A multi-level wavelet decomposition: the coefficient matrix of the
 /// paper's Figure 2.
@@ -48,6 +160,11 @@ pub struct WaveletDecomposition {
     lowpass: Vec<f64>,
     highpass: Vec<f64>,
     wavelet_name: &'static str,
+    mode: BoundaryMode,
+    /// Input length of each pyramid step, finest first. Expansive modes
+    /// need these recorded: their level lengths do not follow from
+    /// `signal_len` alone, and synthesis must know how much to crop.
+    level_input_lens: Vec<usize>,
 }
 
 impl Default for WaveletDecomposition {
@@ -68,7 +185,15 @@ impl WaveletDecomposition {
             lowpass: Vec::new(),
             highpass: Vec::new(),
             wavelet_name: "",
+            mode: BoundaryMode::Periodic,
+            level_input_lens: Vec::new(),
         }
+    }
+
+    /// The boundary extension this decomposition was computed with.
+    #[must_use]
+    pub fn boundary_mode(&self) -> BoundaryMode {
+        self.mode
     }
 
     /// Number of detail levels.
@@ -288,6 +413,127 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
             requirement: "length must be divisible by 2^levels",
         });
     }
+    dwt_core(signal, wavelet, levels, BoundaryMode::Periodic, scratch, out)
+}
+
+/// Telemetry counter bumped whenever [`dwt_boundary_into`] clamps a
+/// too-deep level request to the signal's dyadic depth.
+pub const LEVELS_CLAMPED_COUNTER: &str = "dsp.dwt.levels_clamped";
+
+/// Maximum meaningful pyramid depth for a signal of `len` samples:
+/// `floor(log2(len))`, the dyadic convention of the paper's design-tool
+/// lineage. Returns 0 for `len < 2` (a single sample still supports one
+/// expansive level; [`dwt_boundary_into`] clamps to at least 1).
+#[must_use]
+pub fn max_dwt_levels(len: usize) -> usize {
+    if len < 2 {
+        0
+    } else {
+        (usize::BITS - 1 - len.leading_zeros()) as usize
+    }
+}
+
+/// Compute a DWT under an explicit [`BoundaryMode`] — the batch
+/// counterpart of [`dwt_boundary_into`].
+///
+/// # Errors
+///
+/// The conditions of [`dwt_boundary_into`].
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::{dwt_boundary, idwt, BoundaryMode, WaveletFamily};
+///
+/// # fn main() -> Result<(), didt_dsp::DspError> {
+/// // 37 samples: no power-of-two structure anywhere, db5 ten-tap filter.
+/// let signal: Vec<f64> = (0..37).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let d = dwt_boundary(&signal, &WaveletFamily::Db5, 3, BoundaryMode::Symmetric)?;
+/// let r = idwt(&d)?;
+/// for (a, b) in signal.iter().zip(&r) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn dwt_boundary<W: Wavelet + ?Sized>(
+    signal: &[f64],
+    wavelet: &W,
+    levels: usize,
+    mode: BoundaryMode,
+) -> Result<WaveletDecomposition, DspError> {
+    let mut out = WaveletDecomposition::empty();
+    let mut scratch = DwtScratch::new();
+    dwt_boundary_into(signal, wavelet, levels, mode, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Compute the DWT of `signal` under an explicit [`BoundaryMode`] into
+/// reusable storage, returning the number of levels actually computed.
+///
+/// Unlike the legacy [`dwt_into`], a request for more levels than
+/// `floor(log2(n))` is **clamped** (to at least 1) rather than rejected,
+/// and the clamp is recorded on the [`LEVELS_CLAMPED_COUNTER`] telemetry
+/// counter — deep requests on short signals are a config smell worth
+/// observing, not a crash. The expansive modes accept any non-empty
+/// length; `Periodic` keeps the legacy divisibility and filter-length
+/// requirements (applied to the clamped depth) and stays bit-identical
+/// to [`dwt_into`] where both are defined.
+///
+/// # Errors
+///
+/// * [`DspError::EmptySignal`] for an empty input.
+/// * [`DspError::ZeroLevels`] when `levels == 0`.
+/// * [`DspError::BadLength`] under `Periodic` for a length not divisible
+///   by `2^levels` or a pyramid step shorter than the filter.
+pub fn dwt_boundary_into<W: Wavelet + ?Sized>(
+    signal: &[f64],
+    wavelet: &W,
+    levels: usize,
+    mode: BoundaryMode,
+    scratch: &mut DwtScratch,
+    out: &mut WaveletDecomposition,
+) -> Result<usize, DspError> {
+    let _span = didt_telemetry::span("dsp.dwt");
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    if levels == 0 {
+        return Err(DspError::ZeroLevels);
+    }
+    let depth_cap = max_dwt_levels(signal.len()).max(1);
+    let levels = if levels > depth_cap {
+        didt_telemetry::MetricsRegistry::global()
+            .counter(LEVELS_CLAMPED_COUNTER)
+            .incr();
+        depth_cap
+    } else {
+        levels
+    };
+    if mode == BoundaryMode::Periodic && !signal.len().is_multiple_of(1usize << levels) {
+        return Err(DspError::BadLength {
+            len: signal.len(),
+            requirement: "length must be divisible by 2^levels",
+        });
+    }
+    dwt_core(signal, wavelet, levels, mode, scratch, out)?;
+    Ok(levels)
+}
+
+/// The shared pyramid kernel behind [`dwt_into`] and
+/// [`dwt_boundary_into`]. The `Periodic` arm is the untouched legacy
+/// loop (the hot path of the characterization sweeps — its inner
+/// accumulation order is bit-load-bearing); the expansive arm emits one
+/// coefficient per even-shift filter translate overlapping the current
+/// level's extent.
+fn dwt_core<W: Wavelet + ?Sized>(
+    signal: &[f64],
+    wavelet: &W,
+    levels: usize,
+    mode: BoundaryMode,
+    scratch: &mut DwtScratch,
+    out: &mut WaveletDecomposition,
+) -> Result<(), DspError> {
     let h = wavelet.lowpass();
     let g = wavelet.highpass();
     if out.lowpass != h {
@@ -298,8 +544,10 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
     }
     out.wavelet_name = wavelet.name();
     out.signal_len = signal.len();
+    out.mode = mode;
     out.details.truncate(levels);
     out.details.resize(levels, Vec::new());
+    out.level_input_lens.clear();
 
     // `approx` holds the current pyramid input, `out.approx` the output
     // of each step; they swap roles every level.
@@ -308,29 +556,55 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
     approx.extend_from_slice(signal);
     for level in 0..levels {
         let n = approx.len();
-        if n < h.len() {
-            return Err(DspError::BadLength {
-                len: signal.len(),
-                requirement: "pyramid step shorter than filter; reduce levels",
-            });
-        }
-        let half = n / 2;
+        out.level_input_lens.push(n);
+        let half = match mode {
+            BoundaryMode::Periodic => {
+                if n < h.len() {
+                    return Err(DspError::BadLength {
+                        len: signal.len(),
+                        requirement: "pyramid step shorter than filter; reduce levels",
+                    });
+                }
+                n / 2
+            }
+            // Expansive: one coefficient per even shift whose L-tap
+            // support overlaps [0, n).
+            _ => (n - 1) / 2 + h.len() / 2,
+        };
         let d = &mut out.details[level];
         d.clear();
         d.resize(half, 0.0);
         let next_a = &mut out.approx;
         next_a.clear();
         next_a.resize(half, 0.0);
-        for k in 0..half {
-            let mut sa = 0.0;
-            let mut sd = 0.0;
-            for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
-                let idx = (2 * k + m) % n;
-                sa += hm * approx[idx];
-                sd += gm * approx[idx];
+        if mode == BoundaryMode::Periodic {
+            for k in 0..half {
+                let mut sa = 0.0;
+                let mut sd = 0.0;
+                for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+                    let idx = (2 * k + m) % n;
+                    sa += hm * approx[idx];
+                    sd += gm * approx[idx];
+                }
+                next_a[k] = sa;
+                d[k] = sd;
             }
-            next_a[k] = sa;
-            d[k] = sd;
+        } else {
+            // Coefficient k correlates against samples starting at
+            // 2k − (L−2): the leftmost even shift still touching x[0].
+            let shift = h.len() as isize - 2;
+            for k in 0..half {
+                let start = 2 * k as isize - shift;
+                let mut sa = 0.0;
+                let mut sd = 0.0;
+                for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+                    let x = extend(approx, start + m as isize, mode);
+                    sa += hm * x;
+                    sd += gm * x;
+                }
+                next_a[k] = sa;
+                d[k] = sd;
+            }
         }
         std::mem::swap(approx, next_a);
     }
@@ -342,8 +616,13 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
 /// Invert a wavelet decomposition, reconstructing the original signal.
 ///
 /// Exact (to floating-point round-off) for decompositions produced by
-/// [`dwt`]; also correct for decompositions whose coefficient rows have
-/// been modified (the basis of subband filtering, paper §2.2).
+/// [`dwt`] or [`dwt_boundary`] under **every** boundary mode; also
+/// correct for decompositions whose coefficient rows have been modified
+/// (the basis of subband filtering, paper §2.2). For the expansive modes
+/// the synthesis is the analysis adjoint cropped to each level's
+/// recorded extent — contributions the extension operator invented past
+/// the ends are dropped, which is exactly what perfect reconstruction
+/// requires there.
 ///
 /// # Errors
 ///
@@ -353,21 +632,52 @@ pub fn idwt(decomp: &WaveletDecomposition) -> Result<Vec<f64>, DspError> {
     let h = &decomp.lowpass;
     let g = &decomp.highpass;
     let mut approx = decomp.approx.clone();
-    // Walk from the coarsest detail row back to the finest.
-    for d in decomp.details.iter().rev() {
-        if d.len() != approx.len() {
+    if decomp.mode == BoundaryMode::Periodic {
+        // Walk from the coarsest detail row back to the finest.
+        for d in decomp.details.iter().rev() {
+            if d.len() != approx.len() {
+                return Err(DspError::BadLength {
+                    len: d.len(),
+                    requirement: "detail row must match approximation length",
+                });
+            }
+            let half = approx.len();
+            let n = half * 2;
+            let mut next = vec![0.0; n];
+            for k in 0..half {
+                for (m, (&hm, &gm)) in h.iter().zip(g.iter()).enumerate() {
+                    let idx = (2 * k + m) % n;
+                    next[idx] += hm * approx[k] + gm * d[k];
+                }
+            }
+            approx = next;
+        }
+        return Ok(approx);
+    }
+    let shift = h.len() as isize - 2;
+    for (level, d) in decomp.details.iter().enumerate().rev() {
+        let n = *decomp
+            .level_input_lens
+            .get(level)
+            .ok_or(DspError::BadLength {
+                len: decomp.details.len(),
+                requirement: "expansive decomposition missing level extents",
+            })?;
+        let half = (n - 1) / 2 + h.len() / 2;
+        if d.len() != half || approx.len() != half {
             return Err(DspError::BadLength {
                 len: d.len(),
-                requirement: "detail row must match approximation length",
+                requirement: "detail row must match the level's expansive length",
             });
         }
-        let half = approx.len();
-        let n = half * 2;
         let mut next = vec![0.0; n];
         for k in 0..half {
+            let start = 2 * k as isize - shift;
             for (m, (&hm, &gm)) in h.iter().zip(g.iter()).enumerate() {
-                let idx = (2 * k + m) % n;
-                next[idx] += hm * approx[k] + gm * d[k];
+                let i = start + m as isize;
+                if i >= 0 && (i as usize) < n {
+                    next[i as usize] += hm * approx[k] + gm * d[k];
+                }
             }
         }
         approx = next;
@@ -587,5 +897,182 @@ mod tests {
         let d = dwt(&[1.0; 16], &Haar, 3).unwrap();
         let lens: Vec<usize> = d.detail_rows().map(<[f64]>::len).collect();
         assert_eq!(lens, vec![8, 4, 2]);
+    }
+
+    use crate::wavelet::WaveletFamily;
+
+    fn test_signal(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + ((i * 7 % 11) as f64) * 0.3 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn expansive_roundtrip_every_family_mode_and_awkward_length() {
+        for family in WaveletFamily::ALL {
+            for mode in BoundaryMode::EXTENSIONS {
+                for len in [1, 2, 3, 5, 17, 37, 64, 100] {
+                    let s = test_signal(len);
+                    let levels = 3.min(max_dwt_levels(len).max(1));
+                    let d = dwt_boundary(&s, &family, levels, mode).unwrap();
+                    let r = idwt(&d).unwrap();
+                    assert_eq!(r.len(), len);
+                    let scale = s.iter().map(|x| x.abs()).fold(1.0, f64::max);
+                    for (a, b) in s.iter().zip(&r) {
+                        assert!(
+                            (a - b).abs() < 1e-10 * scale,
+                            "{} {} len {len}: {a} vs {b}",
+                            family.name(),
+                            mode.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_boundary_periodic_matches_legacy_bitwise() {
+        let s = test_signal(64);
+        for levels in 1..=4 {
+            let legacy = dwt(&s, &WaveletFamily::Db3, levels).unwrap();
+            let new = dwt_boundary(&s, &WaveletFamily::Db3, levels, BoundaryMode::Periodic)
+                .unwrap();
+            assert_eq!(legacy, new);
+        }
+    }
+
+    #[test]
+    fn zero_pad_parseval_exact_any_length() {
+        for family in [WaveletFamily::Haar, WaveletFamily::Db4, WaveletFamily::Db8] {
+            for len in [1, 9, 33, 64, 101] {
+                let s = test_signal(len);
+                let sig_energy: f64 = s.iter().map(|x| x * x).sum();
+                let levels = 3.min(max_dwt_levels(len).max(1));
+                let d = dwt_boundary(&s, &family, levels, BoundaryMode::ZeroPad).unwrap();
+                assert!(
+                    (d.energy() - sig_energy).abs() < 1e-9 * sig_energy.max(1.0),
+                    "{} len {len}: {} vs {sig_energy}",
+                    family.name(),
+                    d.energy()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_and_hold_energy_dominates_signal_energy() {
+        // These extensions invent real samples past the ends, so the
+        // coefficients carry at least the signal energy (the crop in
+        // synthesis can only discard energy, never add it).
+        for mode in [BoundaryMode::Symmetric, BoundaryMode::ZerothOrder] {
+            for len in [5, 37, 100] {
+                let s = test_signal(len);
+                let sig_energy: f64 = s.iter().map(|x| x * x).sum();
+                let d = dwt_boundary(&s, &WaveletFamily::Db5, 2, mode).unwrap();
+                assert!(
+                    d.energy() >= sig_energy - 1e-9 * sig_energy,
+                    "{} len {len}",
+                    mode.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_clamp_records_telemetry_and_survives_tiny_inputs() {
+        let counter = didt_telemetry::MetricsRegistry::global().counter(LEVELS_CLAMPED_COUNTER);
+        let before = counter.get();
+        let mut scratch = DwtScratch::new();
+        let mut out = WaveletDecomposition::empty();
+        // Length 1: clamps any request to a single expansive level.
+        let used =
+            dwt_boundary_into(&[2.5], &Haar, 9, BoundaryMode::ZeroPad, &mut scratch, &mut out)
+                .unwrap();
+        assert_eq!(used, 1);
+        let r = idwt(&out).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.5).abs() < 1e-12);
+        // Length 12 supports floor(log2(12)) = 3 levels.
+        let used = dwt_boundary_into(
+            &test_signal(12),
+            &Haar,
+            10,
+            BoundaryMode::Symmetric,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(used, 3);
+        assert!(counter.get() >= before + 2, "clamp counter not recorded");
+        // In-range requests do not clamp.
+        let used = dwt_boundary_into(
+            &test_signal(12),
+            &Haar,
+            3,
+            BoundaryMode::ZeroPad,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(used, 3);
+        // Length 0 is still a hard error, never a silent zero-pad.
+        assert!(matches!(
+            dwt_boundary(&[], &Haar, 1, BoundaryMode::ZeroPad),
+            Err(DspError::EmptySignal)
+        ));
+        assert!(matches!(
+            dwt_boundary(&test_signal(8), &Haar, 0, BoundaryMode::ZeroPad),
+            Err(DspError::ZeroLevels)
+        ));
+    }
+
+    #[test]
+    fn periodic_boundary_keeps_divisibility_error_after_clamp() {
+        // 12 samples, request clamped to 3 levels; 12 is not divisible by
+        // 8, so Periodic still refuses — clamping never silently changes
+        // the legacy contract.
+        assert!(matches!(
+            dwt_boundary(&test_signal(12), &Haar, 3, BoundaryMode::Periodic),
+            Err(DspError::BadLength { .. })
+        ));
+        // But a conforming length passes through untouched.
+        let d = dwt_boundary(&test_signal(16), &Haar, 4, BoundaryMode::Periodic).unwrap();
+        assert_eq!(d.levels(), 4);
+    }
+
+    #[test]
+    fn haar_zero_pad_matches_periodic_on_even_lengths() {
+        // The 2-tap Haar filter never reaches past a sample pair, so the
+        // expansive path must agree bit-for-bit with the periodic wrap on
+        // even lengths — the anchor for serve-path equivalence.
+        let s = test_signal(64);
+        let p = dwt(&s, &Haar, 1).unwrap();
+        let z = dwt_boundary(&s, &Haar, 1, BoundaryMode::ZeroPad).unwrap();
+        assert_eq!(p.approximation(), z.approximation());
+        assert_eq!(p.detail(1).unwrap(), z.detail(1).unwrap());
+    }
+
+    #[test]
+    fn subband_filtering_works_under_expansive_modes() {
+        let s = test_signal(50);
+        let mut d = dwt_boundary(&s, &WaveletFamily::Db3, 2, BoundaryMode::Symmetric).unwrap();
+        d.detail_mut(1).unwrap().fill(0.0);
+        d.detail_mut(2).unwrap().fill(0.0);
+        let r = idwt(&d).unwrap();
+        // Details removed: the reconstruction is a smoothed signal of the
+        // same length with comparable energy.
+        assert_eq!(r.len(), 50);
+        let es: f64 = s.iter().map(|x| x * x).sum();
+        let er: f64 = r.iter().map(|x| x * x).sum();
+        assert!(er > 0.2 * es && er < 1.5 * es, "smoothed energy ratio {}", er / es);
+    }
+
+    #[test]
+    fn boundary_mode_names_roundtrip() {
+        for mode in BoundaryMode::ALL {
+            assert_eq!(BoundaryMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(BoundaryMode::parse("reflect"), None);
     }
 }

@@ -195,6 +195,216 @@ proptest! {
     }
 }
 
+/// The filter-generic engine's fortress: every Daubechies family under
+/// every boundary mode must reconstruct perfectly on arbitrary lengths,
+/// conserve energy where the basis is orthonormal over the extension,
+/// stay bit-identical to the legacy periodic kernels, annihilate
+/// polynomials up to its vanishing-moment order, and clamp (not reject)
+/// over-deep level requests.
+mod family_boundary {
+    use didt_dsp::wavelet::{Daubechies4, Haar, Wavelet};
+    use didt_dsp::{
+        dwt, dwt_boundary, dwt_boundary_into, idwt, max_dwt_levels, BoundaryMode, DwtScratch,
+        WaveletDecomposition, WaveletFamily,
+    };
+    use proptest::prelude::*;
+
+    fn any_family() -> impl Strategy<Value = WaveletFamily> {
+        (0usize..WaveletFamily::ALL.len()).prop_map(|i| WaveletFamily::ALL[i])
+    }
+
+    fn any_extension() -> impl Strategy<Value = BoundaryMode> {
+        (0usize..BoundaryMode::EXTENSIONS.len()).prop_map(|i| BoundaryMode::EXTENSIONS[i])
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Perfect reconstruction for every family x expansive mode on
+        /// arbitrary lengths — including 1, primes, and non-multiples of
+        /// `2^levels` that the legacy periodic path rejects outright.
+        #[test]
+        fn expansive_roundtrip_any_family_any_length(
+            len in 1usize..=200,
+            levels in 1usize..=6,
+            family in any_family(),
+            mode in any_extension(),
+            raw in prop::collection::vec(-100.0f64..100.0, 200..=200),
+        ) {
+            let signal = &raw[..len];
+            let d = dwt_boundary(signal, &family, levels, mode).expect("dwt");
+            let r = idwt(&d).expect("idwt");
+            let scale = signal.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+            prop_assert!(
+                max_abs_diff(signal, &r) < 1e-8 * scale,
+                "{}/{} len {} levels {}", family.name(), mode.name(), len, levels
+            );
+        }
+
+        /// Periodic wrap: every family reconstructs on power-of-two
+        /// windows down to the depth its filter length permits, and the
+        /// basis stays exactly orthonormal (Parseval).
+        #[test]
+        fn periodic_roundtrip_and_parseval_every_family(
+            log_n in 4u32..=8,
+            family in any_family(),
+            raw in prop::collection::vec(-100.0f64..100.0, 256..=256),
+        ) {
+            let len = 1usize << log_n;
+            let signal = &raw[..len];
+            // Deepest pyramid whose every step still spans the filter.
+            let mut levels = 1;
+            while (len >> levels) >= family.filter_len() {
+                levels += 1;
+            }
+            let d = dwt_boundary(signal, &family, levels, BoundaryMode::Periodic).expect("dwt");
+            let r = idwt(&d).expect("idwt");
+            prop_assert!(
+                max_abs_diff(signal, &r) < 1e-8,
+                "{} len {} levels {}", family.name(), len, levels
+            );
+            let sig_energy: f64 = signal.iter().map(|x| x * x).sum();
+            prop_assert!(
+                (d.energy() - sig_energy).abs() <= 1e-7 * sig_energy.max(1.0),
+                "{}: {} vs {}", family.name(), d.energy(), sig_energy
+            );
+        }
+
+        /// Zero padding keeps Parseval *exact* at any length: translates
+        /// that miss the signal contribute zero coefficients, so the kept
+        /// set is still an orthonormal analysis of the padded signal.
+        #[test]
+        fn zero_pad_parseval_exact_any_length(
+            len in 1usize..=150,
+            levels in 1usize..=5,
+            family in any_family(),
+            raw in prop::collection::vec(-50.0f64..50.0, 150..=150),
+        ) {
+            let signal = &raw[..len];
+            let d = dwt_boundary(signal, &family, levels, BoundaryMode::ZeroPad).expect("dwt");
+            let sig_energy: f64 = signal.iter().map(|x| x * x).sum();
+            prop_assert!(
+                (d.energy() - sig_energy).abs() <= 1e-8 * sig_energy.max(1.0),
+                "{} len {} levels {}: {} vs {}",
+                family.name(), len, levels, d.energy(), sig_energy
+            );
+        }
+
+        /// The generic engine owns the legacy hot path: under the periodic
+        /// wrap, `WaveletFamily::Haar` and `Db2` must be *bit-identical*
+        /// (not merely close) to the vendored `Haar` / `Daubechies4`
+        /// kernels on every power-of-two signal.
+        #[test]
+        fn generic_periodic_bit_identical_to_legacy(s in super::signal_strategy()) {
+            let full = s.len().trailing_zeros() as usize;
+            let pairs: [(&dyn Wavelet, WaveletFamily, usize); 2] = [
+                (&Haar, WaveletFamily::Haar, full),
+                (&Daubechies4, WaveletFamily::Db2, full.saturating_sub(1).max(1)),
+            ];
+            for (legacy, family, levels) in pairs {
+                let old = dwt(&s, legacy, levels).expect("legacy dwt");
+                let new =
+                    dwt_boundary(&s, &family, levels, BoundaryMode::Periodic).expect("generic dwt");
+                prop_assert_eq!(old.approximation().len(), new.approximation().len());
+                for (a, b) in old.approximation().iter().zip(new.approximation()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for level in 1..=levels {
+                    let oa = old.detail(level).expect("detail");
+                    let nb = new.detail(level).expect("detail");
+                    prop_assert_eq!(oa.len(), nb.len());
+                    for (a, b) in oa.iter().zip(nb) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+
+        /// dbN has N vanishing moments: on a random polynomial of degree
+        /// `< N`, every detail coefficient whose filter support lies fully
+        /// inside the signal must vanish to round-off.
+        #[test]
+        fn vanishing_moments_annihilate_polynomials(
+            family in any_family(),
+            n in 64usize..=128,
+            raw_coeffs in prop::collection::vec(-5.0f64..5.0, 8..=8),
+        ) {
+            let moments = family.vanishing_moments();
+            let coeffs = &raw_coeffs[..moments];
+            let signal: Vec<f64> = (0..n)
+                .map(|t| {
+                    let x = t as f64 / n as f64;
+                    coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+                })
+                .collect();
+            let d = dwt_boundary(&signal, &family, 1, BoundaryMode::ZeroPad).expect("dwt");
+            let details = d.detail(1).expect("level 1");
+            let taps = family.filter_len() as isize;
+            let tol = 1e-7 * (1.0 + coeffs.iter().map(|c| c.abs()).sum::<f64>());
+            let mut interior = 0usize;
+            for (k, &dk) in details.iter().enumerate() {
+                let start = 2 * k as isize - (taps - 2);
+                if start >= 0 && start + taps <= n as isize {
+                    interior += 1;
+                    prop_assert!(
+                        dk.abs() < tol,
+                        "{}: interior detail[{}] = {} (tol {})", family.name(), k, dk, tol
+                    );
+                }
+            }
+            prop_assert!(interior > 0, "test must cover interior coefficients");
+        }
+
+        /// Over-deep level requests clamp to `floor(log2(len))` (at least
+        /// 1) instead of erroring, and the clamped transform still
+        /// reconstructs.
+        #[test]
+        fn expansive_depth_requests_clamp_and_reconstruct(
+            len in 1usize..=64,
+            family in any_family(),
+            mode in any_extension(),
+            raw in prop::collection::vec(-50.0f64..50.0, 64..=64),
+        ) {
+            let signal = &raw[..len];
+            let mut scratch = DwtScratch::new();
+            let mut out = WaveletDecomposition::empty();
+            let got = dwt_boundary_into(signal, &family, 30, mode, &mut scratch, &mut out)
+                .expect("clamped dwt");
+            prop_assert_eq!(got, max_dwt_levels(len).max(1));
+            prop_assert_eq!(out.levels(), got);
+            let r = idwt(&out).expect("idwt");
+            let scale = signal.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+            prop_assert!(max_abs_diff(signal, &r) < 1e-8 * scale);
+        }
+
+        /// One scratch/output pair reused across families *and* boundary
+        /// modes reproduces each batch transform exactly — no stale state
+        /// leaks between differently shaped decompositions.
+        #[test]
+        fn scratch_reuse_across_families_matches_batch(
+            len in 8usize..=100,
+            levels in 1usize..=3,
+            raw in prop::collection::vec(-100.0f64..100.0, 100..=100),
+        ) {
+            let signal = &raw[..len];
+            let mut scratch = DwtScratch::new();
+            let mut out = WaveletDecomposition::empty();
+            for family in [WaveletFamily::Haar, WaveletFamily::Db3, WaveletFamily::Db8] {
+                for mode in BoundaryMode::EXTENSIONS {
+                    dwt_boundary_into(signal, &family, levels, mode, &mut scratch, &mut out)
+                        .expect("scratch dwt");
+                    let batch = dwt_boundary(signal, &family, levels, mode).expect("batch dwt");
+                    prop_assert_eq!(&out, &batch);
+                }
+            }
+        }
+    }
+}
+
 mod packet_and_streaming {
     use didt_dsp::packet::wavelet_packet;
     use didt_dsp::wavelet::Haar;

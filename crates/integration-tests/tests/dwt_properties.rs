@@ -1,12 +1,18 @@
 //! Property tests for the DWT machinery: perfect reconstruction on
 //! lengths that are *not* powers of two (any multiple of `2^levels` is
 //! legal), for both the Haar and Daubechies-4 bases; orthonormal energy
-//! conservation (Parseval); and the per-scale variance decomposition of
+//! conservation (Parseval); the per-scale variance decomposition of
 //! `didt_dsp::variance` summing back to the signal's population
-//! variance at full depth.
+//! variance at full depth; and the filter-generic family engine
+//! (db2–db8, expansive boundary modes) reconstructing on arbitrary
+//! lengths while staying bit-identical to the legacy kernels under the
+//! periodic wrap.
 
 use didt_dsp::wavelet::{Daubechies4, Haar, Wavelet};
-use didt_dsp::{dwt, dwt_into, idwt, scale_variances, DwtScratch, WaveletDecomposition};
+use didt_dsp::{
+    dwt, dwt_boundary, dwt_into, idwt, scale_variances, BoundaryMode, DwtScratch,
+    WaveletDecomposition, WaveletFamily,
+};
 use proptest::prelude::*;
 
 fn reconstruction_error(signal: &[f64], wavelet: &dyn Wavelet, levels: usize) -> f64 {
@@ -96,6 +102,87 @@ proptest! {
             (total - pop_var).abs() <= 1e-9 * pop_var.max(1.0),
             "sum {} vs population variance {}", total, pop_var
         );
+    }
+
+    /// The filter-generic engine across the whole Daubechies ladder:
+    /// every family reconstructs perfectly under every expansive
+    /// boundary mode on lengths with no dyadic structure at all.
+    #[test]
+    fn family_engine_roundtrips_on_awkward_lengths(
+        len in 1usize..=97,
+        levels in 1usize..=4,
+        fam_idx in 0usize..8,
+        mode_idx in 0usize..3,
+        raw in prop::collection::vec(-100.0f64..100.0, 97..=97),
+    ) {
+        let family = WaveletFamily::ALL[fam_idx];
+        let mode = BoundaryMode::EXTENSIONS[mode_idx];
+        let signal = &raw[..len];
+        let d = dwt_boundary(signal, &family, levels, mode).unwrap();
+        let r = idwt(&d).unwrap();
+        let worst = signal
+            .iter()
+            .zip(&r)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        prop_assert!(
+            worst < 1e-8,
+            "{}/{} len {} levels {}: err {}", family.name(), mode.name(), len, levels, worst
+        );
+    }
+
+    /// Zero padding is still an orthonormal analysis: Parseval holds
+    /// exactly even on prime lengths where the periodic wrap is
+    /// undefined.
+    #[test]
+    fn family_engine_zero_pad_conserves_energy(
+        len in 1usize..=89,
+        levels in 1usize..=4,
+        fam_idx in 0usize..8,
+        raw in prop::collection::vec(-25.0f64..25.0, 89..=89),
+    ) {
+        let family = WaveletFamily::ALL[fam_idx];
+        let signal = &raw[..len];
+        let d = dwt_boundary(signal, &family, levels, BoundaryMode::ZeroPad).unwrap();
+        let sig_energy = energy(signal);
+        prop_assert!(
+            (d.energy() - sig_energy).abs() <= 1e-8 * sig_energy.max(1.0),
+            "{} len {} levels {}: {} vs {}",
+            family.name(), len, levels, d.energy(), sig_energy
+        );
+    }
+
+    /// The generic periodic path is the legacy path, bit for bit: the
+    /// offline characterization pipeline (calibration, variance models,
+    /// golden numbers) must not move when routed through
+    /// `WaveletFamily::Haar` / `Db2` instead of the vendored kernels.
+    #[test]
+    fn family_engine_periodic_is_bit_identical_to_legacy(
+        pow in 3u32..=8,
+        raw in prop::collection::vec(-100.0f64..100.0, 256..=256),
+    ) {
+        let len = 1usize << pow;
+        let signal = &raw[..len];
+        let pairs: [(&dyn Wavelet, WaveletFamily, usize); 2] = [
+            (&Haar, WaveletFamily::Haar, pow as usize),
+            (&Daubechies4, WaveletFamily::Db2, (pow as usize).saturating_sub(1).max(1)),
+        ];
+        for (legacy, family, levels) in pairs {
+            let old = dwt(signal, legacy, levels).unwrap();
+            let new = dwt_boundary(signal, &family, levels, BoundaryMode::Periodic).unwrap();
+            prop_assert_eq!(old.approximation().len(), new.approximation().len());
+            for (a, b) in old.approximation().iter().zip(new.approximation()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for level in 1..=levels {
+                let oa = old.detail(level).unwrap();
+                let nb = new.detail(level).unwrap();
+                prop_assert_eq!(oa.len(), nb.len());
+                for (a, b) in oa.iter().zip(nb) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     /// The in-place scratch path agrees with the batch transform even

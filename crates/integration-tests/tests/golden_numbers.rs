@@ -10,6 +10,8 @@
 
 use didt_bench::{ControllerSpec, ExperimentRunner, RunParams, Sweep, SweepContext};
 use didt_core::characterize::{ScaleGainModel, VarianceModel};
+use didt_core::monitor::FamilyMonitorDesign;
+use didt_dsp::{BoundaryMode, Wavelet, WaveletFamily};
 use didt_uarch::{capture_trace, Benchmark};
 
 /// Tolerance for golden floats: far wider than f64 noise (the runs are
@@ -55,6 +57,92 @@ fn fig08_level_truncation_goldens() {
             (rel_pct - want_pct).abs() < TOL,
             "{}: truncation error {rel_pct:.6}% != golden {want_pct:.6}%",
             bench.name()
+        );
+    }
+}
+
+/// Scaled-down `ext_wavelet_family`: the Figure 8 truncation sweep in
+/// non-Haar bases and boundary modes, plus the coefficient-domain
+/// kernel error of the filter-generic monitor. Everything here is
+/// offline and seed-deterministic, so the goldens are exact.
+#[test]
+fn ext_wavelet_family_goldens() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let trace = capture_trace(
+        Benchmark::Crafty,
+        ctx.system().processor(),
+        0xD1D7_2004,
+        20_000,
+        1 << 14,
+    );
+
+    // fig08-style truncation table per (family, boundary) on Crafty.
+    // The Haar/periodic row must reproduce the fig08 golden exactly:
+    // the filter-generic engine owns that path now.
+    let golden = [
+        (WaveletFamily::Haar, BoundaryMode::Periodic, 14.799268),
+        (WaveletFamily::Db3, BoundaryMode::Periodic, 0.140693),
+        (WaveletFamily::Db3, BoundaryMode::Symmetric, 0.116128),
+        (WaveletFamily::Db8, BoundaryMode::Periodic, 0.002903),
+    ];
+    let actual: Vec<f64> = golden
+        .iter()
+        .map(|&(family, mode, _)| {
+            let gains = ScaleGainModel::calibrate_family(&pdn, 256, 0xCAB1, family).unwrap();
+            let full = VarianceModel::with_boundary(gains.clone(), None, mode);
+            let cut = VarianceModel::with_boundary(gains, Some(4), mode);
+            let mut err_sum = 0.0;
+            let mut var_sum = 0.0;
+            for window in trace.samples.chunks_exact(256) {
+                let vf = full.estimate(window).unwrap().v_variance;
+                let vc = cut.estimate(window).unwrap().v_variance;
+                err_sum += (vf - vc).abs();
+                var_sum += vf;
+            }
+            let rel_pct = 100.0 * err_sum / var_sum;
+            eprintln!(
+                "ext_wavelet_family golden {}/{}: {rel_pct:.6}",
+                family.name(),
+                mode.name()
+            );
+            rel_pct
+        })
+        .collect();
+    for (&(family, mode, want_pct), &rel_pct) in golden.iter().zip(&actual) {
+        assert!(
+            (rel_pct - want_pct).abs() < TOL,
+            "{}/{}: truncation error {rel_pct:.6}% != golden {want_pct:.6}%",
+            family.name(),
+            mode.name()
+        );
+    }
+
+    // Kernel error per retained tap: pure design-time arithmetic on the
+    // calibrated network's impulse response.
+    let kernel_golden = [
+        (WaveletFamily::Haar, 0.212388),
+        (WaveletFamily::Db3, 0.126163),
+        (WaveletFamily::Db8, 0.221235),
+    ];
+    let kernel_actual: Vec<f64> = kernel_golden
+        .iter()
+        .map(|&(family, _)| {
+            let design =
+                FamilyMonitorDesign::new(&pdn, 256, family, BoundaryMode::Periodic).unwrap();
+            let got = design.kernel_error(13);
+            eprintln!(
+                "ext_wavelet_family kernel golden {}: {got:.6}",
+                family.name()
+            );
+            got
+        })
+        .collect();
+    for (&(family, want), &got) in kernel_golden.iter().zip(&kernel_actual) {
+        assert!(
+            (got - want).abs() < TOL,
+            "{}: kernel error {got:.6} != golden {want:.6}",
+            family.name()
         );
     }
 }

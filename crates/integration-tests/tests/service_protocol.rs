@@ -337,6 +337,176 @@ fn stats_reports_sim_throughput_and_queue_wait_quantiles() {
     assert_eq!(report.worker_panics, 0);
 }
 
+/// A deterministic pseudo-random trace: the same bytes on every run,
+/// so bit-level comparisons are meaningful.
+fn deterministic_trace(n: usize) -> Vec<f64> {
+    let mut x = 0x1234_5678_9abc_def1u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as f64 / u64::MAX as f64) * 80.0 - 40.0
+        })
+        .collect()
+}
+
+fn inline_characterize(trace: Vec<f64>) -> CharacterizeSpec {
+    CharacterizeSpec {
+        trace: TraceSource::Inline(trace),
+        window: 64,
+        gauss_windows: 20,
+        ..CharacterizeSpec::default()
+    }
+}
+
+fn scale_variances_of(result: &Json) -> Vec<f64> {
+    result
+        .get("scales")
+        .and_then(Json::as_arr)
+        .expect("scales array")
+        .iter()
+        .map(|s| s.get("variance").and_then(Json::as_f64).expect("variance"))
+        .collect()
+}
+
+/// The Haar family keeps the streaming single-pass path (`StreamingDwt`
+/// has no dbN sibling — the online pyramid is a documented Haar-only
+/// capability), and the wire must not perturb it: a Characterize answer
+/// over TCP is bit-identical to the same request handled in process,
+/// a request that omits the family fields is bit-identical to one that
+/// spells out haar/periodic, and the filter-generic batch engine agrees
+/// with the streaming answer to accumulation round-off.
+#[test]
+fn characterize_over_tcp_is_bit_identical_to_batch_for_haar() {
+    let server = small_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let trace = deterministic_trace(2_048);
+
+    // Over TCP, with the family fields defaulted (a pre-family client).
+    let spec = inline_characterize(trace.clone());
+    let tcp = client
+        .characterize(spec.clone(), Some(60_000))
+        .expect("tcp characterize");
+    assert_eq!(tcp.get("family").and_then(Json::as_str), Some("haar"));
+    assert_eq!(tcp.get("boundary").and_then(Json::as_str), Some("periodic"));
+
+    // The same request handled in process (no transport): every float
+    // must survive the frame encode/decode bit for bit, so the rendered
+    // JSON is identical character for character.
+    let service = Service::standard().expect("service");
+    let request = didt_serve::Request {
+        id: 1,
+        deadline_ms: None,
+        body: didt_serve::RequestBody::Characterize(spec),
+    };
+    let batch = match service.handle(&request, None).payload {
+        didt_serve::ResponsePayload::Ok { result, .. } => result,
+        other => panic!("in-process characterize failed: {other:?}"),
+    };
+    assert_eq!(
+        tcp.render(),
+        batch.render(),
+        "TCP transport must not perturb a single bit of the Haar answer"
+    );
+
+    // Spelling the defaults out must change nothing either.
+    let explicit = client
+        .characterize(
+            CharacterizeSpec {
+                family: didt_dsp::WaveletFamily::Haar,
+                boundary: didt_dsp::BoundaryMode::Periodic,
+                ..inline_characterize(trace.clone())
+            },
+            Some(60_000),
+        )
+        .expect("explicit haar characterize");
+    assert_eq!(tcp.render(), explicit.render());
+
+    // The filter-generic batch engine (forced via an expansive boundary
+    // mode; for Haar's 2-tap filter on an even-length trace the
+    // extension is never read, so the coefficient set is the same) must
+    // reproduce the streaming per-scale variances to round-off.
+    let generic = client
+        .characterize(
+            CharacterizeSpec {
+                family: didt_dsp::WaveletFamily::Haar,
+                boundary: didt_dsp::BoundaryMode::ZeroPad,
+                ..inline_characterize(trace)
+            },
+            Some(60_000),
+        )
+        .expect("batch-engine characterize");
+    let streamed = scale_variances_of(&tcp);
+    let batched = scale_variances_of(&generic);
+    assert_eq!(streamed.len(), batched.len());
+    for (level, (s, b)) in streamed.iter().zip(&batched).enumerate() {
+        assert!(
+            (s - b).abs() <= 1e-12 * s.abs().max(1e-12),
+            "level {}: streaming {s} vs batch engine {b}",
+            level + 1
+        );
+    }
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
+/// Non-Haar families over the wire: a db3/symmetric request runs the
+/// batch engine end to end and echoes its basis; a periodic dbN request
+/// on an indivisible trace is a structured bad_request, not a panic.
+#[test]
+fn characterize_family_requests_over_tcp() {
+    let server = small_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let result = client
+        .characterize(
+            CharacterizeSpec {
+                family: didt_dsp::WaveletFamily::Db3,
+                boundary: didt_dsp::BoundaryMode::Symmetric,
+                ..inline_characterize(deterministic_trace(2_000))
+            },
+            Some(60_000),
+        )
+        .expect("db3 characterize");
+    assert_eq!(result.get("family").and_then(Json::as_str), Some("db3"));
+    assert_eq!(
+        result.get("boundary").and_then(Json::as_str),
+        Some("symmetric")
+    );
+    let scales = scale_variances_of(&result);
+    assert_eq!(scales.len(), 6, "64-cycle window decomposes to 6 levels");
+    assert!(scales.iter().all(|v| v.is_finite() && *v >= 0.0));
+
+    // db3's 6-tap filter clamps the periodic pyramid to 4 levels, and
+    // 2002 is not divisible by 2^4: the server must point at the
+    // expansive modes, and keep serving.
+    match client.characterize(
+        CharacterizeSpec {
+            family: didt_dsp::WaveletFamily::Db3,
+            boundary: didt_dsp::BoundaryMode::Periodic,
+            ..inline_characterize(deterministic_trace(2_002))
+        },
+        Some(60_000),
+    ) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(
+                message.contains("divisible"),
+                "error must explain the length constraint: {message}"
+            );
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    assert!(client.ping().is_ok());
+
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
 #[test]
 fn shutdown_drains_admitted_work() {
     let server = small_server();

@@ -25,6 +25,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use didt_bench::ControllerSpec;
+use didt_dsp::{BoundaryMode, Wavelet, WaveletFamily};
 use didt_telemetry::{seed_from_hex, seed_to_hex, Json, JsonError};
 
 /// Protocol version reported by `Ping`.
@@ -228,6 +229,16 @@ pub struct CharacterizeSpec {
     pub significance: f64,
     /// Random windows sampled for the Gaussianity study.
     pub gauss_windows: usize,
+    /// Wavelet basis family for the variance analysis. `Haar` (the
+    /// default, and the paper's basis) keeps the streaming single-pass
+    /// path; other families run the batch filter-generic transform.
+    /// Requests that omit the field get Haar, so pre-family clients are
+    /// unaffected.
+    pub family: WaveletFamily,
+    /// Boundary extension mode of the analysis transform. Only
+    /// meaningful for non-Haar families (the Haar streaming path is
+    /// inherently periodic); defaults to `Periodic`.
+    pub boundary: BoundaryMode,
 }
 
 impl Default for CharacterizeSpec {
@@ -244,6 +255,8 @@ impl Default for CharacterizeSpec {
             threshold: 0.95,
             significance: 0.95,
             gauss_windows: 200,
+            family: WaveletFamily::Haar,
+            boundary: BoundaryMode::Periodic,
         }
     }
 }
@@ -359,6 +372,21 @@ fn controller_to_json(c: &ControllerSpec) -> Json {
             pairs.push(("hysteresis", Json::num(hysteresis)));
             pairs.push(("delay", Json::num(delay as f64)));
         }
+        ControllerSpec::WaveletFamilyThreshold {
+            low,
+            high,
+            hysteresis,
+            delay,
+            family,
+            boundary,
+        } => {
+            pairs.push(("low", Json::num(low)));
+            pairs.push(("high", Json::num(high)));
+            pairs.push(("hysteresis", Json::num(hysteresis)));
+            pairs.push(("delay", Json::num(delay as f64)));
+            pairs.push(("family", Json::str(family.name())));
+            pairs.push(("boundary", Json::str(boundary.name())));
+        }
     }
     Json::obj(pairs)
 }
@@ -374,6 +402,28 @@ fn req_usize(json: &Json, key: &str) -> Result<usize, String> {
         .and_then(Json::as_u64)
         .map(|v| v as usize)
         .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+/// Optional `family` field: absent means Haar (pre-family wire compat).
+fn req_family(json: &Json) -> Result<WaveletFamily, String> {
+    match json.get("family") {
+        None | Some(Json::Null) => Ok(WaveletFamily::Haar),
+        Some(v) => {
+            let s = v.as_str().ok_or("field `family` must be a string")?;
+            WaveletFamily::parse(s).ok_or_else(|| format!("unknown wavelet family `{s}`"))
+        }
+    }
+}
+
+/// Optional `boundary` field: absent means periodic.
+fn req_boundary(json: &Json) -> Result<BoundaryMode, String> {
+    match json.get("boundary") {
+        None | Some(Json::Null) => Ok(BoundaryMode::Periodic),
+        Some(v) => {
+            let s = v.as_str().ok_or("field `boundary` must be a string")?;
+            BoundaryMode::parse(s).ok_or_else(|| format!("unknown boundary mode `{s}`"))
+        }
+    }
 }
 
 fn controller_from_json(json: &Json) -> Result<ControllerSpec, String> {
@@ -428,6 +478,17 @@ fn controller_from_json(json: &Json) -> Result<ControllerSpec, String> {
                 delay: req_usize(json, "delay")?,
             })
         }
+        "wavelet-family" => {
+            let (low, high, hysteresis) = thresholds()?;
+            Ok(ControllerSpec::WaveletFamilyThreshold {
+                low,
+                high,
+                hysteresis,
+                delay: req_usize(json, "delay")?,
+                family: req_family(json)?,
+                boundary: req_boundary(json)?,
+            })
+        }
         other => Err(format!("unknown controller scheme `{other}`")),
     }
 }
@@ -476,6 +537,8 @@ impl Request {
                 sp.push(("threshold", Json::num(s.threshold)));
                 sp.push(("significance", Json::num(s.significance)));
                 sp.push(("gauss_windows", Json::num(s.gauss_windows as f64)));
+                sp.push(("family", Json::str(s.family.name())));
+                sp.push(("boundary", Json::str(s.boundary.name())));
                 Some(Json::obj(sp))
             }
             RequestBody::ClosedLoop(s) => Some(Json::obj(vec![
@@ -562,6 +625,8 @@ impl Request {
                     threshold: req_f64(s, "threshold").unwrap_or(d.threshold),
                     significance: req_f64(s, "significance").unwrap_or(d.significance),
                     gauss_windows: req_usize(s, "gauss_windows").unwrap_or(d.gauss_windows),
+                    family: req_family(s)?,
+                    boundary: req_boundary(s)?,
                 })
             }
             "closed_loop" => {
@@ -890,11 +955,62 @@ mod tests {
                 hysteresis: 0.004,
                 delay: 2,
             },
+            ControllerSpec::WaveletFamilyThreshold {
+                low: 0.975,
+                high: 1.025,
+                hysteresis: 0.004,
+                delay: 1,
+                family: WaveletFamily::Db4,
+                boundary: BoundaryMode::Symmetric,
+            },
         ];
         for c in variants {
             let back = controller_from_json(&controller_to_json(&c)).unwrap();
             assert_eq!(c, back);
         }
+    }
+
+    #[test]
+    fn family_fields_default_to_haar_periodic_when_absent() {
+        // A pre-family client's wire shape must keep decoding to the
+        // Haar analysis it always meant.
+        let legacy = Json::parse(
+            r#"{"id": 7, "kind": "characterize", "spec": {
+                "synth": {"benchmark": "gzip", "warmup": 100, "cycles": 1024},
+                "pdn_pct": 100.0}}"#,
+        )
+        .unwrap();
+        let req = Request::from_json(&legacy).unwrap();
+        match req.body {
+            RequestBody::Characterize(s) => {
+                assert_eq!(s.family, WaveletFamily::Haar);
+                assert_eq!(s.boundary, BoundaryMode::Periodic);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+        // And an unknown family name is a decode error, not a silent Haar.
+        let bad = Json::parse(
+            r#"{"scheme": "wavelet-family", "low": 0.9, "high": 1.1,
+                "hysteresis": 0.001, "delay": 1, "family": "db99",
+                "boundary": "periodic"}"#,
+        )
+        .unwrap();
+        assert!(controller_from_json(&bad)
+            .unwrap_err()
+            .contains("unknown wavelet family"));
+    }
+
+    #[test]
+    fn characterize_family_fields_roundtrip() {
+        roundtrip_request(&Request {
+            id: 12,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                family: WaveletFamily::Db3,
+                boundary: BoundaryMode::ZeroPad,
+                ..CharacterizeSpec::default()
+            }),
+        });
     }
 
     #[test]

@@ -23,6 +23,7 @@ use didt_core::characterize::{EmergencyEstimator, GaussianityStudy, VarianceMode
 use didt_core::monitor::TermKind;
 use didt_core::DidtError;
 use didt_dsp::streaming::StreamingHaar;
+use didt_dsp::{dwt_boundary, BoundaryMode, Wavelet, WaveletFamily};
 use didt_stats::lag_correlation;
 use didt_telemetry::{seed_to_hex, Json, MetricsRegistry};
 use didt_uarch::Benchmark;
@@ -290,23 +291,54 @@ impl Service {
                 spec.window
             )));
         }
-        let levels = spec.window.trailing_zeros() as usize;
+        let mut levels = spec.window.trailing_zeros() as usize;
+        // The Haar/periodic combination (every pre-family client) keeps
+        // the streaming single-pass path below, bit-identical to the
+        // pre-family service. Other combinations run the batch
+        // filter-generic transform; `StreamingHaar` has no dbN sibling —
+        // the online pyramid is a documented Haar-only capability.
+        let haar_streaming =
+            spec.family == WaveletFamily::Haar && spec.boundary == BoundaryMode::Periodic;
+        if spec.boundary == BoundaryMode::Periodic {
+            while levels > 1 && (spec.window >> (levels - 1)) < spec.family.filter_len() {
+                levels -= 1;
+            }
+        }
 
         // Per-scale variance over the whole (arbitrary-length) trace:
         // streaming pyramid plus an explicit zero-padded tail, so no
         // client sample is silently dropped.
         check_deadline(deadline)?;
-        let mut pyramid =
-            StreamingHaar::new(levels).map_err(|e| bad(format!("pyramid setup: {e}")))?;
         let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); levels];
-        for &x in trace.iter() {
-            for c in pyramid.push(x) {
+        if haar_streaming {
+            let mut pyramid =
+                StreamingHaar::new(levels).map_err(|e| bad(format!("pyramid setup: {e}")))?;
+            for &x in trace.iter() {
+                for c in pyramid.push(x) {
+                    per_level[c.level - 1].push(c.value);
+                }
+            }
+            let (tail, _) = pyramid.finish();
+            for c in tail {
                 per_level[c.level - 1].push(c.value);
             }
-        }
-        let (tail, _) = pyramid.finish();
-        for c in tail {
-            per_level[c.level - 1].push(c.value);
+        } else {
+            if spec.boundary == BoundaryMode::Periodic
+                && !trace.len().is_multiple_of(1usize << levels)
+            {
+                return Err(bad(format!(
+                    "periodic `{}` analysis needs a trace length divisible by {}; \
+                     use an expansive boundary mode (zero-pad, symmetric, zeroth-order) \
+                     for arbitrary lengths",
+                    spec.family.name(),
+                    1usize << levels
+                )));
+            }
+            let decomp = dwt_boundary(&trace, &spec.family, levels, spec.boundary)
+                .map_err(|e| bad(format!("family transform: {e}")))?;
+            for (row, detail) in decomp.detail_rows().enumerate() {
+                per_level[row].extend_from_slice(detail);
+            }
         }
         let n = trace.len() as f64;
         let scales: Vec<Json> = per_level
@@ -338,16 +370,22 @@ impl Service {
         check_deadline(deadline)?;
         let gains = self
             .ctx
-            .gain_model(spec.pdn_pct, spec.window, GAIN_CALIBRATION_SEED)
+            .gain_model_family(spec.pdn_pct, spec.window, GAIN_CALIBRATION_SEED, spec.family)
             .map_err(|e| didt_err(&e))?;
-        let estimator =
-            EmergencyEstimator::new(VarianceModel::new((*gains).clone()), spec.threshold);
+        let model = if haar_streaming {
+            VarianceModel::new((*gains).clone())
+        } else {
+            VarianceModel::with_boundary((*gains).clone(), None, spec.boundary)
+        };
+        let estimator = EmergencyEstimator::new(model, spec.threshold);
         let (fraction, windows, mean_v) =
             estimator.estimate_trace(&trace).map_err(|e| didt_err(&e))?;
 
         Ok(Json::obj(vec![
             ("trace_len", Json::num(trace.len() as f64)),
             ("window", Json::num(spec.window as f64)),
+            ("family", Json::str(spec.family.name())),
+            ("boundary", Json::str(spec.boundary.name())),
             ("scales", Json::Arr(scales)),
             (
                 "gaussianity",

@@ -132,6 +132,13 @@ fn run() -> Result<bool, String> {
             "sweep.serial_parallel_identical must be true, got {other:?}"
         )),
     }
+    // Candidate-only (the pre-family reference has no `dwt` section):
+    // the filter-generic engine must keep Haar within timing noise of
+    // the legacy kernel it replaced.
+    match lookup(&candidate, &["dwt", "within_noise"]) {
+        Some(Json::Bool(true)) => println!("ok    dwt.within_noise: true"),
+        other => fail(format!("dwt.within_noise must be true, got {other:?}")),
+    }
 
     // Banded metric checks.
     for metric in METRICS {

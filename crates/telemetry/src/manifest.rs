@@ -502,7 +502,15 @@ fn parse_point(p: &Json) -> Result<PointRecord, String> {
 /// writing side can use literals; map parsed names back onto the known
 /// set.
 fn intern_cache_name(name: &str) -> Result<&'static str, String> {
-    const KNOWN: &[&str] = &["pdns", "designs", "traces", "gains", "baselines"];
+    const KNOWN: &[&str] = &[
+        "pdns",
+        "designs",
+        "family_designs",
+        "traces",
+        "gains",
+        "family_gains",
+        "baselines",
+    ];
     KNOWN
         .iter()
         .find(|&&k| k == name)
