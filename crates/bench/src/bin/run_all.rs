@@ -51,6 +51,8 @@ const EXPERIMENTS: &[&str] = &[
     "ext_width_sensitivity",
     "ext_guardband",
     "ext_wavelet_family",
+    "trace_record",
+    "ext_phase_clustering",
     "perf_report",
     // Built by didt-serve, not didt-bench; lands in the same bin dir.
     "load_report",
@@ -216,6 +218,7 @@ fn run_smoke(serial: bool) -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..2 {
         for bench in [Benchmark::Gzip, Benchmark::Swim] {
             let _ = ctx.trace(bench, ctx.system().processor(), 0xD1D7, 1_000, 4_096);
+            let _ = ctx.record_trace(bench, ctx.system().processor(), 0xD1D7, 1_000, 4_096);
         }
         ctx.gain_model(150.0, 64, 0xCAB1)?;
         ctx.gain_model_family(150.0, 64, 0xCAB1, WaveletFamily::Db3)?;

@@ -1,0 +1,142 @@
+//! Record the standard benchmark corpus into `.dtrc` trace files.
+//!
+//! The trace toolchain's first stage: every benchmark is simulated
+//! open-loop through the shared [`SweepContext`] record cache and
+//! persisted under `results/traces/<bench>.dtrc` as kind-2 (`Full`)
+//! records — per-cycle current, power, committed instructions and
+//! event deltas. Each file is immediately read back and verified
+//! bit-identical to what was captured, so a written file is a proven
+//! round-trip, not a hope. The per-benchmark file sizes land in the
+//! manifest as goldens: the records are deterministic, therefore so is
+//! the compressed byte count.
+//!
+//! Flags:
+//!
+//! - `--smoke`: record one short gzip trace instead of the corpus
+//!   (used by the CI trace smoke job).
+//! - `--out <path>`: where `--smoke` writes its file
+//!   (default `results/traces/smoke.dtrc`).
+//!
+//! Downstream: `ext_phase_clustering` clusters these records,
+//! `didt-serve` replays `.dtrc` paths via the `recorded`/`replay`
+//! request fields, and `examples/trace_replay.rs` walks the whole
+//! pipeline.
+
+use std::path::PathBuf;
+
+use didt_bench::{Experiment, SweepContext, TextTable, TRACE_CYCLES, TRACE_WARMUP};
+use didt_trace::{read_path, write_path, RecordKind, TraceMeta};
+use didt_uarch::Benchmark;
+
+/// Workload seed shared with the figure binaries.
+const TRACE_SEED: u64 = 0xD1D7_2004;
+/// Smoke-mode capture length (cycles).
+const SMOKE_CYCLES: usize = 8_192;
+/// Smoke-mode warmup (cycles).
+const SMOKE_WARMUP: usize = 2_000;
+
+fn record_one(
+    ctx: &SweepContext,
+    bench: Benchmark,
+    warmup: usize,
+    cycles: usize,
+    path: &PathBuf,
+) -> (usize, u64) {
+    let records = ctx.record_trace(bench, ctx.system().processor(), TRACE_SEED, warmup, cycles);
+    let mut meta = TraceMeta::new(RecordKind::Full, bench.name());
+    meta.seed = TRACE_SEED;
+    meta.discarded_warmup = warmup as u64;
+    write_path(path, &meta, &records).expect("trace write");
+    // Verified round-trip: the file on disk decodes bit-identically to
+    // what the simulator produced.
+    let (got_meta, got) = read_path(path).expect("trace read-back");
+    assert_eq!(got_meta, meta, "{}: meta mismatch", bench.name());
+    assert_eq!(
+        got.len(),
+        records.len(),
+        "{}: length mismatch",
+        bench.name()
+    );
+    assert!(
+        got.iter().zip(records.iter()).all(|(a, b)| a.bits_eq(b)),
+        "{}: record round-trip not bit-identical",
+        bench.name()
+    );
+    let file_bytes = std::fs::metadata(path).expect("trace metadata").len();
+    (records.len(), file_bytes)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let mut exp = Experiment::start("trace_record");
+    let ctx = SweepContext::standard().expect("standard system");
+    let raw_width = RecordKind::Full.logical_width();
+
+    if smoke {
+        let path = out.unwrap_or_else(|| PathBuf::from("results/traces/smoke.dtrc"));
+        exp.param("smoke", 1.0);
+        exp.param("cycles", SMOKE_CYCLES as f64);
+        exp.param("warmup", SMOKE_WARMUP as f64);
+        let (n, file_bytes) = record_one(&ctx, Benchmark::Gzip, SMOKE_WARMUP, SMOKE_CYCLES, &path);
+        println!(
+            "smoke: recorded {n} cycles of gzip to {} ({file_bytes} bytes, {:.2}x vs raw)",
+            path.display(),
+            (n * raw_width) as f64 / file_bytes as f64,
+        );
+        exp.golden("smoke.records", n as f64);
+        exp.golden("smoke.file_bytes", file_bytes as f64);
+        exp.cache(&ctx);
+        exp.finish().expect("manifest write");
+        return;
+    }
+
+    println!("== trace_record: benchmark corpus -> results/traces/*.dtrc ==\n");
+    exp.param("cycles", TRACE_CYCLES as f64);
+    exp.param("warmup", TRACE_WARMUP as f64);
+    exp.param("benchmarks", Benchmark::all().len() as f64);
+    let mut t = TextTable::new(&["bench", "records", "raw KiB", "file KiB", "ratio", "mean A"]);
+    let mut total_raw = 0u64;
+    let mut total_file = 0u64;
+    for bench in Benchmark::all() {
+        let path = PathBuf::from(format!("results/traces/{}.dtrc", bench.name()));
+        let (n, file_bytes) = record_one(&ctx, bench, TRACE_WARMUP, TRACE_CYCLES, &path);
+        let records = ctx.record_trace(
+            bench,
+            ctx.system().processor(),
+            TRACE_SEED,
+            TRACE_WARMUP,
+            TRACE_CYCLES,
+        );
+        let mean_current = records.iter().map(|r| r.current).sum::<f64>() / records.len() as f64;
+        let raw = (n * raw_width) as u64;
+        total_raw += raw;
+        total_file += file_bytes;
+        t.row_owned(vec![
+            bench.name().to_string(),
+            format!("{n}"),
+            format!("{:8.1}", raw as f64 / 1024.0),
+            format!("{:8.1}", file_bytes as f64 / 1024.0),
+            format!("{:5.2}x", raw as f64 / file_bytes as f64),
+            format!("{mean_current:6.2}"),
+        ]);
+        exp.golden(&format!("file_bytes.{}", bench.name()), file_bytes as f64);
+        exp.golden(&format!("mean_current.{}", bench.name()), mean_current);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ncorpus: {:.1} MiB raw -> {:.1} MiB on disk ({:.2}x), all files verified bit-identical",
+        total_raw as f64 / (1024.0 * 1024.0),
+        total_file as f64 / (1024.0 * 1024.0),
+        total_raw as f64 / total_file as f64
+    );
+    exp.golden("total_file_bytes", total_file as f64);
+    exp.cache(&ctx);
+    exp.finish().expect("manifest write");
+}

@@ -40,7 +40,11 @@ use didt_core::monitor::{
 use didt_core::{DidtError, DidtSystem};
 use didt_dsp::{BoundaryMode, Wavelet, WaveletFamily};
 use didt_pdn::SecondOrderPdn;
-use didt_uarch::{capture_trace, Benchmark, CurrentTrace, ProcessorConfig};
+use didt_trace::Record;
+use didt_uarch::{
+    capture_trace, Benchmark, ControlAction, CurrentTrace, Processor, ProcessorConfig,
+    WorkloadGenerator,
+};
 
 // ---------------------------------------------------------------------------
 // Deterministic seeding
@@ -730,6 +734,45 @@ impl PointResult {
 
 type TraceKey = (u64, &'static str, u64, usize, usize);
 
+/// Open-loop capture of a full-record trace: like
+/// [`didt_uarch::capture_trace`] but keeping each cycle's power,
+/// committed count and per-cycle event deltas alongside the current.
+/// Warmup cycles are simulated and discarded (the `.dtrc` header's
+/// `discarded_warmup` provenance field records how many); deterministic
+/// in `(benchmark, seed)`.
+#[must_use]
+pub fn capture_records(
+    benchmark: Benchmark,
+    cfg: &ProcessorConfig,
+    seed: u64,
+    warmup: usize,
+    cycles: usize,
+) -> Vec<Record> {
+    let gen = WorkloadGenerator::new(benchmark.profile(), seed);
+    let mut cpu = Processor::new(*cfg, gen);
+    for _ in 0..warmup {
+        cpu.step(ControlAction::Normal);
+    }
+    let mut records = Vec::with_capacity(cycles);
+    let stats = cpu.stats();
+    let mut l2_base = stats.l2_misses;
+    let mut misp_base = stats.branch_mispredicts;
+    for _ in 0..cycles {
+        let out = cpu.step(ControlAction::Normal);
+        let s = cpu.stats();
+        records.push(Record {
+            current: out.current,
+            power: out.power,
+            committed: out.committed.min(u32::from(u16::MAX)) as u16,
+            l2_misses: (s.l2_misses - l2_base).min(u64::from(u16::MAX)) as u16,
+            mispredicts: (s.branch_mispredicts - misp_base).min(u64::from(u16::MAX)) as u16,
+        });
+        l2_base = s.l2_misses;
+        misp_base = s.branch_mispredicts;
+    }
+    records
+}
+
 /// Per-class compute counts from [`SweepContext::cache_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -741,6 +784,8 @@ pub struct CacheStats {
     pub family_designs: usize,
     /// Current traces captured.
     pub traces: usize,
+    /// Full-record traces (current + power + events) captured.
+    pub records: usize,
     /// Per-scale gain calibrations run.
     pub gains: usize,
     /// Non-Haar per-scale gain calibrations run.
@@ -759,6 +804,7 @@ pub struct SweepContext {
     designs: MemoCache<(u64, usize), WaveletMonitorDesign>,
     family_designs: MemoCache<FamilyDesignKey, FamilyMonitorDesign>,
     traces: MemoCache<TraceKey, CurrentTrace>,
+    records: MemoCache<TraceKey, Vec<Record>>,
     gains: MemoCache<(u64, usize, u64), ScaleGainModel>,
     family_gains: MemoCache<(u64, usize, u64, &'static str), ScaleGainModel>,
     baselines: MemoCache<BaselineKey, Result<ClosedLoopResult, DidtError>>,
@@ -791,6 +837,7 @@ impl SweepContext {
             designs: MemoCache::new(),
             family_designs: MemoCache::new(),
             traces: MemoCache::new(),
+            records: MemoCache::new(),
             gains: MemoCache::new(),
             family_gains: MemoCache::new(),
             baselines: MemoCache::new(),
@@ -813,6 +860,7 @@ impl SweepContext {
             designs: self.designs.computations(),
             family_designs: self.family_designs.computations(),
             traces: self.traces.computations(),
+            records: self.records.computations(),
             gains: self.gains.computations(),
             family_gains: self.family_gains.computations(),
             baselines: self.baselines.computations(),
@@ -839,6 +887,7 @@ impl SweepContext {
             rec("designs", &self.designs),
             rec("family_designs", &self.family_designs),
             rec("traces", &self.traces),
+            rec("records", &self.records),
             rec("gains", &self.gains),
             rec("family_gains", &self.family_gains),
             rec("baselines", &self.baselines),
@@ -919,6 +968,29 @@ impl SweepContext {
             .get_or_compute((cfg_key, benchmark.name(), seed, warmup, cycles), || {
                 let _span = didt_telemetry::span("cache.fill.traces");
                 capture_trace(benchmark, cfg, seed, warmup, cycles)
+            })
+    }
+
+    /// A captured **full-record** trace (current, power, committed,
+    /// per-cycle L2 misses and mispredicts) for recording to `.dtrc`
+    /// files and phase clustering, keyed like [`Self::trace`] and
+    /// computed once per distinct key. The current column is
+    /// bit-identical to [`Self::trace`]'s samples for the same key —
+    /// both run the same uncontrolled simulation.
+    #[must_use]
+    pub fn record_trace(
+        &self,
+        benchmark: Benchmark,
+        cfg: &ProcessorConfig,
+        seed: u64,
+        warmup: usize,
+        cycles: usize,
+    ) -> Arc<Vec<Record>> {
+        let cfg_key = fnv1a(FNV_OFFSET, format!("{cfg:?}").as_bytes());
+        self.records
+            .get_or_compute((cfg_key, benchmark.name(), seed, warmup, cycles), || {
+                let _span = didt_telemetry::span("cache.fill.records");
+                capture_records(benchmark, cfg, seed, warmup, cycles)
             })
     }
 
@@ -1140,6 +1212,43 @@ impl SweepContext {
             with_worker_scratch(|scratch| {
                 harness.run_with_deadline_scratch(ctl.as_mut(), deadline, &mut scratch.sim)
             })?
+        };
+        Ok(PointResult {
+            point: point.clone(),
+            seed: cfg.seed,
+            baseline,
+            controlled,
+        })
+    }
+
+    /// Replay a recorded trace through the point's closed-loop harness
+    /// instead of simulating the workload live: the uncontrolled
+    /// baseline and the point's controller both score the same fixed
+    /// record stream (records `[0, pre_roll)` settle the PDN unscored).
+    /// The baseline is *not* the per-cell cached one — a recorded trace
+    /// is its own workload, so both legs come from the records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN, monitor and replay errors (including
+    /// `pre_roll > records.len()`).
+    pub fn run_replay(
+        &self,
+        point: &SweepPoint,
+        run: RunParams,
+        records: &[Record],
+        pre_roll: usize,
+    ) -> Result<PointResult, DidtError> {
+        let _span = didt_telemetry::span("sweep.replay");
+        let pdn = self.pdn(point.pdn_pct)?;
+        let cfg = self.loop_config(point.benchmark, point.pdn_pct, run);
+        let harness = ClosedLoop::new(*self.system.processor(), *pdn, cfg);
+        let baseline = harness.replay(&mut NoControl, records, pre_roll)?;
+        let controlled = if matches!(point.controller, ControllerSpec::None) {
+            baseline
+        } else {
+            let mut ctl = self.controller(point)?;
+            harness.replay(ctl.as_mut(), records, pre_roll)?
         };
         Ok(PointResult {
             point: point.clone(),

@@ -16,7 +16,7 @@
 
 use crate::DidtError;
 use didt_dsp::{
-    dwt, dwt_into, idwt, wavelet::Haar, DwtScratch, WaveletDecomposition, WaveletFamily, Wavelet,
+    dwt, dwt_into, idwt, wavelet::Haar, DwtScratch, Wavelet, WaveletDecomposition, WaveletFamily,
 };
 use didt_pdn::SecondOrderPdn;
 use didt_stats::variance;

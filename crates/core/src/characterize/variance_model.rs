@@ -368,7 +368,10 @@ mod tests {
         let vd = db3.estimate(&w).unwrap().v_variance;
         assert!(vd > 0.0);
         let ratio = vd / vh;
-        assert!((0.2..5.0).contains(&ratio), "db3/haar variance ratio {ratio}");
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "db3/haar variance ratio {ratio}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::control::DidtController;
 use crate::monitor::CycleSense;
 use crate::DidtError;
 use didt_pdn::SecondOrderPdn;
+use didt_trace::{Record, RecordKind, TraceMeta};
 use didt_uarch::{Benchmark, ControlAction, Processor, ProcessorConfig, WorkloadGenerator};
 
 /// Configuration of one closed-loop experiment.
@@ -241,6 +242,154 @@ impl ClosedLoop {
         deadline: Option<std::time::Instant>,
         scratch: &mut SimScratch,
     ) -> Result<ClosedLoopResult, DidtError> {
+        self.run_inner(controller, deadline, scratch, None)
+    }
+
+    /// Run the loop while recording it as a replayable trace: the
+    /// warmup currents become kind-2 pre-roll records (current only —
+    /// they exist to settle the PDN filter state on replay) and every
+    /// measured cycle becomes a full record (current, power, committed,
+    /// per-cycle L2 misses and mispredicts).
+    ///
+    /// The returned [`ClosedLoopResult`] is **bit-identical** to
+    /// [`Self::run`] with the same controller — recording only observes
+    /// the run. Replaying the records of an *uncontrolled* run through
+    /// [`Self::replay`] with [`crate::control::NoControl`] reproduces
+    /// the result bit for bit (the integration suite pins this).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::run`].
+    pub fn run_recording(
+        &self,
+        controller: &mut dyn DidtController,
+    ) -> Result<RecordedRun, DidtError> {
+        let mut scratch = SimScratch::new();
+        let mut records = Vec::new();
+        let result = self.run_inner(controller, None, &mut scratch, Some(&mut records))?;
+        Ok(RecordedRun {
+            result,
+            records,
+            pre_roll: self.config.warmup_cycles as usize,
+            benchmark: self.config.benchmark,
+            seed: self.config.seed,
+        })
+    }
+
+    /// Score a recorded current stream through this harness's PDN and
+    /// fault bands instead of simulating the processor.
+    ///
+    /// Records `[0, pre_roll)` are fed to the PDN without scoring (the
+    /// warm-in of TRACE_FORMAT.md §6); records `[pre_roll, len)` are
+    /// scored exactly like live measured cycles. The controller is
+    /// consulted every scored cycle and its stall/nop decisions are
+    /// tallied (engagement and false positives) — but replay is
+    /// open-loop: the recorded current stream is fixed, so decisions
+    /// cannot bend the voltage the way they would live. Use it to
+    /// re-score a workload against different fault bands, PDNs or
+    /// monitor configurations at far beyond simulator speed; every
+    /// replayed record counts into the global `trace.replay_cycles`
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// [`DidtError::InvalidConfig`] when `pre_roll` exceeds the record
+    /// count.
+    pub fn replay(
+        &self,
+        controller: &mut dyn DidtController,
+        records: &[Record],
+        pre_roll: usize,
+    ) -> Result<ClosedLoopResult, DidtError> {
+        let _span = didt_telemetry::span("core.closed_loop.replay");
+        if pre_roll > records.len() {
+            return Err(DidtError::InvalidConfig {
+                name: "replay",
+                reason: "pre_roll exceeds the record count",
+            });
+        }
+        replay_cycles_counter().add(records.len() as u64);
+        let mut pdn_sim = self.pdn.simulator();
+        let mut sense = CycleSense {
+            current: 0.0,
+            voltage: self.pdn.vdd(),
+        };
+        let mut v_last = self.pdn.vdd();
+        for r in &records[..pre_roll] {
+            v_last = pdn_sim.step(r.current);
+        }
+        if pre_roll > 0 {
+            sense = CycleSense {
+                current: records[pre_roll - 1].current,
+                voltage: v_last,
+            };
+        }
+        let mut result = ClosedLoopResult {
+            v_min: f64::INFINITY,
+            v_max: f64::NEG_INFINITY,
+            ..ClosedLoopResult::default()
+        };
+        let mut power_accum = 0.0;
+        let mut committed: u64 = 0;
+        for r in &records[pre_roll..] {
+            let action = controller.decide(sense);
+            let v = pdn_sim.step(r.current);
+            committed += u64::from(r.committed);
+            result.cycles += 1;
+            power_accum += r.power;
+            result.v_min = result.v_min.min(v);
+            result.v_max = result.v_max.max(v);
+            if v < self.config.v_fault_low {
+                result.low_emergencies += 1;
+            } else if v > self.config.v_fault_high {
+                result.high_emergencies += 1;
+            }
+            match action {
+                ControlAction::StallIssue => {
+                    result.stall_cycles += 1;
+                    let fp_line =
+                        self.config.v_fault_low + self.config.control_margin + self.config.fp_guard;
+                    if v > fp_line {
+                        result.false_positives += 1;
+                    }
+                }
+                ControlAction::InjectNops => {
+                    result.nop_cycles += 1;
+                    let fp_line = self.config.v_fault_high
+                        - self.config.control_margin
+                        - self.config.fp_guard;
+                    if v < fp_line {
+                        result.false_positives += 1;
+                    }
+                }
+                ControlAction::Normal => {}
+            }
+            sense = CycleSense {
+                current: r.current,
+                voltage: v,
+            };
+        }
+        result.instructions = committed;
+        result.mean_power = if result.cycles > 0 {
+            power_accum / result.cycles as f64
+        } else {
+            0.0
+        };
+        if result.cycles == 0 {
+            result.v_min = self.pdn.vdd();
+            result.v_max = self.pdn.vdd();
+        }
+        record_run_metrics(controller.name(), &result);
+        Ok(result)
+    }
+
+    fn run_inner(
+        &self,
+        controller: &mut dyn DidtController,
+        deadline: Option<std::time::Instant>,
+        scratch: &mut SimScratch,
+        rec: Option<&mut Vec<Record>>,
+    ) -> Result<ClosedLoopResult, DidtError> {
         let _span = didt_telemetry::span("core.closed_loop.run");
         let gen = WorkloadGenerator::new(self.config.benchmark.profile(), self.config.seed);
         match scratch.cpu.as_mut() {
@@ -250,7 +399,7 @@ impl ClosedLoop {
         let cpu = scratch.cpu.as_mut().expect("installed above");
         scratch.warm_trace.clear();
         let started = std::time::Instant::now();
-        let result = self.run_core(controller, deadline, cpu, &mut scratch.warm_trace);
+        let result = self.run_core(controller, deadline, cpu, &mut scratch.warm_trace, rec);
         if let Ok(r) = &result {
             // Global simulator throughput: consumers (didt-serve stats,
             // perf tooling) derive cycles/s as sim.cycles / sim.wall_ns.
@@ -269,6 +418,7 @@ impl ClosedLoop {
         deadline: Option<std::time::Instant>,
         cpu: &mut Processor<WorkloadGenerator>,
         warm_trace: &mut Vec<f64>,
+        mut rec: Option<&mut Vec<Record>>,
     ) -> Result<ClosedLoopResult, DidtError> {
         let mut since_check: u32 = 0;
         let mut simulated: u64 = 0;
@@ -335,6 +485,21 @@ impl ClosedLoop {
                 voltage: v_last,
             };
         }
+        // Recording: the warmup currents become the trace's pre-roll —
+        // replay feeds them to the PDN unscored, reconstructing the
+        // exact filter state the measured region started from.
+        if let Some(rec) = rec.as_deref_mut() {
+            rec.reserve(warm_trace.len());
+            for &current in warm_trace.iter() {
+                rec.push(Record::current_only(current));
+            }
+        }
+        let mut event_base = if rec.is_some() {
+            let s = cpu.stats();
+            Some((s.l2_misses, s.branch_mispredicts))
+        } else {
+            None
+        };
         let mut result = ClosedLoopResult {
             v_min: f64::INFINITY,
             v_max: f64::NEG_INFINITY,
@@ -357,6 +522,18 @@ impl ClosedLoop {
             let action = controller.decide(sense);
             let out = cpu.step(action);
             committed += u64::from(out.committed);
+            if let Some(rec) = rec.as_deref_mut() {
+                let s = cpu.stats();
+                let (l2_base, misp_base) = event_base.expect("set when recording");
+                rec.push(Record {
+                    current: out.current,
+                    power: out.power,
+                    committed: out.committed.min(u32::from(u16::MAX)) as u16,
+                    l2_misses: (s.l2_misses - l2_base).min(u64::from(u16::MAX)) as u16,
+                    mispredicts: (s.branch_mispredicts - misp_base).min(u64::from(u16::MAX)) as u16,
+                });
+                event_base = Some((s.l2_misses, s.branch_mispredicts));
+            }
             let v = pdn_sim.step(out.current);
             result.cycles += 1;
             power_accum += out.power;
@@ -410,6 +587,44 @@ impl ClosedLoop {
         record_run_metrics(controller.name(), &result);
         Ok(result)
     }
+}
+
+/// A closed-loop run captured as a replayable trace by
+/// [`ClosedLoop::run_recording`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedRun {
+    /// The run's measured metrics (bit-identical to an unrecorded run).
+    pub result: ClosedLoopResult,
+    /// Pre-roll warmup records followed by the measured region.
+    pub records: Vec<Record>,
+    /// How many leading records are unscored warm-in (the run's warmup
+    /// cycle count).
+    pub pre_roll: usize,
+    /// Benchmark the run executed.
+    pub benchmark: Benchmark,
+    /// Workload seed the run used.
+    pub seed: u64,
+}
+
+impl RecordedRun {
+    /// `.dtrc` header metadata for persisting this run (kind 2 /
+    /// `Full`, pre-roll and provenance filled in).
+    #[must_use]
+    pub fn meta(&self) -> TraceMeta {
+        let mut meta = TraceMeta::new(RecordKind::Full, self.benchmark.name());
+        meta.seed = self.seed;
+        meta.pre_roll = self.pre_roll as u64;
+        meta
+    }
+}
+
+/// The process-global `trace.replay_cycles` counter, resolved once.
+fn replay_cycles_counter() -> &'static std::sync::Arc<didt_telemetry::Counter> {
+    use std::sync::OnceLock;
+    static COUNTER: OnceLock<std::sync::Arc<didt_telemetry::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        didt_telemetry::MetricsRegistry::global().counter(didt_trace::REPLAY_CYCLES_COUNTER)
+    })
 }
 
 /// Cycles simulated between wall-clock reads in
@@ -666,6 +881,81 @@ mod tests {
         let r = harness.run(&mut NoControl).unwrap();
         assert!(cycles.get() - c0 >= r.cycles + 5_000);
         assert!(wall.get() > w0, "wall-clock counter must advance");
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Gzip));
+        let plain = harness.run(&mut NoControl).unwrap();
+        let recorded = harness.run_recording(&mut NoControl).unwrap();
+        assert_eq!(plain, recorded.result);
+        assert_eq!(recorded.pre_roll, 5_000);
+        assert_eq!(recorded.records.len() as u64, 5_000 + plain.cycles);
+        let meta = recorded.meta();
+        assert_eq!(meta.kind, RecordKind::Full);
+        assert_eq!(meta.pre_roll, 5_000);
+        assert_eq!(meta.name, "gzip");
+    }
+
+    #[test]
+    fn uncontrolled_replay_is_bit_identical_to_live() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Mcf));
+        let recorded = harness.run_recording(&mut NoControl).unwrap();
+        let replayed = harness
+            .replay(&mut NoControl, &recorded.records, recorded.pre_roll)
+            .unwrap();
+        assert_eq!(recorded.result, replayed);
+    }
+
+    #[test]
+    fn replay_tallies_controller_engagement_deterministically() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(200.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Mgrid));
+        let recorded = harness.run_recording(&mut NoControl).unwrap();
+        let mut a = ThresholdController::new(AnalogSensor::new(1.0, 1), 0.97, 1.03, 0.004);
+        let mut b = ThresholdController::new(AnalogSensor::new(1.0, 1), 0.97, 1.03, 0.004);
+        let ra = harness
+            .replay(&mut a, &recorded.records, recorded.pre_roll)
+            .unwrap();
+        let rb = harness
+            .replay(&mut b, &recorded.records, recorded.pre_roll)
+            .unwrap();
+        assert_eq!(ra, rb);
+        // Open-loop replay cannot change the stream: the cycle count is
+        // exactly the recorded measured region.
+        assert_eq!(ra.cycles, recorded.result.cycles);
+        // An aggressive threshold on a stressed PDN must engage.
+        assert!(ra.stall_cycles + ra.nop_cycles > 0);
+    }
+
+    #[test]
+    fn replay_rejects_out_of_range_pre_roll() {
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Gzip));
+        let records = vec![Record::current_only(20.0); 10];
+        assert!(matches!(
+            harness.replay(&mut NoControl, &records, 11),
+            Err(DidtError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_counts_replay_cycles() {
+        let counter =
+            didt_telemetry::MetricsRegistry::global().counter(didt_trace::REPLAY_CYCLES_COUNTER);
+        let before = counter.get();
+        let sys = DidtSystem::standard().unwrap();
+        let pdn = sys.pdn_at(150.0).unwrap();
+        let harness = ClosedLoop::new(*sys.processor(), pdn, small_cfg(Benchmark::Gzip));
+        let records = vec![Record::current_only(20.0); 256];
+        harness.replay(&mut NoControl, &records, 16).unwrap();
+        assert!(counter.get() >= before + 256);
     }
 
     #[test]

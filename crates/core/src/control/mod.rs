@@ -12,7 +12,8 @@ mod closed_loop;
 mod controllers;
 
 pub use closed_loop::{
-    ClosedLoop, ClosedLoopConfig, ClosedLoopResult, SimScratch, DEADLINE_CHECK_INTERVAL,
+    ClosedLoop, ClosedLoopConfig, ClosedLoopResult, RecordedRun, SimScratch,
+    DEADLINE_CHECK_INTERVAL,
 };
 pub use controllers::{NoControl, PipelineDamping, ThresholdController};
 

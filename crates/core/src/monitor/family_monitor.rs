@@ -308,8 +308,8 @@ mod tests {
         // Haar monitor estimate the same voltage (both are then exact
         // windowed convolutions).
         let p = pdn();
-        let fam = FamilyMonitorDesign::new(&p, 256, WaveletFamily::Haar, BoundaryMode::Periodic)
-            .unwrap();
+        let fam =
+            FamilyMonitorDesign::new(&p, 256, WaveletFamily::Haar, BoundaryMode::Periodic).unwrap();
         let haar = WaveletMonitorDesign::new(&p, 256).unwrap();
         let mut mf = fam.build(256, 0).unwrap();
         let mut mh = haar.build(256, 0).unwrap();

@@ -70,8 +70,8 @@ pub use scalogram::Scalogram;
 pub use streaming::{StreamCoefficient, StreamingHaar};
 pub use subband::{approximation_signal, detail_signal, subband_decompose};
 pub use transform::{
-    dwt, dwt_boundary, dwt_boundary_into, dwt_into, idwt, max_dwt_levels, BoundaryMode,
-    DwtScratch, WaveletDecomposition, LEVELS_CLAMPED_COUNTER,
+    dwt, dwt_boundary, dwt_boundary_into, dwt_into, idwt, max_dwt_levels, BoundaryMode, DwtScratch,
+    WaveletDecomposition, LEVELS_CLAMPED_COUNTER,
 };
 pub use variance::{scale_variances, wavelet_variance, ScaleVariance};
 pub use wavelet::{Daubechies4, Haar, Wavelet, WaveletFamily};

@@ -413,7 +413,14 @@ pub fn dwt_into<W: Wavelet + ?Sized>(
             requirement: "length must be divisible by 2^levels",
         });
     }
-    dwt_core(signal, wavelet, levels, BoundaryMode::Periodic, scratch, out)
+    dwt_core(
+        signal,
+        wavelet,
+        levels,
+        BoundaryMode::Periodic,
+        scratch,
+        out,
+    )
 }
 
 /// Telemetry counter bumped whenever [`dwt_boundary_into`] clamps a
@@ -936,8 +943,8 @@ mod tests {
         let s = test_signal(64);
         for levels in 1..=4 {
             let legacy = dwt(&s, &WaveletFamily::Db3, levels).unwrap();
-            let new = dwt_boundary(&s, &WaveletFamily::Db3, levels, BoundaryMode::Periodic)
-                .unwrap();
+            let new =
+                dwt_boundary(&s, &WaveletFamily::Db3, levels, BoundaryMode::Periodic).unwrap();
             assert_eq!(legacy, new);
         }
     }
@@ -986,9 +993,15 @@ mod tests {
         let mut scratch = DwtScratch::new();
         let mut out = WaveletDecomposition::empty();
         // Length 1: clamps any request to a single expansive level.
-        let used =
-            dwt_boundary_into(&[2.5], &Haar, 9, BoundaryMode::ZeroPad, &mut scratch, &mut out)
-                .unwrap();
+        let used = dwt_boundary_into(
+            &[2.5],
+            &Haar,
+            9,
+            BoundaryMode::ZeroPad,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(used, 1);
         let r = idwt(&out).unwrap();
         assert_eq!(r.len(), 1);
@@ -1065,7 +1078,11 @@ mod tests {
         assert_eq!(r.len(), 50);
         let es: f64 = s.iter().map(|x| x * x).sum();
         let er: f64 = r.iter().map(|x| x * x).sum();
-        assert!(er > 0.2 * es && er < 1.5 * es, "smoothed energy ratio {}", er / es);
+        assert!(
+            er > 0.2 * es && er < 1.5 * es,
+            "smoothed energy ratio {}",
+            er / es
+        );
     }
 
     #[test]

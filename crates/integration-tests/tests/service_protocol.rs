@@ -267,6 +267,7 @@ fn expired_deadline_is_a_clean_structured_error() {
         },
         instructions: 2_000_000,
         warmup_cycles: 1_000,
+        replay: None,
     };
     match client.closed_loop(spec, Some(1)) {
         Err(ClientError::Server { code, .. }) => {
@@ -302,6 +303,7 @@ fn stats_reports_sim_throughput_and_queue_wait_quantiles() {
         },
         instructions: 2_000,
         warmup_cycles: 500,
+        replay: None,
     };
     client
         .closed_loop(spec, Some(120_000))

@@ -1,0 +1,459 @@
+//! Spec-conformance tests for the `.dtrc` container.
+//!
+//! TRACE_FORMAT.md is the contract; this suite plays the independent
+//! reader it calls for: [`reference`] is a second decoder implemented
+//! from the document alone (bitwise CRC, no didt-trace internals), and
+//! every property below runs both decoders against writer output —
+//! agreement on accepts *and* rejects is what "the spec round-trips"
+//! means.
+//!
+//! Properties pinned here:
+//!
+//! * bit-identical round-trips for arbitrary record contents (NaN
+//!   payloads, signed zeros, infinities, subnormals) at arbitrary
+//!   lengths and chunk sizes, both record kinds;
+//! * chunk-boundary invisibility (any chunking decodes to the same
+//!   record sequence);
+//! * every strict prefix of a valid file is an error, never a panic or
+//!   a silent partial answer;
+//! * any single corrupted byte is detected by both decoders;
+//! * a header `pre_roll` beyond the file's record count is rejected.
+
+use didt_trace::{read_all, Record, RecordKind, TraceMeta, TraceWriter};
+use proptest::prelude::*;
+
+/// An independent `.dtrc` decoder implemented from TRACE_FORMAT.md
+/// alone. Everything here — CRC, header walk, varbyte columns — is
+/// deliberately written against the document's tables, not against
+/// `didt_trace`'s source, and shares no code with it.
+mod reference {
+    /// CRC-32/ISO-HDLC, bitwise (no table): reflected poly 0xEDB88320,
+    /// init 0xFFFFFFFF, final XOR 0xFFFFFFFF (TRACE_FORMAT.md §0).
+    pub fn crc32(data: &[u8]) -> u32 {
+        let mut state = 0xFFFF_FFFFu32;
+        for &byte in data {
+            state ^= u32::from(byte);
+            for _ in 0..8 {
+                state = if state & 1 != 0 {
+                    (state >> 1) ^ 0xEDB8_8320
+                } else {
+                    state >> 1
+                };
+            }
+        }
+        state ^ 0xFFFF_FFFF
+    }
+
+    /// A decoded record as raw wire values (f64s kept as bit patterns
+    /// so comparisons are exact by construction).
+    #[derive(Debug, PartialEq, Eq, Clone, Copy, Default)]
+    pub struct RawRecord {
+        pub current_bits: u64,
+        pub power_bits: u64,
+        pub committed: u16,
+        pub l2_misses: u16,
+        pub mispredicts: u16,
+    }
+
+    #[derive(Debug)]
+    pub struct Decoded {
+        pub record_kind: u16,
+        pub seed: u64,
+        pub discarded_warmup: u64,
+        pub pre_roll: u64,
+        pub name: String,
+        pub records: Vec<RawRecord>,
+    }
+
+    /// A cursor over the byte stream; every read is bounds-checked so
+    /// truncation surfaces as `Err`, never a panic.
+    struct Cur<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cur<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+            if self.pos + n > self.bytes.len() {
+                return Err(format!("truncated at offset {}", self.pos));
+            }
+            let s = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+        fn u16(&mut self) -> Result<u16, String> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        }
+        fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+    }
+
+    /// §5 f64 column: XOR-delta varbyte, predictor reset per column.
+    fn f64_column(cur: &mut Cur, count: usize) -> Result<Vec<u64>, String> {
+        let mut prev = 0u64;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let n = cur.take(1)?[0];
+            if n > 8 {
+                return Err(format!("control byte {n} > 8"));
+            }
+            let mut x = 0u64;
+            for (i, &b) in cur.take(n as usize)?.iter().enumerate() {
+                x |= u64::from(b) << (8 * i);
+            }
+            prev ^= x;
+            out.push(prev);
+        }
+        Ok(out)
+    }
+
+    /// Decode one whole file per TRACE_FORMAT.md §§1–7. Every MUST in
+    /// the document is an `Err` here.
+    pub fn decode(bytes: &[u8]) -> Result<Decoded, String> {
+        let mut cur = Cur { bytes, pos: 0 };
+        // §2 header.
+        if cur.take(4)? != b"DTRC" {
+            return Err("bad magic".into());
+        }
+        let version = cur.u16()?;
+        if version != 1 {
+            return Err(format!("unsupported version {version}"));
+        }
+        let record_kind = cur.u16()?;
+        if record_kind != 1 && record_kind != 2 {
+            return Err(format!("unsupported record kind {record_kind}"));
+        }
+        let seed = cur.u64()?;
+        let discarded_warmup = cur.u64()?;
+        let pre_roll = cur.u64()?;
+        let name_len = cur.take(1)?[0] as usize;
+        let name = String::from_utf8(cur.take(name_len)?.to_vec())
+            .map_err(|_| "name is not UTF-8".to_string())?;
+        let header_end = cur.pos;
+        if cur.u32()? != crc32(&bytes[..header_end]) {
+            return Err("header CRC mismatch".into());
+        }
+        // §4 chunks.
+        let (lw, nf) = if record_kind == 1 { (8, 1) } else { (24, 2) };
+        let mut records = Vec::new();
+        loop {
+            let chunk_start = cur.pos;
+            let record_count = cur.u32()? as usize;
+            let payload_len = cur.u32()? as usize;
+            if record_count == 0 {
+                // End chunk: payload is exactly total_records:u64.
+                if payload_len != 8 {
+                    return Err(format!("end chunk payload_len {payload_len} != 8"));
+                }
+                let total = cur.u64()?;
+                let crc = cur.u32()?;
+                if crc != crc32(&bytes[chunk_start..chunk_start + 16]) {
+                    return Err("end chunk CRC mismatch".into());
+                }
+                if total != records.len() as u64 {
+                    return Err(format!("total {total} != {} decoded", records.len()));
+                }
+                if pre_roll > total {
+                    return Err(format!("pre_roll {pre_roll} > total {total}"));
+                }
+                if cur.pos != bytes.len() {
+                    return Err("trailing data after end chunk".into());
+                }
+                return Ok(Decoded {
+                    record_kind,
+                    seed,
+                    discarded_warmup,
+                    pre_roll,
+                    name,
+                    records,
+                });
+            }
+            if record_count > 1_048_576 {
+                return Err(format!("record_count {record_count} above cap"));
+            }
+            if payload_len > record_count * (lw + nf) {
+                return Err(format!("payload_len {payload_len} above bound"));
+            }
+            let payload_end = cur.pos + payload_len;
+            if payload_end > bytes.len() {
+                return Err("truncated payload".into());
+            }
+            // §4: CRC over the 8 prefix bytes plus the payload.
+            let mut pcur = Cur {
+                bytes: &bytes[..payload_end],
+                pos: cur.pos,
+            };
+            cur.pos = payload_end;
+            if cur.u32()? != crc32(&bytes[chunk_start..payload_end]) {
+                return Err("chunk CRC mismatch".into());
+            }
+            // §5 column-major payload in §3 field order.
+            let currents = f64_column(&mut pcur, record_count)?;
+            let powers = if record_kind == 2 {
+                f64_column(&mut pcur, record_count)?
+            } else {
+                vec![0u64; record_count]
+            };
+            let mut u16_col =
+                |n: usize| -> Result<Vec<u16>, String> { (0..n).map(|_| pcur.u16()).collect() };
+            let (committed, l2, misp) = if record_kind == 2 {
+                (
+                    u16_col(record_count)?,
+                    u16_col(record_count)?,
+                    u16_col(record_count)?,
+                )
+            } else {
+                let z = vec![0u16; record_count];
+                (z.clone(), z.clone(), z)
+            };
+            if pcur.pos != payload_end {
+                return Err("payload has trailing bytes".into());
+            }
+            for i in 0..record_count {
+                records.push(RawRecord {
+                    current_bits: currents[i],
+                    power_bits: powers[i],
+                    committed: committed[i],
+                    l2_misses: l2[i],
+                    mispredicts: misp[i],
+                });
+            }
+        }
+    }
+}
+
+/// Bit patterns the varbyte codec must transport unchanged: quiet NaN
+/// with payload, signaling-style NaN, ±0.0, ±inf, subnormals, extremes.
+const SPECIAL_BITS: &[u64] = &[
+    0x7FF8_0000_0000_0001,
+    0x7FF0_0000_0000_0001,
+    0xFFF8_DEAD_BEEF_CAFE,
+    0x0000_0000_0000_0000,
+    0x8000_0000_0000_0000,
+    0x7FF0_0000_0000_0000,
+    0xFFF0_0000_0000_0000,
+    0x0000_0000_0000_0001,
+    0x000F_FFFF_FFFF_FFFF,
+    0x7FEF_FFFF_FFFF_FFFF,
+];
+
+fn meta(kind: RecordKind) -> TraceMeta {
+    let mut m = TraceMeta::new(kind, "proptest");
+    m.seed = 0x5EED;
+    m.discarded_warmup = 7;
+    m
+}
+
+/// Encode `records` with the library writer at the given chunking.
+fn encode(records: &[Record], kind: RecordKind, chunk: usize) -> Vec<u8> {
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), &meta(kind), chunk).unwrap();
+    for r in records {
+        w.push(*r).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn full_records(bits: &[(u64, u64, u16, u16, u16)]) -> Vec<Record> {
+    bits.iter()
+        .map(|&(c, p, co, l2, mi)| Record {
+            current: f64::from_bits(c),
+            power: f64::from_bits(p),
+            committed: co,
+            l2_misses: l2,
+            mispredicts: mi,
+        })
+        .collect()
+}
+
+/// Inject the special bit patterns over the leading records so every
+/// case exercises them (the random tail covers the general field).
+fn with_specials(mut raw: Vec<(u64, u64, u16, u16, u16)>) -> Vec<(u64, u64, u16, u16, u16)> {
+    for (i, r) in raw.iter_mut().enumerate() {
+        if i < SPECIAL_BITS.len() {
+            r.0 = SPECIAL_BITS[i];
+            r.1 = SPECIAL_BITS[SPECIAL_BITS.len() - 1 - i];
+        }
+    }
+    raw
+}
+
+fn assert_both_decoders_agree(bytes: &[u8], want: &[Record], kind: RecordKind) {
+    // Library reader: bit-identical records plus metadata.
+    let (got_meta, got) = read_all(bytes).unwrap();
+    assert_eq!(got_meta, meta(kind));
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(want) {
+        assert!(a.bits_eq(b), "library decode differs: {a:?} vs {b:?}");
+    }
+    // Reference decoder, from the spec alone: same bits, same meta.
+    let dec = reference::decode(bytes).unwrap();
+    assert_eq!(dec.record_kind, kind.to_wire());
+    assert_eq!(dec.seed, 0x5EED);
+    assert_eq!(dec.discarded_warmup, 7);
+    assert_eq!(dec.pre_roll, 0);
+    assert_eq!(dec.name, "proptest");
+    assert_eq!(dec.records.len(), want.len());
+    for (a, b) in dec.records.iter().zip(want) {
+        assert_eq!(a.current_bits, b.current.to_bits());
+        assert_eq!(a.power_bits, b.power.to_bits());
+        assert_eq!(
+            (a.committed, a.l2_misses, a.mispredicts),
+            (b.committed, b.l2_misses, b.mispredicts)
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary full records at arbitrary lengths and chunk sizes:
+    /// both decoders accept and return bit-identical records.
+    #[test]
+    fn full_round_trip_is_bit_identical_for_both_decoders(
+        raw in prop::collection::vec(
+            ((0u64..=u64::MAX - 1, 0u64..=u64::MAX - 1),
+             (0u16..=u16::MAX, 0u16..=u16::MAX, 0u16..=u16::MAX)),
+            0..=200,
+        ),
+        chunk in 1usize..=64,
+    ) {
+        let raw = raw.into_iter().map(|((c, p), (co, l2, mi))| (c, p, co, l2, mi)).collect();
+        let records = full_records(&with_specials(raw));
+        let bytes = encode(&records, RecordKind::Full, chunk);
+        assert_both_decoders_agree(&bytes, &records, RecordKind::Full);
+    }
+
+    /// Kind-1 (current-only) files round-trip the same way.
+    #[test]
+    fn current_only_round_trip_is_bit_identical(
+        bits in prop::collection::vec(0u64..=u64::MAX - 1, 0..=200),
+        chunk in 1usize..=64,
+    ) {
+        let mut bits = bits;
+        for (i, b) in bits.iter_mut().enumerate() {
+            if i < SPECIAL_BITS.len() {
+                *b = SPECIAL_BITS[i];
+            }
+        }
+        let records: Vec<Record> = bits
+            .iter()
+            .map(|&b| Record::current_only(f64::from_bits(b)))
+            .collect();
+        let bytes = encode(&records, RecordKind::Current, chunk);
+        assert_both_decoders_agree(&bytes, &records, RecordKind::Current);
+    }
+
+    /// §4: chunk boundaries are semantically invisible — any two
+    /// chunkings of the same records decode identically.
+    #[test]
+    fn chunking_is_semantically_invisible(
+        raw in prop::collection::vec(
+            ((0u64..=u64::MAX - 1, 0u64..=u64::MAX - 1),
+             (0u16..=u16::MAX, 0u16..=u16::MAX, 0u16..=u16::MAX)),
+            1..=120,
+        ),
+        chunk_a in 1usize..=50,
+        chunk_b in 51usize..=200,
+    ) {
+        let raw = raw.into_iter().map(|((c, p), (co, l2, mi))| (c, p, co, l2, mi)).collect();
+        let records = full_records(&with_specials(raw));
+        let a = encode(&records, RecordKind::Full, chunk_a);
+        let b = encode(&records, RecordKind::Full, chunk_b);
+        let (_, ra) = read_all(&a[..]).unwrap();
+        let (_, rb) = read_all(&b[..]).unwrap();
+        prop_assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            prop_assert!(x.bits_eq(y));
+        }
+        prop_assert_eq!(reference::decode(&a).unwrap().records,
+                        reference::decode(&b).unwrap().records);
+    }
+
+    /// §4: EOF before a complete end chunk is an error in every strict
+    /// prefix — both decoders, no panics, no partial acceptance.
+    #[test]
+    fn every_strict_prefix_is_rejected(
+        raw in prop::collection::vec(
+            ((0u64..=u64::MAX - 1, 0u64..=u64::MAX - 1),
+             (0u16..=u16::MAX, 0u16..=u16::MAX, 0u16..=u16::MAX)),
+            0..=40,
+        ),
+        chunk in 1usize..=16,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let raw = raw.into_iter().map(|((c, p), (co, l2, mi))| (c, p, co, l2, mi)).collect();
+        let records = full_records(&with_specials(raw));
+        let bytes = encode(&records, RecordKind::Full, chunk);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize; // < len
+        prop_assert!(read_all(&bytes[..cut]).is_err());
+        prop_assert!(reference::decode(&bytes[..cut]).is_err());
+    }
+
+    /// §0: any single corrupted byte is detected — every byte of the
+    /// file is under the header CRC, a chunk CRC, or is a CRC itself.
+    #[test]
+    fn any_single_corrupt_byte_is_detected(
+        raw in prop::collection::vec(
+            ((0u64..=u64::MAX - 1, 0u64..=u64::MAX - 1),
+             (0u16..=u16::MAX, 0u16..=u16::MAX, 0u16..=u16::MAX)),
+            1..=40,
+        ),
+        chunk in 1usize..=16,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let raw = raw.into_iter().map(|((c, p), (co, l2, mi))| (c, p, co, l2, mi)).collect();
+        let records = full_records(&with_specials(raw));
+        let mut bytes = encode(&records, RecordKind::Full, chunk);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        prop_assert!(read_all(&bytes[..]).is_err(), "byte {pos} xor {flip:#04x}");
+        prop_assert!(reference::decode(&bytes).is_err(), "byte {pos} xor {flip:#04x}");
+    }
+}
+
+#[test]
+fn trailing_bytes_after_end_chunk_are_rejected() {
+    let records = vec![Record::current_only(1.5); 9];
+    let mut bytes = encode(&records, RecordKind::Current, 4);
+    bytes.push(0);
+    assert!(read_all(&bytes[..]).is_err());
+    assert!(reference::decode(&bytes).is_err());
+}
+
+#[test]
+fn pre_roll_beyond_total_records_is_rejected() {
+    let mut m = meta(RecordKind::Current);
+    m.pre_roll = 5;
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), &m, 8).unwrap();
+    for _ in 0..3 {
+        w.push(Record::current_only(2.0)).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+    assert!(
+        read_all(&bytes[..]).is_err(),
+        "library must reject pre_roll 5 > total 3"
+    );
+    assert!(reference::decode(&bytes).is_err());
+
+    // The boundary case pre_roll == total is valid and round-trips.
+    m.pre_roll = 3;
+    let mut w = TraceWriter::with_chunk_records(Vec::new(), &m, 8).unwrap();
+    for _ in 0..3 {
+        w.push(Record::current_only(2.0)).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+    let (got_meta, got) = read_all(&bytes[..]).unwrap();
+    assert_eq!(got_meta.pre_roll, 3);
+    assert_eq!(got.len(), 3);
+    let dec = reference::decode(&bytes).unwrap();
+    assert_eq!(dec.pre_roll, 3);
+}
+
+#[test]
+fn empty_trace_round_trips() {
+    let bytes = encode(&[], RecordKind::Full, 4);
+    assert_both_decoders_agree(&bytes, &[], RecordKind::Full);
+}

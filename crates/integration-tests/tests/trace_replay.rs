@@ -1,0 +1,175 @@
+//! End-to-end trace toolchain: record a closed-loop run, persist it as
+//! a `.dtrc` file, read it back, and replay it — the replayed metrics
+//! must be bit-identical to the live run, with the file (not shared
+//! process memory) as the only carrier. Plus the determinism contracts
+//! of BBV-style phase clustering: fixed seeds give identical
+//! clusterings, and the chunking of the trace file is invisible to the
+//! clustering downstream of it.
+
+use std::path::PathBuf;
+
+use didt_bench::{capture_records, SweepContext, SweepPoint};
+use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
+use didt_trace::{
+    cluster_records, read_path, write_path, PhaseConfig, RecordKind, TraceMeta, TraceWriter,
+};
+use didt_uarch::Benchmark;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("didt_trace_replay_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn replay_from_file_is_bit_identical_to_the_live_run() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let cfg = ClosedLoopConfig {
+        seed: didt_bench::workload_seed(Benchmark::Mcf, 150.0),
+        warmup_cycles: 800,
+        instructions: 3_000,
+        ..ClosedLoopConfig::standard(Benchmark::Mcf)
+    };
+    let harness = ClosedLoop::new(*ctx.system().processor(), *pdn, cfg);
+    let live = harness.run_recording(&mut NoControl).unwrap();
+
+    let dir = temp_dir("bitident");
+    let path = dir.join("mcf.dtrc");
+    write_path(&path, &live.meta(), &live.records).unwrap();
+    let (meta, records) = read_path(&path).unwrap();
+    assert_eq!(meta.pre_roll as usize, live.pre_roll);
+    assert_eq!(records.len(), live.records.len());
+    assert!(
+        records.iter().zip(&live.records).all(|(a, b)| a.bits_eq(b)),
+        "file round-trip must be bit-identical"
+    );
+
+    let replayed = harness
+        .replay(&mut NoControl, &records, meta.pre_roll as usize)
+        .unwrap();
+    assert_eq!(
+        live.result, replayed,
+        "replaying the persisted trace must reproduce the live metrics"
+    );
+    // The batch-runner replay entry point agrees, and with no controller
+    // both legs are the same replayed result.
+    let point = SweepPoint {
+        benchmark: Benchmark::Mcf,
+        pdn_pct: 150.0,
+        monitor_terms: 13,
+        controller: didt_bench::ControllerSpec::None,
+    };
+    let run = didt_bench::RunParams {
+        instructions: 3_000,
+        warmup_cycles: 800,
+    };
+    let pr = ctx
+        .run_replay(&point, run, &records, meta.pre_roll as usize)
+        .unwrap();
+    assert_eq!(pr.baseline, live.result);
+    assert_eq!(pr.controlled, live.result);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clustering_is_deterministic_and_chunking_invariant() {
+    let records = capture_records(
+        Benchmark::Swim,
+        &didt_uarch::ProcessorConfig::default(),
+        0xD1D7_2004,
+        1_000,
+        16_384,
+    );
+    let cfg = PhaseConfig {
+        interval: 512,
+        clusters: 4,
+        levels: 3,
+        ..PhaseConfig::default()
+    };
+    let a = cluster_records(&records, &cfg).unwrap();
+    let b = cluster_records(&records, &cfg).unwrap();
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.representatives, b.representatives);
+    assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+        for (x, y) in ca.iter().zip(cb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    // Weights are a probability distribution over representatives.
+    let total: f64 = a.representatives.iter().map(|r| r.weight).sum();
+    assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+
+    // Chunk size is a storage choice, never a semantic one: the same
+    // records through two differently-chunked files cluster identically.
+    let meta = TraceMeta::new(RecordKind::Full, "swim");
+    let mut files = Vec::new();
+    for chunk in [64usize, 5_000] {
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), &meta, chunk).unwrap();
+        for r in records.iter() {
+            w.push(*r).unwrap();
+        }
+        files.push(w.finish().unwrap());
+    }
+    assert_ne!(
+        files[0].len(),
+        files[1].len(),
+        "chunkings should differ on the wire"
+    );
+    let (_, ra) = didt_trace::read_all(&files[0][..]).unwrap();
+    let (_, rb) = didt_trace::read_all(&files[1][..]).unwrap();
+    let ca = cluster_records(&ra, &cfg).unwrap();
+    let cb = cluster_records(&rb, &cfg).unwrap();
+    assert_eq!(ca.assignments, cb.assignments);
+    assert_eq!(ca.representatives, cb.representatives);
+    assert_eq!(
+        a.assignments, ca.assignments,
+        "file round-trip must not move clusters"
+    );
+}
+
+#[test]
+fn replay_engages_a_controller_deterministically_through_a_file() {
+    let ctx = SweepContext::standard().unwrap();
+    let pdn = ctx.pdn(150.0).unwrap();
+    let cfg = ClosedLoopConfig {
+        seed: didt_bench::workload_seed(Benchmark::Gzip, 150.0),
+        warmup_cycles: 800,
+        instructions: 3_000,
+        ..ClosedLoopConfig::standard(Benchmark::Gzip)
+    };
+    let harness = ClosedLoop::new(*ctx.system().processor(), *pdn, cfg);
+    let live = harness.run_recording(&mut NoControl).unwrap();
+    let dir = temp_dir("controller");
+    let path = dir.join("gzip.dtrc");
+    write_path(&path, &live.meta(), &live.records).unwrap();
+    let (meta, records) = read_path(&path).unwrap();
+
+    let point = SweepPoint {
+        benchmark: Benchmark::Gzip,
+        pdn_pct: 150.0,
+        monitor_terms: 13,
+        controller: didt_bench::ControllerSpec::WaveletThreshold {
+            low: 0.975,
+            high: 1.025,
+            hysteresis: 0.004,
+            delay: 1,
+        },
+    };
+    let run = didt_bench::RunParams {
+        instructions: 3_000,
+        warmup_cycles: 800,
+    };
+    let x = ctx
+        .run_replay(&point, run, &records, meta.pre_roll as usize)
+        .unwrap();
+    let y = ctx
+        .run_replay(&point, run, &records, meta.pre_roll as usize)
+        .unwrap();
+    assert_eq!(x.baseline, y.baseline);
+    assert_eq!(x.controlled, y.controlled);
+    // The baseline leg of a replay is the recorded run itself.
+    assert_eq!(x.baseline, live.result);
+    std::fs::remove_dir_all(&dir).ok();
+}

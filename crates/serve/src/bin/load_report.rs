@@ -69,6 +69,7 @@ fn replay_specs(smoke: bool) -> Vec<ClosedLoopSpec> {
             controller: wavelet,
             instructions,
             warmup_cycles: 1_000,
+            replay: None,
         });
     }
     specs.push(ClosedLoopSpec {
@@ -78,6 +79,7 @@ fn replay_specs(smoke: bool) -> Vec<ClosedLoopSpec> {
         controller: ControllerSpec::None,
         instructions,
         warmup_cycles: 1_000,
+        replay: None,
     });
     specs
 }
@@ -299,6 +301,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         instructions: 2_000,
         warmup_cycles: 1_000,
+        replay: None,
     };
     std::thread::scope(|scope| {
         for _ in 0..storm_threads {
@@ -366,6 +369,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         instructions: 2_000_000,
         warmup_cycles: 10_000,
+        replay: None,
     };
     let deadline_clean = match client.closed_loop(deadline_spec, Some(1)) {
         Err(ClientError::Server {

@@ -211,6 +211,14 @@ pub enum TraceSource {
         /// Cycles captured.
         cycles: usize,
     },
+    /// The server reads a recorded `.dtrc` trace file (TRACE_FORMAT.md)
+    /// from its local filesystem; pre-roll records are skipped per the
+    /// file's header. Requests without this field keep the synthetic
+    /// paths, so pre-trace clients are unaffected.
+    Recorded {
+        /// Server-local path to the `.dtrc` file.
+        path: String,
+    },
 }
 
 /// Spec for the `Characterize` analysis (paper §4: per-scale variance,
@@ -277,6 +285,12 @@ pub struct ClosedLoopSpec {
     pub instructions: u64,
     /// Warmup cycles before measurement.
     pub warmup_cycles: u64,
+    /// Optional server-local path to a recorded `.dtrc` trace
+    /// (TRACE_FORMAT.md). When present, both legs replay the recorded
+    /// stream through the point's PDN and controller instead of
+    /// simulating the named benchmark live; when absent (every
+    /// pre-trace client), the live synthetic path runs unchanged.
+    pub replay: Option<String>,
 }
 
 /// Spec for the `Design` analysis (paper §5.2): monitor coefficient
@@ -531,6 +545,9 @@ impl Request {
                             ]),
                         ));
                     }
+                    TraceSource::Recorded { path } => {
+                        sp.push(("recorded", Json::str(path.as_str())));
+                    }
                 }
                 sp.push(("pdn_pct", Json::num(s.pdn_pct)));
                 sp.push(("window", Json::num(s.window as f64)));
@@ -541,14 +558,20 @@ impl Request {
                 sp.push(("boundary", Json::str(s.boundary.name())));
                 Some(Json::obj(sp))
             }
-            RequestBody::ClosedLoop(s) => Some(Json::obj(vec![
-                ("benchmark", Json::str(s.benchmark.as_str())),
-                ("pdn_pct", Json::num(s.pdn_pct)),
-                ("monitor_terms", Json::num(s.monitor_terms as f64)),
-                ("controller", controller_to_json(&s.controller)),
-                ("instructions", Json::num(s.instructions as f64)),
-                ("warmup_cycles", Json::num(s.warmup_cycles as f64)),
-            ])),
+            RequestBody::ClosedLoop(s) => {
+                let mut sp = vec![
+                    ("benchmark", Json::str(s.benchmark.as_str())),
+                    ("pdn_pct", Json::num(s.pdn_pct)),
+                    ("monitor_terms", Json::num(s.monitor_terms as f64)),
+                    ("controller", controller_to_json(&s.controller)),
+                    ("instructions", Json::num(s.instructions as f64)),
+                    ("warmup_cycles", Json::num(s.warmup_cycles as f64)),
+                ];
+                if let Some(path) = &s.replay {
+                    sp.push(("replay", Json::str(path.as_str())));
+                }
+                Some(Json::obj(sp))
+            }
             RequestBody::Design(s) => Some(Json::obj(vec![
                 ("pdn_pct", Json::num(s.pdn_pct)),
                 ("window", Json::num(s.window as f64)),
@@ -615,8 +638,14 @@ impl Request {
                         warmup: req_usize(sy, "warmup").unwrap_or(1_000),
                         cycles: req_usize(sy, "cycles").unwrap_or(8_192),
                     }
+                } else if let Some(r) = s.get("recorded") {
+                    let path = r
+                        .as_str()
+                        .ok_or("field `recorded` must be a string path")?
+                        .to_string();
+                    TraceSource::Recorded { path }
                 } else {
-                    return Err("`characterize` needs either `trace` or `synth`".to_string());
+                    return Err("`characterize` needs `trace`, `synth` or `recorded`".to_string());
                 };
                 RequestBody::Characterize(CharacterizeSpec {
                     trace,
@@ -651,6 +680,14 @@ impl Request {
                         .get("warmup_cycles")
                         .and_then(Json::as_u64)
                         .ok_or("`closed_loop` is missing integer field `warmup_cycles`")?,
+                    replay: match s.get("replay") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(
+                            v.as_str()
+                                .ok_or("field `replay` must be a string path")?
+                                .to_string(),
+                        ),
+                    },
                 })
             }
             "design" => {
@@ -911,6 +948,30 @@ mod tests {
                 },
                 instructions: 10_000,
                 warmup_cycles: 2_000,
+                replay: None,
+            }),
+        });
+        roundtrip_request(&Request {
+            id: 13,
+            deadline_ms: None,
+            body: RequestBody::ClosedLoop(ClosedLoopSpec {
+                benchmark: "gzip".to_string(),
+                pdn_pct: 150.0,
+                monitor_terms: 13,
+                controller: ControllerSpec::None,
+                instructions: 10_000,
+                warmup_cycles: 2_000,
+                replay: Some("results/traces/gzip.dtrc".to_string()),
+            }),
+        });
+        roundtrip_request(&Request {
+            id: 14,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                trace: TraceSource::Recorded {
+                    path: "results/traces/swim.dtrc".to_string(),
+                },
+                ..CharacterizeSpec::default()
             }),
         });
         roundtrip_request(&Request {
@@ -1011,6 +1072,35 @@ mod tests {
                 ..CharacterizeSpec::default()
             }),
         });
+    }
+
+    #[test]
+    fn replay_field_defaults_to_live_simulation_when_absent() {
+        // A pre-trace client's closed_loop wire shape must keep meaning
+        // the live synthetic run it always meant.
+        let legacy = Json::parse(
+            r#"{"id": 8, "kind": "closed_loop", "spec": {
+                "benchmark": "gzip", "pdn_pct": 150.0,
+                "controller": {"scheme": "none"},
+                "instructions": 1000, "warmup_cycles": 500}}"#,
+        )
+        .unwrap();
+        let req = Request::from_json(&legacy).unwrap();
+        match req.body {
+            RequestBody::ClosedLoop(s) => assert_eq!(s.replay, None),
+            other => panic!("wrong body: {other:?}"),
+        }
+        // And a non-string `replay` is a decode error, not a silent live run.
+        let bad = Json::parse(
+            r#"{"id": 9, "kind": "closed_loop", "spec": {
+                "benchmark": "gzip", "pdn_pct": 150.0,
+                "controller": {"scheme": "none"},
+                "instructions": 1000, "warmup_cycles": 500, "replay": 7}}"#,
+        )
+        .unwrap();
+        assert!(Request::from_json(&bad)
+            .unwrap_err()
+            .contains("`replay` must be a string"));
     }
 
     #[test]

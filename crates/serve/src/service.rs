@@ -230,6 +230,22 @@ impl Service {
                 ),
             ]),
         ));
+        // Recorded-trace activity (TRACE_FORMAT.md §9): chunks accepted
+        // by the `.dtrc` reader and records fed into replay/analysis,
+        // process-wide. Zero until the first `recorded`/`replay` request.
+        pairs.push((
+            "trace",
+            Json::obj(vec![
+                (
+                    "read_chunks",
+                    Json::num(metrics.counter(didt_trace::READ_CHUNKS_COUNTER).get() as f64),
+                ),
+                (
+                    "replay_cycles",
+                    Json::num(metrics.counter(didt_trace::REPLAY_CYCLES_COUNTER).get() as f64),
+                ),
+            ]),
+        ));
         // Queue-wait distribution, recorded by the worker pool at
         // dequeue. Empty (all zeros) when `handle` is called without
         // the TCP front, e.g. from tests or the in-process example.
@@ -272,6 +288,20 @@ impl Service {
                     *cycles,
                 );
                 Ok(Arc::new(trace.samples.clone()))
+            }
+            TraceSource::Recorded { path } => {
+                let (meta, records) = read_recorded(path)?;
+                // Pre-roll records exist to settle stateful consumers;
+                // the characterization analyses are stateless per
+                // window, so they are simply excluded.
+                let samples: Vec<f64> = records[meta.pre_roll as usize..]
+                    .iter()
+                    .map(|r| r.current)
+                    .collect();
+                MetricsRegistry::global()
+                    .counter(didt_trace::REPLAY_CYCLES_COUNTER)
+                    .add(samples.len() as u64);
+                Ok(Arc::new(samples))
             }
         }
     }
@@ -370,7 +400,12 @@ impl Service {
         check_deadline(deadline)?;
         let gains = self
             .ctx
-            .gain_model_family(spec.pdn_pct, spec.window, GAIN_CALIBRATION_SEED, spec.family)
+            .gain_model_family(
+                spec.pdn_pct,
+                spec.window,
+                GAIN_CALIBRATION_SEED,
+                spec.family,
+            )
             .map_err(|e| didt_err(&e))?;
         let model = if haar_streaming {
             VarianceModel::new((*gains).clone())
@@ -429,10 +464,25 @@ impl Service {
             instructions: spec.instructions,
             warmup_cycles: spec.warmup_cycles,
         };
-        let result = self
-            .ctx
-            .run_point_deadline(&point, run, deadline)
-            .map_err(|e| didt_err(&e))?;
+        let (result, replayed_seed) = match &spec.replay {
+            Some(path) => {
+                let (meta, records) = read_recorded(path)?;
+                check_deadline(deadline)?;
+                let result = self
+                    .ctx
+                    .run_replay(&point, run, &records, meta.pre_roll as usize)
+                    .map_err(|e| didt_err(&e))?;
+                // The meaningful seed of a replayed run is the one the
+                // trace was recorded under, not the live point seed.
+                (result, Some(meta.seed))
+            }
+            None => (
+                self.ctx
+                    .run_point_deadline(&point, run, deadline)
+                    .map_err(|e| didt_err(&e))?,
+                None,
+            ),
+        };
         let leg = |r: &didt_core::control::ClosedLoopResult| {
             Json::obj(vec![
                 ("cycles", Json::num(r.cycles as f64)),
@@ -450,7 +500,10 @@ impl Service {
         Ok(Json::obj(vec![
             ("benchmark", Json::str(benchmark.name())),
             ("controller", Json::str(point.controller.tag())),
-            ("seed_hex", Json::str(seed_to_hex(result.seed))),
+            (
+                "seed_hex",
+                Json::str(seed_to_hex(replayed_seed.unwrap_or(result.seed))),
+            ),
             ("baseline", leg(&result.baseline)),
             ("controlled", leg(&result.controlled)),
             ("slowdown_pct", Json::num(result.slowdown_pct())),
@@ -508,6 +561,17 @@ impl Service {
 fn parse_benchmark(name: &str) -> Result<Benchmark, (ErrorCode, String)> {
     name.parse::<Benchmark>()
         .map_err(|_| bad(format!("unknown benchmark `{name}`")))
+}
+
+/// Read a server-local `.dtrc` file named by a request. Every reader
+/// rejection (missing file, bad magic, CRC mismatch, truncation, ...)
+/// is the *client's* problem — it named the file — so the whole
+/// [`didt_trace::TraceError`] taxonomy maps to `BadRequest`.
+fn read_recorded(
+    path: &str,
+) -> Result<(didt_trace::TraceMeta, Vec<didt_trace::Record>), (ErrorCode, String)> {
+    didt_trace::read_path(std::path::Path::new(path))
+        .map_err(|e| bad(format!("recorded trace `{path}`: {e}")))
 }
 
 #[cfg(test)]
@@ -662,6 +726,7 @@ mod tests {
             },
             instructions: 2_000,
             warmup_cycles: 1_000,
+            replay: None,
         };
         let resp = ok_result(svc.handle(
             &Request {
@@ -715,6 +780,143 @@ mod tests {
     }
 
     #[test]
+    fn recorded_characterize_matches_inline_of_the_same_currents() {
+        let svc = service();
+        let records = svc.context().record_trace(
+            Benchmark::Gzip,
+            svc.context().system().processor(),
+            0xD1D7,
+            500,
+            2_048,
+        );
+        let dir =
+            std::env::temp_dir().join(format!("didt_serve_recorded_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gzip.dtrc");
+        let meta = didt_trace::TraceMeta::new(didt_trace::RecordKind::Full, "gzip");
+        didt_trace::write_path(&path, &meta, &records).unwrap();
+        let mk = |trace| Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                window: 64,
+                gauss_windows: 40,
+                trace,
+                ..CharacterizeSpec::default()
+            }),
+        };
+        let recorded = ok_result(svc.handle(
+            &mk(TraceSource::Recorded {
+                path: path.display().to_string(),
+            }),
+            None,
+        ));
+        let inline = ok_result(svc.handle(
+            &mk(TraceSource::Inline(
+                records.iter().map(|r| r.current).collect(),
+            )),
+            None,
+        ));
+        assert_eq!(
+            recorded.render(),
+            inline.render(),
+            "a recorded file must characterize exactly like its currents inline"
+        );
+        // A nonexistent path is the client's error, not a panic.
+        let resp = svc.handle(
+            &mk(TraceSource::Recorded {
+                path: dir.join("no_such.dtrc").display().to_string(),
+            }),
+            None,
+        );
+        assert!(matches!(
+            resp.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn closed_loop_replay_reproduces_the_recorded_live_run() {
+        use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
+
+        let svc = service();
+        let ctx = svc.context();
+        let pdn = ctx.pdn(150.0).unwrap();
+        // The exact config the service's live path would derive for this
+        // (benchmark, pct, run) cell.
+        let cfg = ClosedLoopConfig {
+            seed: didt_bench::workload_seed(Benchmark::Gzip, 150.0),
+            warmup_cycles: 500,
+            instructions: 2_000,
+            ..ClosedLoopConfig::standard(Benchmark::Gzip)
+        };
+        let harness = ClosedLoop::new(*ctx.system().processor(), *pdn, cfg);
+        let live = harness.run_recording(&mut NoControl).unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("didt_serve_replay_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gzip_run.dtrc");
+        didt_trace::write_path(&path, &live.meta(), &live.records).unwrap();
+
+        let resp = ok_result(svc.handle(
+            &Request {
+                id: 2,
+                deadline_ms: None,
+                body: RequestBody::ClosedLoop(ClosedLoopSpec {
+                    benchmark: "gzip".to_string(),
+                    pdn_pct: 150.0,
+                    monitor_terms: 13,
+                    controller: ControllerSpec::None,
+                    instructions: 2_000,
+                    warmup_cycles: 500,
+                    replay: Some(path.display().to_string()),
+                }),
+            },
+            None,
+        ));
+        let got = |key: &str, field: &str| {
+            resp.get(key)
+                .and_then(|l| l.get(field))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(got("baseline", "cycles") as u64, live.result.cycles);
+        assert_eq!(
+            got("baseline", "v_min").to_bits(),
+            live.result.v_min.to_bits(),
+            "replaying the file must reproduce the live run bit-exactly"
+        );
+        assert_eq!(
+            got("baseline", "low_emergencies") as u64,
+            live.result.low_emergencies
+        );
+        // The response reports the seed the trace was recorded under.
+        assert_eq!(
+            resp.get("seed_hex").and_then(Json::as_str).unwrap(),
+            seed_to_hex(live.seed)
+        );
+        // The Stats trace block now shows the reader/replay activity.
+        let stats = ok_result(svc.handle(
+            &Request {
+                id: 3,
+                deadline_ms: None,
+                body: RequestBody::Stats,
+            },
+            None,
+        ));
+        let trace = stats.get("trace").expect("trace block");
+        assert!(trace.get("read_chunks").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(
+            trace.get("replay_cycles").and_then(Json::as_u64).unwrap() >= live.records.len() as u64
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn expired_deadline_reports_deadline_exceeded() {
         let svc = service();
         let resp = svc.handle(
@@ -733,6 +935,7 @@ mod tests {
                     },
                     instructions: 50_000,
                     warmup_cycles: 5_000,
+                    replay: None,
                 }),
             },
             Some(Instant::now()),

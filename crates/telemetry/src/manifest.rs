@@ -507,6 +507,7 @@ fn intern_cache_name(name: &str) -> Result<&'static str, String> {
         "designs",
         "family_designs",
         "traces",
+        "records",
         "gains",
         "family_gains",
         "baselines",

@@ -1,0 +1,947 @@
+//! The `.dtrc` container: streaming writer and reader.
+//!
+//! This module implements `TRACE_FORMAT.md` (repository root) exactly;
+//! where the two disagree the document wins. Layout summary:
+//!
+//! ```text
+//! File      := Header DataChunk* EndChunk
+//! DataChunk := record_count:u32 payload_len:u32 payload crc:u32
+//! EndChunk  := 0:u32 8:u32 total_records:u64 crc:u32
+//! ```
+//!
+//! Payloads are column-major; `f64` columns use XOR-delta varbyte
+//! coding over the IEEE-754 bit patterns (lossless by construction),
+//! `u16` columns are raw little-endian. Every frame is CRC-checked, and
+//! all limits (chunk record cap, payload-length bound) are enforced
+//! *before* the payload is read, so a hostile stream cannot make the
+//! reader allocate unboundedly.
+//!
+//! [`TraceReader::next_chunk`] decodes into caller-supplied buffers:
+//! iterating an arbitrarily long file allocates only up to the largest
+//! chunk, which is what makes the reader usable as a streaming source
+//! for replay.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use didt_telemetry::{Counter, MetricsRegistry};
+
+use crate::crc::Crc32;
+use crate::record::{Record, RecordKind};
+
+/// File magic: ASCII `DTRC`.
+pub const MAGIC: [u8; 4] = *b"DTRC";
+/// Format version implemented by this module. Version bumps are
+/// breaking: readers reject every other value.
+pub const VERSION: u16 = 1;
+/// Hard cap on records per data chunk (`TRACE_FORMAT.md` §4); bounds
+/// reader allocation before any payload byte is read.
+pub const MAX_CHUNK_RECORDS: u32 = 1_048_576;
+/// Default records per chunk for writers that don't choose one.
+pub const DEFAULT_CHUNK_RECORDS: usize = 16_384;
+/// Global counter incremented once per accepted data chunk.
+pub const READ_CHUNKS_COUNTER: &str = "trace.read_chunks";
+/// Global counter incremented once per recorded cycle fed back into an
+/// analysis or simulation (incremented by replay consumers, not here).
+pub const REPLAY_CYCLES_COUNTER: &str = "trace.replay_cycles";
+
+/// Header metadata of a `.dtrc` file (`TRACE_FORMAT.md` §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Record kind stored in the file.
+    pub kind: RecordKind,
+    /// Workload seed the trace was captured with (provenance).
+    pub seed: u64,
+    /// Cycles simulated and discarded before record 0 (provenance).
+    pub discarded_warmup: u64,
+    /// Leading records that are warm-in pre-roll: fed to stateful
+    /// consumers but excluded from analysis (`TRACE_FORMAT.md` §6).
+    pub pre_roll: u64,
+    /// Source label (benchmark name); at most 255 bytes of UTF-8.
+    pub name: String,
+}
+
+impl TraceMeta {
+    /// Metadata with the given kind and name; seed, warmup and pre-roll
+    /// default to zero (set the public fields directly as needed).
+    #[must_use]
+    pub fn new(kind: RecordKind, name: &str) -> Self {
+        TraceMeta {
+            kind,
+            seed: 0,
+            discarded_warmup: 0,
+            pre_roll: 0,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Everything that can go wrong reading or writing a `.dtrc` stream.
+///
+/// The reader variants are the taxonomy of `TRACE_FORMAT.md` §8; each
+/// rejection path in the spec names the variant it maps to.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The first four bytes are not `DTRC`.
+    BadMagic,
+    /// A version other than [`VERSION`].
+    UnsupportedVersion(u16),
+    /// A record-kind id this implementation does not know.
+    UnsupportedRecordKind(u16),
+    /// The header name is not valid UTF-8.
+    BadName,
+    /// A CRC-32 check failed; `location` names the frame.
+    CrcMismatch {
+        /// Which frame failed: `"header"`, `"data chunk"`, `"end chunk"`.
+        location: &'static str,
+    },
+    /// The stream ended before a complete end chunk was read.
+    Truncated,
+    /// A chunk announced more records than [`MAX_CHUNK_RECORDS`] or a
+    /// payload longer than the §4 bound permits.
+    ChunkTooLarge {
+        /// Announced record count.
+        records: u32,
+        /// Announced payload length in bytes.
+        payload_len: u32,
+    },
+    /// A CRC-valid payload that does not decode to exactly the
+    /// announced record count (malformed varbyte stream, short or
+    /// trailing bytes, end-chunk payload of the wrong size).
+    CorruptPayload(&'static str),
+    /// The end chunk's total does not match the records actually read.
+    CountMismatch {
+        /// Sum of data-chunk record counts actually decoded.
+        expected: u64,
+        /// Total declared by the end chunk.
+        declared: u64,
+    },
+    /// The header's `pre_roll` exceeds the file's total record count.
+    PreRollOutOfRange {
+        /// Declared pre-roll.
+        pre_roll: u64,
+        /// Total records in the file.
+        total: u64,
+    },
+    /// Bytes follow the end chunk (which is a positive end-of-stream
+    /// marker, not a hint).
+    TrailingData,
+    /// Writer-side misuse: name too long, chunk size out of range, or a
+    /// record carrying fields its kind cannot store.
+    Unwritable(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a .dtrc stream (bad magic)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnsupportedRecordKind(k) => write!(f, "unsupported record kind {k}"),
+            TraceError::BadName => write!(f, "trace name is not valid UTF-8"),
+            TraceError::CrcMismatch { location } => write!(f, "CRC mismatch in {location}"),
+            TraceError::Truncated => write!(f, "trace stream truncated before its end chunk"),
+            TraceError::ChunkTooLarge {
+                records,
+                payload_len,
+            } => write!(
+                f,
+                "chunk exceeds limits ({records} records, {payload_len} payload bytes)"
+            ),
+            TraceError::CorruptPayload(what) => write!(f, "corrupt chunk payload: {what}"),
+            TraceError::CountMismatch { expected, declared } => write!(
+                f,
+                "end chunk declares {declared} records but {expected} were read"
+            ),
+            TraceError::PreRollOutOfRange { pre_roll, total } => {
+                write!(f, "pre_roll {pre_roll} exceeds the file's {total} records")
+            }
+            TraceError::TrailingData => write!(f, "bytes present after the end chunk"),
+            TraceError::Unwritable(what) => write!(f, "cannot write trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// `read_exact` that reports a clean EOF mid-structure as
+/// [`TraceError::Truncated`] instead of a bare I/O error.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+/// XOR-delta varbyte encoder for one `f64` column (`TRACE_FORMAT.md` §5).
+fn encode_column_f64(out: &mut Vec<u8>, values: impl Iterator<Item = f64>) {
+    let mut prev = 0u64;
+    for v in values {
+        let bits = v.to_bits();
+        let x = bits ^ prev;
+        let n = (64 - x.leading_zeros() as usize).div_ceil(8);
+        out.push(n as u8);
+        out.extend_from_slice(&x.to_le_bytes()[..n]);
+        prev = bits;
+    }
+}
+
+fn decode_column_f64(
+    payload: &[u8],
+    pos: &mut usize,
+    out: &mut [Record],
+    set: impl Fn(&mut Record, f64),
+) -> Result<(), TraceError> {
+    let mut prev = 0u64;
+    for r in out.iter_mut() {
+        let &ctl = payload.get(*pos).ok_or(TraceError::CorruptPayload(
+            "payload ends inside an f64 column",
+        ))?;
+        *pos += 1;
+        if ctl > 8 {
+            return Err(TraceError::CorruptPayload("f64 control byte exceeds 8"));
+        }
+        let n = ctl as usize;
+        let bytes = payload
+            .get(*pos..*pos + n)
+            .ok_or(TraceError::CorruptPayload(
+                "payload ends inside an f64 delta",
+            ))?;
+        *pos += n;
+        let mut x = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            x |= u64::from(b) << (8 * i);
+        }
+        prev ^= x;
+        set(r, f64::from_bits(prev));
+    }
+    Ok(())
+}
+
+fn decode_column_u16(
+    payload: &[u8],
+    pos: &mut usize,
+    out: &mut [Record],
+    set: impl Fn(&mut Record, u16),
+) -> Result<(), TraceError> {
+    for r in out.iter_mut() {
+        let bytes = payload
+            .get(*pos..*pos + 2)
+            .ok_or(TraceError::CorruptPayload(
+                "payload ends inside a u16 column",
+            ))?;
+        *pos += 2;
+        set(r, u16::from_le_bytes([bytes[0], bytes[1]]));
+    }
+    Ok(())
+}
+
+fn decode_chunk(
+    kind: RecordKind,
+    count: usize,
+    payload: &[u8],
+    out: &mut Vec<Record>,
+) -> Result<(), TraceError> {
+    out.clear();
+    out.resize(count, Record::default());
+    let mut pos = 0usize;
+    decode_column_f64(payload, &mut pos, out, |r, v| r.current = v)?;
+    if kind == RecordKind::Full {
+        decode_column_f64(payload, &mut pos, out, |r, v| r.power = v)?;
+        decode_column_u16(payload, &mut pos, out, |r, v| r.committed = v)?;
+        decode_column_u16(payload, &mut pos, out, |r, v| r.l2_misses = v)?;
+        decode_column_u16(payload, &mut pos, out, |r, v| r.mispredicts = v)?;
+    }
+    if pos != payload.len() {
+        return Err(TraceError::CorruptPayload(
+            "trailing bytes in chunk payload",
+        ));
+    }
+    Ok(())
+}
+
+/// Streaming `.dtrc` writer over any [`Write`] sink.
+///
+/// Records are buffered and emitted as framed chunks of `chunk_records`
+/// records; [`TraceWriter::finish`] flushes the final partial chunk and
+/// writes the end chunk. Dropping a writer without `finish` leaves a
+/// truncated stream, which every conforming reader rejects — there is
+/// no way to produce a silently short file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    kind: RecordKind,
+    chunk_records: usize,
+    buf: Vec<Record>,
+    payload: Vec<u8>,
+    total: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace with the default chunk size.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Unwritable`] for invalid metadata, or I/O errors
+    /// writing the header.
+    pub fn new(sink: W, meta: &TraceMeta) -> Result<Self, TraceError> {
+        TraceWriter::with_chunk_records(sink, meta, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// Start a trace emitting chunks of `chunk_records` records.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Unwritable`] when the name exceeds 255 bytes or
+    /// `chunk_records` is outside `1..=`[`MAX_CHUNK_RECORDS`]; I/O
+    /// errors writing the header.
+    pub fn with_chunk_records(
+        mut sink: W,
+        meta: &TraceMeta,
+        chunk_records: usize,
+    ) -> Result<Self, TraceError> {
+        if meta.name.len() > 255 {
+            return Err(TraceError::Unwritable("name longer than 255 bytes"));
+        }
+        if chunk_records == 0 || chunk_records > MAX_CHUNK_RECORDS as usize {
+            return Err(TraceError::Unwritable("chunk size out of 1..=1048576"));
+        }
+        let mut header = Vec::with_capacity(37 + meta.name.len());
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&meta.kind.to_wire().to_le_bytes());
+        header.extend_from_slice(&meta.seed.to_le_bytes());
+        header.extend_from_slice(&meta.discarded_warmup.to_le_bytes());
+        header.extend_from_slice(&meta.pre_roll.to_le_bytes());
+        header.push(meta.name.len() as u8);
+        header.extend_from_slice(meta.name.as_bytes());
+        let crc = crate::crc::crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        sink.write_all(&header)?;
+        Ok(TraceWriter {
+            sink,
+            kind: meta.kind,
+            chunk_records,
+            buf: Vec::with_capacity(chunk_records),
+            payload: Vec::new(),
+            total: 0,
+        })
+    }
+
+    /// Append one record.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Unwritable`] when a kind-1 (`Current`) trace is
+    /// given a record with nonzero power/event fields — silently
+    /// dropping them would break the bit-identical round-trip contract.
+    /// I/O errors when a full chunk is flushed.
+    pub fn push(&mut self, record: Record) -> Result<(), TraceError> {
+        if self.kind == RecordKind::Current
+            && (record.power.to_bits() != 0
+                || record.committed != 0
+                || record.l2_misses != 0
+                || record.mispredicts != 0)
+        {
+            return Err(TraceError::Unwritable(
+                "kind-1 (Current) trace cannot store power/event fields",
+            ));
+        }
+        self.buf.push(record);
+        self.total += 1;
+        if self.buf.len() == self.chunk_records {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Append a slice of records.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceWriter::push`].
+    pub fn extend_from_slice(&mut self, records: &[Record]) -> Result<(), TraceError> {
+        for &r in records {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Records pushed so far.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.total
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.payload.clear();
+        encode_column_f64(&mut self.payload, self.buf.iter().map(|r| r.current));
+        if self.kind == RecordKind::Full {
+            encode_column_f64(&mut self.payload, self.buf.iter().map(|r| r.power));
+            for r in &self.buf {
+                self.payload.extend_from_slice(&r.committed.to_le_bytes());
+            }
+            for r in &self.buf {
+                self.payload.extend_from_slice(&r.l2_misses.to_le_bytes());
+            }
+            for r in &self.buf {
+                self.payload.extend_from_slice(&r.mispredicts.to_le_bytes());
+            }
+        }
+        let count = self.buf.len() as u32;
+        let len = self.payload.len() as u32;
+        let mut crc = Crc32::new();
+        crc.update(&count.to_le_bytes());
+        crc.update(&len.to_le_bytes());
+        crc.update(&self.payload);
+        self.sink.write_all(&count.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&self.payload)?;
+        self.sink.write_all(&crc.finish().to_le_bytes())?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the final partial chunk, write the end chunk, and return
+    /// the sink.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing or flushing.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.flush_chunk()?;
+        let payload = self.total.to_le_bytes();
+        let mut crc = Crc32::new();
+        crc.update(&0u32.to_le_bytes());
+        crc.update(&8u32.to_le_bytes());
+        crc.update(&payload);
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.write_all(&8u32.to_le_bytes())?;
+        self.sink.write_all(&payload)?;
+        self.sink.write_all(&crc.finish().to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming `.dtrc` reader over any [`Read`] source.
+///
+/// The header is parsed and verified on construction; records are then
+/// pulled one chunk at a time with [`TraceReader::next_chunk`] into a
+/// caller-supplied buffer (zero allocation beyond buffer growth to the
+/// largest chunk). Every accepted data chunk increments the global
+/// [`READ_CHUNKS_COUNTER`].
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    payload: Vec<u8>,
+    total_seen: u64,
+    done: bool,
+    read_chunks: Arc<Counter>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse and verify the header.
+    ///
+    /// # Errors
+    ///
+    /// Any header-stage variant of [`TraceError`]: bad magic, version,
+    /// kind, name, CRC, or a stream too short to hold a header.
+    pub fn new(mut source: R) -> Result<Self, TraceError> {
+        let mut fixed = [0u8; 33];
+        read_exact_or(&mut source, &mut fixed)?;
+        if fixed[0..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let kind_wire = u16::from_le_bytes([fixed[6], fixed[7]]);
+        let kind =
+            RecordKind::from_wire(kind_wire).ok_or(TraceError::UnsupportedRecordKind(kind_wire))?;
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&fixed[8..16]);
+        let seed = u64::from_le_bytes(word);
+        word.copy_from_slice(&fixed[16..24]);
+        let discarded_warmup = u64::from_le_bytes(word);
+        word.copy_from_slice(&fixed[24..32]);
+        let pre_roll = u64::from_le_bytes(word);
+        let name_len = fixed[32] as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        read_exact_or(&mut source, &mut name_bytes)?;
+        let mut crc_bytes = [0u8; 4];
+        read_exact_or(&mut source, &mut crc_bytes)?;
+        let mut crc = Crc32::new();
+        crc.update(&fixed);
+        crc.update(&name_bytes);
+        if crc.finish() != u32::from_le_bytes(crc_bytes) {
+            return Err(TraceError::CrcMismatch { location: "header" });
+        }
+        let name = String::from_utf8(name_bytes).map_err(|_| TraceError::BadName)?;
+        Ok(TraceReader {
+            source,
+            meta: TraceMeta {
+                kind,
+                seed,
+                discarded_warmup,
+                pre_roll,
+                name,
+            },
+            payload: Vec::new(),
+            total_seen: 0,
+            done: false,
+            read_chunks: MetricsRegistry::global().counter(READ_CHUNKS_COUNTER),
+        })
+    }
+
+    /// Header metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records decoded so far.
+    #[must_use]
+    pub fn records_read(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Decode the next data chunk into `out` (cleared first).
+    ///
+    /// Returns `Ok(true)` when `out` holds a chunk's records, and
+    /// `Ok(false)` once the end chunk has been consumed and the stream
+    /// verified complete (count matches, pre-roll in range, no trailing
+    /// bytes). After `Ok(false)` further calls keep returning
+    /// `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Any reader variant of [`TraceError`]; after an error the reader
+    /// is poisoned in the sense that continuing is unspecified (callers
+    /// should stop).
+    pub fn next_chunk(&mut self, out: &mut Vec<Record>) -> Result<bool, TraceError> {
+        out.clear();
+        if self.done {
+            return Ok(false);
+        }
+        let mut prefix = [0u8; 8];
+        read_exact_or(&mut self.source, &mut prefix)?;
+        let count = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
+        let payload_len = u32::from_le_bytes([prefix[4], prefix[5], prefix[6], prefix[7]]);
+        if count == 0 {
+            // End chunk: payload is exactly total_records:u64.
+            if payload_len != 8 {
+                return Err(TraceError::CorruptPayload(
+                    "end chunk payload must be 8 bytes",
+                ));
+            }
+            let mut payload = [0u8; 8];
+            read_exact_or(&mut self.source, &mut payload)?;
+            let mut crc_bytes = [0u8; 4];
+            read_exact_or(&mut self.source, &mut crc_bytes)?;
+            let mut crc = Crc32::new();
+            crc.update(&prefix);
+            crc.update(&payload);
+            if crc.finish() != u32::from_le_bytes(crc_bytes) {
+                return Err(TraceError::CrcMismatch {
+                    location: "end chunk",
+                });
+            }
+            let declared = u64::from_le_bytes(payload);
+            if declared != self.total_seen {
+                return Err(TraceError::CountMismatch {
+                    expected: self.total_seen,
+                    declared,
+                });
+            }
+            if self.meta.pre_roll > declared {
+                return Err(TraceError::PreRollOutOfRange {
+                    pre_roll: self.meta.pre_roll,
+                    total: declared,
+                });
+            }
+            // The end chunk is a positive end-of-stream marker: any
+            // further byte is corruption, not a second stream.
+            let mut probe = [0u8; 1];
+            loop {
+                match self.source.read(&mut probe) {
+                    Ok(0) => break,
+                    Ok(_) => return Err(TraceError::TrailingData),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(TraceError::Io(e)),
+                }
+            }
+            self.done = true;
+            return Ok(false);
+        }
+        if count > MAX_CHUNK_RECORDS {
+            return Err(TraceError::ChunkTooLarge {
+                records: count,
+                payload_len,
+            });
+        }
+        let bound = u64::from(count)
+            * (self.meta.kind.logical_width() as u64 + self.meta.kind.f64_fields() as u64);
+        if u64::from(payload_len) > bound {
+            return Err(TraceError::ChunkTooLarge {
+                records: count,
+                payload_len,
+            });
+        }
+        self.payload.clear();
+        self.payload.resize(payload_len as usize, 0);
+        read_exact_or(&mut self.source, &mut self.payload)?;
+        let mut crc_bytes = [0u8; 4];
+        read_exact_or(&mut self.source, &mut crc_bytes)?;
+        let mut crc = Crc32::new();
+        crc.update(&prefix);
+        crc.update(&self.payload);
+        if crc.finish() != u32::from_le_bytes(crc_bytes) {
+            return Err(TraceError::CrcMismatch {
+                location: "data chunk",
+            });
+        }
+        decode_chunk(self.meta.kind, count as usize, &self.payload, out)?;
+        self.total_seen += u64::from(count);
+        self.read_chunks.incr();
+        Ok(true)
+    }
+}
+
+/// Read an entire stream into memory.
+///
+/// # Errors
+///
+/// Any reader variant of [`TraceError`].
+pub fn read_all<R: Read>(source: R) -> Result<(TraceMeta, Vec<Record>), TraceError> {
+    let mut reader = TraceReader::new(source)?;
+    let mut records = Vec::new();
+    let mut chunk = Vec::new();
+    while reader.next_chunk(&mut chunk)? {
+        records.extend_from_slice(&chunk);
+    }
+    Ok((reader.meta.clone(), records))
+}
+
+/// Read a `.dtrc` file from disk (buffered).
+///
+/// # Errors
+///
+/// Any reader variant of [`TraceError`]; `Io` when the file cannot be
+/// opened.
+pub fn read_path(path: &Path) -> Result<(TraceMeta, Vec<Record>), TraceError> {
+    let file = std::fs::File::open(path)?;
+    read_all(io::BufReader::new(file))
+}
+
+/// Write `records` to a `.dtrc` file on disk (buffered, default chunk
+/// size), creating parent directories.
+///
+/// # Errors
+///
+/// Any writer variant of [`TraceError`].
+pub fn write_path(path: &Path, meta: &TraceMeta, records: &[Record]) -> Result<(), TraceError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut writer = TraceWriter::new(io::BufWriter::new(file), meta)?;
+    writer.extend_from_slice(records)?;
+    writer.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_record(i: u64) -> Record {
+        Record {
+            current: 20.0 + (i as f64) * 0.25,
+            power: 30.0 + (i as f64).sin(),
+            committed: (i % 9) as u16,
+            l2_misses: (i % 3) as u16,
+            mispredicts: (i % 2) as u16,
+        }
+    }
+
+    fn write_to_vec(meta: &TraceMeta, records: &[Record], chunk: usize) -> Vec<u8> {
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), meta, chunk).unwrap();
+        w.extend_from_slice(records).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_full_records() {
+        let mut meta = TraceMeta::new(RecordKind::Full, "gzip");
+        meta.seed = 0xD1D7;
+        meta.discarded_warmup = 1000;
+        meta.pre_roll = 3;
+        let records: Vec<Record> = (0..1000).map(full_record).collect();
+        let bytes = write_to_vec(&meta, &records, 64);
+        let (got_meta, got) = read_all(&bytes[..]).unwrap();
+        assert_eq!(got_meta, meta);
+        assert_eq!(got.len(), records.len());
+        assert!(got.iter().zip(&records).all(|(a, b)| a.bits_eq(b)));
+    }
+
+    #[test]
+    fn chunk_size_is_invisible() {
+        let meta = TraceMeta::new(RecordKind::Current, "swim");
+        let records: Vec<Record> = (0..257)
+            .map(|i| Record::current_only(40.0 + f64::from(i) * 0.01))
+            .collect();
+        let reference = read_all(&write_to_vec(&meta, &records, 257)[..]).unwrap();
+        for chunk in [1usize, 2, 7, 64, 256, 1024] {
+            let got = read_all(&write_to_vec(&meta, &records, chunk)[..]).unwrap();
+            assert_eq!(got.0, reference.0);
+            assert_eq!(got.1.len(), reference.1.len());
+            assert!(got.1.iter().zip(&reference.1).all(|(a, b)| a.bits_eq(b)));
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let meta = TraceMeta::new(RecordKind::Current, "");
+        let bytes = write_to_vec(&meta, &[], 8);
+        let (_, got) = read_all(&bytes[..]).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn special_float_bit_patterns_round_trip() {
+        let meta = TraceMeta::new(RecordKind::Current, "specials");
+        let specials = [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7FF8_0000_DEAD_BEEF), // NaN payload
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest subnormal
+            f64::MAX,
+        ];
+        let records: Vec<Record> = specials.iter().map(|&v| Record::current_only(v)).collect();
+        let bytes = write_to_vec(&meta, &records, 3);
+        let (_, got) = read_all(&bytes[..]).unwrap();
+        assert!(got.iter().zip(&records).all(|(a, b)| a.bits_eq(b)));
+    }
+
+    #[test]
+    fn repeated_values_cost_one_byte() {
+        let meta = TraceMeta::new(RecordKind::Current, "flat");
+        let records = vec![Record::current_only(42.5); 1000];
+        let bytes = write_to_vec(&meta, &records, 1000);
+        // header + chunk framing + ~9 bytes first record + 1 byte each after.
+        assert!(bytes.len() < 1100, "flat trace is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let meta = TraceMeta::new(RecordKind::Full, "trunc");
+        let records: Vec<Record> = (0..50).map(full_record).collect();
+        let bytes = write_to_vec(&meta, &records, 16);
+        for cut in 0..bytes.len() {
+            assert!(
+                read_all(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_rejected() {
+        let meta = TraceMeta::new(RecordKind::Full, "corrupt");
+        let records: Vec<Record> = (0..50).map(full_record).collect();
+        let bytes = write_to_vec(&meta, &records, 16);
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x41;
+            assert!(
+                read_all(&bad[..]).is_err(),
+                "flip at byte {pos} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let meta = TraceMeta::new(RecordKind::Current, "t");
+        let mut bytes = write_to_vec(&meta, &[Record::current_only(1.0)], 8);
+        bytes.push(0);
+        assert!(matches!(
+            read_all(&bytes[..]),
+            Err(TraceError::TrailingData)
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_version_and_kind_are_rejected() {
+        let meta = TraceMeta::new(RecordKind::Current, "x");
+        let good = write_to_vec(&meta, &[], 8);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_all(&bad[..]), Err(TraceError::BadMagic)));
+        // Version / kind flips also break the header CRC, so patch the
+        // CRC too to prove the dedicated checks fire first.
+        let patch = |mut v: Vec<u8>, off: usize, val: u8| {
+            v[off] = val;
+            let name_end = 33 + v[32] as usize;
+            let crc = crate::crc::crc32(&v[..name_end]);
+            v[name_end..name_end + 4].copy_from_slice(&crc.to_le_bytes());
+            v
+        };
+        assert!(matches!(
+            read_all(&patch(good.clone(), 4, 9)[..]),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+        assert!(matches!(
+            read_all(&patch(good, 6, 7)[..]),
+            Err(TraceError::UnsupportedRecordKind(7))
+        ));
+    }
+
+    #[test]
+    fn end_chunk_count_mismatch_is_rejected() {
+        let meta = TraceMeta::new(RecordKind::Current, "n");
+        let records: Vec<Record> = (0..10)
+            .map(|i| Record::current_only(f64::from(i)))
+            .collect();
+        let mut bytes = write_to_vec(&meta, &records, 4);
+        // Rewrite the end-chunk total (last 12 bytes: u64 payload + crc)
+        // with a consistent CRC so only the count check can fire.
+        let end = bytes.len() - 20; // prefix(8) + payload(8) + crc(4)
+        bytes[end + 8..end + 16].copy_from_slice(&11u64.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&bytes[end..end + 16]);
+        let c = crc.finish();
+        bytes[end + 16..end + 20].copy_from_slice(&c.to_le_bytes());
+        assert!(matches!(
+            read_all(&bytes[..]),
+            Err(TraceError::CountMismatch {
+                expected: 10,
+                declared: 11
+            })
+        ));
+    }
+
+    #[test]
+    fn pre_roll_beyond_total_is_rejected() {
+        let mut meta = TraceMeta::new(RecordKind::Current, "p");
+        meta.pre_roll = 11;
+        let records: Vec<Record> = (0..10)
+            .map(|i| Record::current_only(f64::from(i)))
+            .collect();
+        let bytes = write_to_vec(&meta, &records, 4);
+        assert!(matches!(
+            read_all(&bytes[..]),
+            Err(TraceError::PreRollOutOfRange {
+                pre_roll: 11,
+                total: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn kind1_writer_rejects_event_fields() {
+        let meta = TraceMeta::new(RecordKind::Current, "k1");
+        let mut w = TraceWriter::new(Vec::new(), &meta).unwrap();
+        let mut r = Record::current_only(1.0);
+        r.committed = 1;
+        assert!(matches!(w.push(r), Err(TraceError::Unwritable(_))));
+    }
+
+    #[test]
+    fn oversized_name_and_chunk_are_unwritable() {
+        let meta = TraceMeta::new(RecordKind::Current, &"x".repeat(256));
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), &meta),
+            Err(TraceError::Unwritable(_))
+        ));
+        let meta = TraceMeta::new(RecordKind::Current, "ok");
+        assert!(matches!(
+            TraceWriter::with_chunk_records(Vec::new(), &meta, 0),
+            Err(TraceError::Unwritable(_))
+        ));
+        assert!(matches!(
+            TraceWriter::with_chunk_records(Vec::new(), &meta, MAX_CHUNK_RECORDS as usize + 1),
+            Err(TraceError::Unwritable(_))
+        ));
+    }
+
+    #[test]
+    fn compression_beats_raw_width_on_smooth_traces() {
+        let meta = TraceMeta::new(RecordKind::Full, "smooth");
+        // A smooth-ish current: small steps around a mean, like the
+        // simulator's output. XOR deltas should shave the high bytes.
+        let records: Vec<Record> = (0..4096)
+            .map(|i| {
+                let t = f64::from(i);
+                Record {
+                    current: (40.0 + 8.0 * (t * 0.01).sin()).round() * 0.125,
+                    power: (55.0 + 5.0 * (t * 0.02).cos()).round() * 0.25,
+                    committed: 4,
+                    l2_misses: 0,
+                    mispredicts: 0,
+                }
+            })
+            .collect();
+        let bytes = write_to_vec(&meta, &records, 4096);
+        let raw = records.len() * RecordKind::Full.logical_width();
+        assert!(bytes.len() < raw, "compressed {} >= raw {raw}", bytes.len());
+    }
+
+    #[test]
+    fn read_chunks_counter_advances() {
+        let before = MetricsRegistry::global().counter(READ_CHUNKS_COUNTER).get();
+        let meta = TraceMeta::new(RecordKind::Current, "ctr");
+        let records: Vec<Record> = (0..100)
+            .map(|i| Record::current_only(f64::from(i)))
+            .collect();
+        let bytes = write_to_vec(&meta, &records, 10);
+        read_all(&bytes[..]).unwrap();
+        let after = MetricsRegistry::global().counter(READ_CHUNKS_COUNTER).get();
+        assert!(after >= before + 10);
+    }
+
+    #[test]
+    fn write_and_read_path_round_trip() {
+        let dir = std::env::temp_dir().join("didt_trace_fmt_test");
+        let path = dir.join("roundtrip.dtrc");
+        let mut meta = TraceMeta::new(RecordKind::Full, "mcf");
+        meta.seed = 7;
+        let records: Vec<Record> = (0..500).map(full_record).collect();
+        write_path(&path, &meta, &records).unwrap();
+        let (got_meta, got) = read_path(&path).unwrap();
+        assert_eq!(got_meta, meta);
+        assert!(got.iter().zip(&records).all(|(a, b)| a.bits_eq(b)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! The per-cycle logical record and its wire kinds (`TRACE_FORMAT.md` §3).
+
+/// One per-cycle sample: supply current plus optional power and
+/// architectural event counts.
+///
+/// The in-memory record is the same for both wire kinds; a kind-1
+/// (`Current`) file decodes to records whose non-current fields are
+/// zero. Per-cycle event counts fit comfortably in `u16` — a cycle
+/// commits at most the pipeline width and resolves at most a handful of
+/// misses — which is what keeps the logical record fixed-width.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Record {
+    /// Current drawn this cycle (amperes).
+    pub current: f64,
+    /// Power drawn this cycle (watts).
+    pub power: f64,
+    /// Instructions committed this cycle.
+    pub committed: u16,
+    /// L2 misses completed this cycle.
+    pub l2_misses: u16,
+    /// Branch mispredicts resolved this cycle.
+    pub mispredicts: u16,
+}
+
+impl Record {
+    /// A kind-1 record: current only, every other field zero.
+    #[must_use]
+    pub fn current_only(current: f64) -> Self {
+        Record {
+            current,
+            ..Record::default()
+        }
+    }
+
+    /// Bit-exact equality: `f64` fields compare as IEEE-754 bit
+    /// patterns (so NaNs compare equal to themselves and `0.0 != -0.0`),
+    /// which is the round-trip contract the format guarantees.
+    #[must_use]
+    pub fn bits_eq(&self, other: &Record) -> bool {
+        self.current.to_bits() == other.current.to_bits()
+            && self.power.to_bits() == other.power.to_bits()
+            && self.committed == other.committed
+            && self.l2_misses == other.l2_misses
+            && self.mispredicts == other.mispredicts
+    }
+}
+
+/// Wire record kinds of `TRACE_FORMAT.md` §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// Kind 1: per-cycle current only (logical width 8 bytes).
+    Current,
+    /// Kind 2: current, power and per-cycle event counts (logical width
+    /// 24 bytes including the reserved padding field).
+    Full,
+}
+
+impl RecordKind {
+    /// The on-wire kind id.
+    #[must_use]
+    pub fn to_wire(self) -> u16 {
+        match self {
+            RecordKind::Current => 1,
+            RecordKind::Full => 2,
+        }
+    }
+
+    /// Parse a wire kind id; `None` for unknown kinds (which readers
+    /// must reject, never skip).
+    #[must_use]
+    pub fn from_wire(v: u16) -> Option<RecordKind> {
+        match v {
+            1 => Some(RecordKind::Current),
+            2 => Some(RecordKind::Full),
+            _ => None,
+        }
+    }
+
+    /// Uncompressed logical record width in bytes (§3).
+    #[must_use]
+    pub fn logical_width(self) -> usize {
+        match self {
+            RecordKind::Current => 8,
+            RecordKind::Full => 24,
+        }
+    }
+
+    /// Number of `f64` fields a record of this kind stores on the wire
+    /// (each costs one control byte in the worst case, §4).
+    #[must_use]
+    pub fn f64_fields(self) -> usize {
+        match self {
+            RecordKind::Current => 1,
+            RecordKind::Full => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for kind in [RecordKind::Current, RecordKind::Full] {
+            assert_eq!(RecordKind::from_wire(kind.to_wire()), Some(kind));
+        }
+        assert_eq!(RecordKind::from_wire(0), None);
+        assert_eq!(RecordKind::from_wire(3), None);
+    }
+
+    #[test]
+    fn bits_eq_distinguishes_signed_zero_and_accepts_nan() {
+        let nan = Record::current_only(f64::NAN);
+        assert!(nan.bits_eq(&nan));
+        let pos = Record::current_only(0.0);
+        let neg = Record::current_only(-0.0);
+        assert!(!pos.bits_eq(&neg));
+        assert_eq!(pos, neg); // IEEE equality, unlike bits_eq
+    }
+}

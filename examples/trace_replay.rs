@@ -1,0 +1,113 @@
+//! The recorded-trace toolchain, end to end: capture a workload into a
+//! `.dtrc` file, read it back, cluster its phases, and replay both the
+//! full trace and one representative slice through the stressed PDN.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use didt_bench::SweepContext;
+use didt_trace::{cluster_records, read_path, write_path, PhaseConfig, RecordKind, TraceMeta};
+use didt_uarch::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = SweepContext::standard()?;
+
+    // 1. Record: simulate swim open-loop and capture per-cycle current,
+    //    power and event counts (cached inside the context, like every
+    //    other calibration artifact).
+    let records = ctx.record_trace(
+        Benchmark::Swim,
+        ctx.system().processor(),
+        0xD1D7_2004,
+        2_000,  // warmup cycles, discarded
+        32_768, // recorded cycles
+    );
+
+    // 2. Persist as a versioned `.dtrc` container (TRACE_FORMAT.md):
+    //    framed, compressed, CRC-checked.
+    let dir = std::env::temp_dir().join("didt-trace-replay-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("swim.dtrc");
+    let mut meta = TraceMeta::new(RecordKind::Full, "swim");
+    meta.seed = 0xD1D7_2004;
+    meta.discarded_warmup = 2_000;
+    write_path(&path, &meta, &records)?;
+    let raw = records.len() * RecordKind::Full.logical_width();
+    let on_disk = std::fs::metadata(&path)?.len();
+    println!(
+        "recorded {} cycles of swim -> {} ({} KiB raw, {} KiB on disk)",
+        records.len(),
+        path.display(),
+        raw / 1024,
+        on_disk / 1024,
+    );
+
+    // 3. Read back. The reader verifies every chunk's CRC; the records
+    //    are bit-identical to what the simulator produced.
+    let (got_meta, got) = read_path(&path)?;
+    assert_eq!(got_meta, meta);
+    assert!(got.iter().zip(records.iter()).all(|(a, b)| a.bits_eq(b)));
+    println!(
+        "read back '{}': {} records, bit-identical",
+        got_meta.name,
+        got.len()
+    );
+
+    // 4. Cluster 1024-cycle intervals into phases (k-means over summary
+    //    stats and per-scale Haar variances, fixed seed).
+    let cfg = PhaseConfig {
+        interval: 1_024,
+        clusters: 4,
+        levels: 4,
+        ..PhaseConfig::default()
+    };
+    let phases = cluster_records(&got, &cfg)?;
+    println!(
+        "\n{} intervals -> {} phases (inertia {:.2}):",
+        phases.intervals,
+        phases.representatives.len(),
+        phases.inertia
+    );
+    for rep in &phases.representatives {
+        println!(
+            "  phase {}: representative interval {:4} (cycles {:6}..{:6}), weight {:.3}",
+            rep.cluster,
+            rep.interval,
+            rep.interval * cfg.interval,
+            (rep.interval + 1) * cfg.interval,
+            rep.weight
+        );
+    }
+
+    // 5. Replay through the 150 % PDN: the full trace is ground truth;
+    //    the weighted representative slices are the phase estimate.
+    let pdn = ctx.pdn(150.0)?;
+    let emergency_fraction = |from: usize, to: usize| {
+        let mut sim = pdn.simulator();
+        for r in &got[from.saturating_sub(512)..from] {
+            sim.step(r.current); // settle the LC filter, unscored
+        }
+        let mut hits = 0usize;
+        for r in &got[from..to] {
+            let v = sim.step(r.current);
+            if !(0.95..=1.05).contains(&v) {
+                hits += 1;
+            }
+        }
+        hits as f64 / (to - from) as f64
+    };
+    let truth = emergency_fraction(512, got.len());
+    let estimate = phases.weighted_estimate(|rep| {
+        emergency_fraction(
+            rep.interval * cfg.interval,
+            (rep.interval + 1) * cfg.interval,
+        )
+    });
+    println!(
+        "\nemergency fraction at 150% impedance: full trace {truth:.5}, \
+         weighted {}-slice estimate {estimate:.5}",
+        phases.representatives.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
