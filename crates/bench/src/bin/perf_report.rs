@@ -6,15 +6,19 @@
 //! DWT engine (filter-generic `dwt_boundary_into` against the legacy
 //! Haar kernel — the generic path must stay within timing noise), the
 //! cycle simulator itself (per-benchmark `ClosedLoop::run` throughput,
-//! serial and 16-thread), and a whole closed-loop sweep (serial and
-//! parallel, checking the results stay bit-identical), then writes a
-//! `BENCH_pr5.json` machine-readable report at the current directory
-//! (override the path with `DIDT_BENCH_OUT`). CI runs
-//! `perf_report --smoke` on every push and diffs the smoke report
+//! serial and 16-thread), a whole closed-loop sweep (serial and
+//! parallel, checking the results stay bit-identical), and the batch
+//! execution layer (each lockstep 4-lane kernel against a scalar loop
+//! over the same four traces, with all-lane bit-identity verified),
+//! then writes a `BENCH_pr8.json` machine-readable report at the
+//! current directory (override the path with `DIDT_BENCH_OUT`). CI
+//! runs `perf_report --smoke` on every push and diffs the smoke report
 //! against the committed reference with `bench_diff`; the headline
 //! metrics are the `fir_filter_auto` speedup over `fir_filter` at
-//! N = 1 M, K = 1024 and the simulator's cycles/s against the pinned
-//! PR 4 baseline.
+//! N = 1 M, K = 1024, the simulator's cycles/s against the pinned PR 4
+//! and PR 5 baselines, and the batched-kernel speedups. The detected
+//! CPU feature set rides along in both the JSON and the manifest so
+//! cross-host numbers are interpretable.
 //!
 //! Like every experiment binary it also emits a run manifest — but all
 //! wall-clock figures live only in the BENCH JSON, never in manifest
@@ -25,15 +29,20 @@ use std::time::Instant;
 use didt_bench::{
     ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable,
 };
+use didt_core::characterize::{EmergencyEstimator, VarianceModel};
 use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
 use didt_core::monitor::{
-    BiquadMonitor, CycleSense, FullConvolutionMonitor, HistoryRing, VoltageMonitor,
+    BiquadMonitor, BiquadMonitorBatch, CycleSense, FullConvolutionMonitor, HistoryRing,
+    VoltageMonitor,
 };
 use didt_dsp::wavelet::Haar;
 use didt_dsp::{
-    conv_crossover_taps, dwt_boundary_into, dwt_into, fir_filter, fir_filter_auto, BoundaryMode,
-    DwtScratch, WaveletDecomposition, WaveletFamily,
+    conv_crossover_taps, cpu_features, dwt_boundary_into, dwt_into, dwt_into_batch, fir_filter,
+    fir_filter_auto, fir_filter_time, fir_filter_time_batch, lag1_correlation_batch, mean_batch,
+    variance_batch, BatchDecomposition, BatchDwtScratch, BoundaryMode, DwtScratch, TraceBatch,
+    WaveletDecomposition, WaveletFamily, DEFAULT_LANES,
 };
+use didt_stats::{lag_correlation, mean, variance};
 use didt_telemetry::{discover_git_sha, Json};
 use didt_uarch::Benchmark;
 
@@ -47,8 +56,18 @@ const HEADLINE: (usize, usize) = (1 << 20, 1024);
 /// sim section reports its speedup against this pin.
 const PR4_SIM_BASELINE_CYCLES_PER_SEC: f64 = 2.302e6;
 
+/// Serial `ClosedLoop::run` throughput pinned by the committed
+/// `BENCH_pr5.json` (its `sim.serial_cycles_per_sec`), in cycles/s —
+/// the event-driven kernel of PR 5 on the reference machine. The sim
+/// section reports its speedup against this pin alongside the PR 4 one.
+const PR5_SIM_BASELINE_CYCLES_PER_SEC: f64 = 8.069e6;
+
 /// Worker threads for the parallel leg of the sim-throughput grid.
 const SIM_GRID_THREADS: usize = 16;
+
+/// Speedup the batched kernels must show over a scalar loop on at
+/// least one grid row.
+const BATCH_TARGET: f64 = 3.0;
 
 /// One benchmark's simulator-throughput measurement.
 struct SimRow {
@@ -64,6 +83,20 @@ struct KernelRow {
     ref_ms: f64,
     auto_ms: f64,
     tier: &'static str,
+}
+
+/// One batched-kernel grid row: the lockstep 4-lane kernel against a
+/// scalar loop over the same four traces.
+struct BatchRow {
+    kernel: &'static str,
+    /// What one unit of `work` is (for the throughput column).
+    unit: &'static str,
+    /// Units processed per timed pass (per lane-group of 4).
+    work: f64,
+    scalar_ms: f64,
+    batch_ms: f64,
+    /// Every lane bitwise equal to the scalar kernel on that lane.
+    bit_identical: bool,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -428,13 +461,330 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exp.golden("serial_parallel_identical", f64::from(u8::from(identical)));
 
     // ------------------------------------------------------------------
-    // 6. The BENCH JSON report.
+    // 6. Batch kernels: each lockstep 4-lane kernel against a scalar
+    //    loop over the same four traces. Speedups come from SIMD lanes
+    //    (and, for the biquad recursion, from converting dependency-
+    //    chain stalls into lane throughput); every row also verifies
+    //    that *all* lanes are bitwise equal to the scalar kernel.
     // ------------------------------------------------------------------
+    const LANES: usize = DEFAULT_LANES;
+    let features = cpu_features();
+    println!("batch kernels: {LANES} lanes, cpu features: {features}");
+    let mut batch_rows: Vec<BatchRow> = Vec::new();
+    let lane_traces = |n: usize| -> Vec<Vec<f64>> {
+        (0..LANES)
+            .map(|l| {
+                (0..n)
+                    .map(|i| 30.0 + 25.0 * ((i as f64) * 0.21 + l as f64 * 0.7).sin())
+                    .collect()
+            })
+            .collect()
+    };
+
+    // 6a. Blocked time-domain FIR.
+    {
+        let n = if smoke { 1 << 14 } else { 1 << 16 };
+        let k = 64usize;
+        let traces = lane_traces(n);
+        let refs: Vec<&[f64]> = traces.iter().map(Vec::as_slice).collect();
+        let h: Vec<f64> = (0..k).map(|i| 0.995f64.powi(i as i32) * 0.01).collect();
+        let tb = TraceBatch::<LANES>::from_traces(&refs).expect("fir batch");
+        let scalar_ms = best_ms(5, || {
+            refs.iter()
+                .map(|x| fir_filter_time(x, &h))
+                .collect::<Vec<_>>()
+        });
+        let batch_ms = best_ms(5, || fir_filter_time_batch(&tb, &h));
+        let out = fir_filter_time_batch(&tb, &h);
+        let bit_identical = refs.iter().enumerate().all(|(l, x)| {
+            let want = fir_filter_time(x, &h);
+            out.lane(l)
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+        batch_rows.push(BatchRow {
+            kernel: "fir_time_64tap",
+            unit: "samples",
+            work: (LANES * n) as f64,
+            scalar_ms,
+            batch_ms,
+            bit_identical,
+        });
+    }
+
+    // 6b. Periodic Haar pyramid on the monitor-window hot shape.
+    {
+        let traces = lane_traces(dwt_window);
+        let refs: Vec<&[f64]> = traces.iter().map(Vec::as_slice).collect();
+        let tb = TraceBatch::<LANES>::from_traces(&refs).expect("dwt batch");
+        let reps = dwt_reps / LANES;
+        let mut bscratch = BatchDwtScratch::<LANES>::new();
+        let mut bdecomp = BatchDecomposition::<LANES>::empty();
+        let scalar_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                for x in &refs {
+                    dwt_boundary_into(
+                        x,
+                        &WaveletFamily::Haar,
+                        dwt_levels,
+                        BoundaryMode::Periodic,
+                        &mut scratch,
+                        &mut decomp,
+                    )
+                    .expect("scalar dwt");
+                    acc += decomp.approximation()[0];
+                }
+            }
+            acc
+        });
+        let batch_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                dwt_into_batch(
+                    &tb,
+                    &WaveletFamily::Haar,
+                    dwt_levels,
+                    &mut bscratch,
+                    &mut bdecomp,
+                )
+                .expect("batch dwt");
+                acc += bdecomp.approximation()[0][0];
+            }
+            acc
+        });
+        dwt_into_batch(
+            &tb,
+            &WaveletFamily::Haar,
+            dwt_levels,
+            &mut bscratch,
+            &mut bdecomp,
+        )
+        .expect("batch dwt");
+        let bit_identical = refs.iter().enumerate().all(|(l, x)| {
+            dwt_boundary_into(
+                x,
+                &WaveletFamily::Haar,
+                dwt_levels,
+                BoundaryMode::Periodic,
+                &mut scratch,
+                &mut decomp,
+            )
+            .expect("scalar dwt");
+            (1..=bdecomp.levels()).all(|level| {
+                let want = decomp.detail(level).expect("level");
+                bdecomp
+                    .detail_lane(level, l)
+                    .expect("level")
+                    .iter()
+                    .zip(want)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            })
+        });
+        batch_rows.push(BatchRow {
+            kernel: "dwt_haar_256x8",
+            unit: "windows",
+            work: (reps * LANES) as f64,
+            scalar_ms,
+            batch_ms,
+            bit_identical,
+        });
+    }
+
+    // 6c. Biquad droop recursion: the latency-bound scalar chain turned
+    //     into lane throughput — the banner batched row.
+    {
+        let mut scalar_monitors: Vec<BiquadMonitor> =
+            (0..LANES).map(|_| BiquadMonitor::new(&pdn, 3)).collect();
+        let mut bank = BiquadMonitorBatch::<LANES>::new(&pdn, 3);
+        let scalar_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for c in 0..cycles {
+                for (l, m) in scalar_monitors.iter_mut().enumerate() {
+                    acc += m.observe(CycleSense {
+                        current: current(c) + l as f64,
+                        voltage: 1.0,
+                    });
+                }
+            }
+            acc
+        });
+        let batch_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for c in 0..cycles {
+                let mut currents = [0.0; LANES];
+                for (l, x) in currents.iter_mut().enumerate() {
+                    *x = current(c) + l as f64;
+                }
+                let est = bank.observe(currents);
+                for e in est {
+                    acc += e;
+                }
+            }
+            acc
+        });
+        // Fresh state for the bitwise check (the timed monitors carry
+        // warm filter state).
+        let mut fresh_scalars: Vec<BiquadMonitor> =
+            (0..LANES).map(|_| BiquadMonitor::new(&pdn, 3)).collect();
+        let mut fresh_bank = BiquadMonitorBatch::<LANES>::new(&pdn, 3);
+        let bit_identical = (0..2_000).all(|c| {
+            let mut currents = [0.0; LANES];
+            for (l, x) in currents.iter_mut().enumerate() {
+                *x = current(c) + l as f64;
+            }
+            let est = fresh_bank.observe(currents);
+            fresh_scalars.iter_mut().enumerate().all(|(l, m)| {
+                let want = m.observe(CycleSense {
+                    current: currents[l],
+                    voltage: 1.0,
+                });
+                est[l].to_bits() == want.to_bits()
+            })
+        });
+        batch_rows.push(BatchRow {
+            kernel: "biquad_droop",
+            unit: "cycles",
+            work: (LANES * cycles) as f64,
+            scalar_ms,
+            batch_ms,
+            bit_identical,
+        });
+    }
+
+    // 6d. Window moment pass (mean / variance / lag-1 correlation).
+    {
+        let traces = lane_traces(dwt_window);
+        let refs: Vec<&[f64]> = traces.iter().map(Vec::as_slice).collect();
+        let tb = TraceBatch::<LANES>::from_traces(&refs).expect("stats batch");
+        let reps = dwt_reps / LANES;
+        let scalar_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                for x in &refs {
+                    acc += mean(x) + variance(x) + lag_correlation(x).unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        let batch_ms = best_ms(3, || {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                let m = mean_batch(tb.columns());
+                let v = variance_batch(tb.columns());
+                let r = lag1_correlation_batch(tb.columns());
+                for l in 0..LANES {
+                    acc += m[l] + v[l] + r[l];
+                }
+            }
+            acc
+        });
+        let m = mean_batch(tb.columns());
+        let v = variance_batch(tb.columns());
+        let r = lag1_correlation_batch(tb.columns());
+        let bit_identical = refs.iter().enumerate().all(|(l, x)| {
+            m[l].to_bits() == mean(x).to_bits()
+                && v[l].to_bits() == variance(x).to_bits()
+                && r[l].to_bits() == lag_correlation(x).unwrap_or(0.0).to_bits()
+        });
+        batch_rows.push(BatchRow {
+            kernel: "window_stats_256",
+            unit: "windows",
+            work: (reps * LANES) as f64,
+            scalar_ms,
+            batch_ms,
+            bit_identical,
+        });
+    }
+
+    // 6e. The characterization sweep itself: `estimate_trace` (the PR 5
+    //     scalar tiling) against `estimate_trace_batch` over a long
+    //     trace — the sweep-throughput row the serve and bench hot
+    //     paths actually run.
+    let (est_windows, est_scalar_rate, est_batch_rate, est_speedup) = {
+        let est_windows: usize = if smoke { 64 } else { 512 };
+        let trace: Vec<f64> = (0..est_windows * 256)
+            .map(|i| 30.0 + 25.0 * ((i as f64) * 0.21).sin() + ((i / 256) % 7) as f64)
+            .collect();
+        let gains = ctx.gain_model(150.0, 256, 11)?;
+        let estimator = EmergencyEstimator::new(VarianceModel::new((*gains).clone()), 0.97);
+        let scalar_ms = best_ms(3, || estimator.estimate_trace(&trace).expect("estimate"));
+        let batch_ms = best_ms(3, || {
+            estimator.estimate_trace_batch(&trace).expect("estimate")
+        });
+        let want = estimator.estimate_trace(&trace)?;
+        let got = estimator.estimate_trace_batch(&trace)?;
+        let bit_identical = want.0.to_bits() == got.0.to_bits()
+            && want.1 == got.1
+            && want.2.to_bits() == got.2.to_bits();
+        batch_rows.push(BatchRow {
+            kernel: "estimate_sweep",
+            unit: "windows",
+            work: est_windows as f64,
+            scalar_ms,
+            batch_ms,
+            bit_identical,
+        });
+        let rate = |ms: f64| est_windows as f64 / (ms / 1e3);
+        (
+            est_windows,
+            rate(scalar_ms),
+            rate(batch_ms),
+            scalar_ms / batch_ms,
+        )
+    };
+
+    let mut bt = TextTable::new(&[
+        "batched kernel",
+        "unit/s",
+        "scalar ms",
+        "batch ms",
+        "speedup",
+        "all lanes ≡",
+    ]);
+    for r in &batch_rows {
+        bt.row_owned(vec![
+            r.kernel.to_string(),
+            format!("{:.2e} {}", r.work / (r.batch_ms / 1e3), r.unit),
+            format!("{:.3}", r.scalar_ms),
+            format!("{:.3}", r.batch_ms),
+            format!("{:.2}x", r.scalar_ms / r.batch_ms),
+            r.bit_identical.to_string(),
+        ]);
+    }
+    println!("{}", bt.render());
+    let batch_bit_identical = batch_rows.iter().all(|r| r.bit_identical);
+    let batch_best_speedup = batch_rows
+        .iter()
+        .map(|r| r.scalar_ms / r.batch_ms)
+        .fold(0.0f64, f64::max);
+    println!(
+        "batch: best kernel speedup {batch_best_speedup:.2}x (target {BATCH_TARGET}x), \
+         estimate sweep {est_speedup:.2}x ({est_scalar_rate:.2e} -> {est_batch_rate:.2e} windows/s), \
+         all-lane bit-identical: {batch_bit_identical}\n"
+    );
+
+    // ------------------------------------------------------------------
+    // 7. The BENCH JSON report.
+    // ------------------------------------------------------------------
+    // Hardware facts are deterministic on a given host, so they may
+    // live in the manifest (unlike wall clocks); the CI double-smoke
+    // fingerprint check relies on them being invariant under
+    // `DIDT_BATCH_LANES`.
+    exp.golden("cpu_avx2", f64::from(u8::from(features.contains("avx2"))));
+    exp.golden("cpu_fma", f64::from(u8::from(features.contains("fma"))));
+    exp.golden(
+        "batch_bit_identical",
+        f64::from(u8::from(batch_bit_identical)),
+    );
+
     let report = Json::obj(vec![
-        ("schema", Json::str("didt-bench-v2")),
+        ("schema", Json::str("didt-bench-v3")),
         ("name", Json::str("perf_report")),
         ("git_sha", discover_git_sha().map_or(Json::Null, Json::str)),
         ("smoke", Json::Bool(smoke)),
+        ("cpu_features", Json::str(features)),
         ("crossover_taps", Json::Num(crossover as f64)),
         (
             "kernels",
@@ -530,6 +880,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Json::Num(PR4_SIM_BASELINE_CYCLES_PER_SEC),
                 ),
                 ("speedup_vs_pr4", Json::Num(sim_speedup)),
+                (
+                    "baseline_pr5_cycles_per_sec",
+                    Json::Num(PR5_SIM_BASELINE_CYCLES_PER_SEC),
+                ),
+                (
+                    "speedup_vs_pr5",
+                    Json::Num(sim_serial_rate / PR5_SIM_BASELINE_CYCLES_PER_SEC),
+                ),
                 ("target", Json::Num(3.0)),
                 // The pin was measured at the full standard config; the
                 // reduced smoke grid only sanity-checks the machinery.
@@ -547,14 +905,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("serial_parallel_identical", Json::Bool(identical)),
             ]),
         ),
+        (
+            "batch",
+            Json::obj(vec![
+                ("lanes", Json::Num(LANES as f64)),
+                ("cpu_features", Json::str(features)),
+                (
+                    "kernels",
+                    Json::Arr(
+                        batch_rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("kernel", Json::str(r.kernel)),
+                                    ("unit", Json::str(r.unit)),
+                                    ("scalar_ms", Json::Num(r.scalar_ms)),
+                                    ("batch_ms", Json::Num(r.batch_ms)),
+                                    ("units_per_sec", Json::Num(r.work / (r.batch_ms / 1e3))),
+                                    ("speedup", Json::Num(r.scalar_ms / r.batch_ms)),
+                                    ("bit_identical", Json::Bool(r.bit_identical)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("best_speedup", Json::Num(batch_best_speedup)),
+                ("target", Json::Num(BATCH_TARGET)),
+                (
+                    "meets_target",
+                    Json::Bool(!smoke && batch_best_speedup >= BATCH_TARGET),
+                ),
+                (
+                    "estimate_sweep",
+                    Json::obj(vec![
+                        ("windows", Json::Num(est_windows as f64)),
+                        ("scalar_windows_per_sec", Json::Num(est_scalar_rate)),
+                        ("batch_windows_per_sec", Json::Num(est_batch_rate)),
+                        ("speedup", Json::Num(est_speedup)),
+                        ("improved", Json::Bool(est_speedup > 1.0)),
+                    ]),
+                ),
+                // The issue's floor is lane 0; the implementation holds
+                // the stronger all-lane contract, so this flag covers
+                // lane 0 by construction.
+                ("lane0_bit_identical", Json::Bool(batch_bit_identical)),
+                ("all_lanes_bit_identical", Json::Bool(batch_bit_identical)),
+            ]),
+        ),
     ]);
-    let out_path = std::env::var("DIDT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
+    let out_path = std::env::var("DIDT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
     std::fs::write(&out_path, report.render() + "\n")?;
     println!("bench report: {out_path}");
     exp.finish()?;
 
     if !identical {
         return Err("serial and parallel sweep results diverged".into());
+    }
+    if !batch_bit_identical {
+        return Err("a batched kernel lane diverged bitwise from the scalar path".into());
     }
     Ok(())
 }

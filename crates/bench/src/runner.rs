@@ -422,6 +422,13 @@ impl ExperimentRunner {
 
     /// Run `job(index, &point)` over every point, returning results in
     /// point order.
+    ///
+    /// Workers claim points in *packs* of [`didt_dsp::effective_lanes`]
+    /// (when batching is enabled) so a worker holds a lane-group of
+    /// adjacent sweep points at once — per-worker caches stay warm
+    /// across the pack and batched kernels see contiguous work. Results
+    /// are still stored at their point index, so the output is
+    /// identical for any thread count or pack width.
     pub fn run<P, R, F>(&self, points: &[P], job: F) -> Vec<R>
     where
         P: Sync,
@@ -435,6 +442,11 @@ impl ExperimentRunner {
         if workers <= 1 {
             return points.iter().enumerate().map(|(i, p)| job(i, p)).collect();
         }
+        let pack = if didt_dsp::batch_enabled() {
+            didt_dsp::effective_lanes().clamp(1, 8)
+        } else {
+            1
+        };
         let next = AtomicUsize::new(0);
         let mut done: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -442,11 +454,13 @@ impl ExperimentRunner {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= points.len() {
+                            let i0 = next.fetch_add(pack, Ordering::Relaxed);
+                            if i0 >= points.len() {
                                 break;
                             }
-                            local.push((i, job(i, &points[i])));
+                            for (i, point) in points.iter().enumerate().skip(i0).take(pack) {
+                                local.push((i, job(i, point)));
+                            }
                         }
                         local
                     })

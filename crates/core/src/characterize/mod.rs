@@ -8,6 +8,7 @@
 //! variance, and read emergency probabilities off a Gaussian model
 //! ([`VarianceModel`], [`EmergencyEstimator`] — Figures 8, 9).
 
+mod batch;
 mod calibration;
 mod estimator;
 mod gaussian;
@@ -15,6 +16,7 @@ mod packet_model;
 mod variance_model;
 mod windows;
 
+pub use batch::ESTIMATE_LANES;
 pub use calibration::ScaleGainModel;
 pub use estimator::{BenchmarkEstimate, EmergencyEstimator};
 pub use gaussian::{GaussianityReport, GaussianityStudy, NormalityTest};

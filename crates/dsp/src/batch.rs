@@ -1,0 +1,896 @@
+//! Lockstep multi-trace batch kernels (struct-of-arrays lanes).
+//!
+//! The paper's methodology is a characterization *sweep*: the same FIR /
+//! DWT / droop kernels evaluated over many independent traces and design
+//! points. The per-trace kernels (convolution tiers, the periodic DWT
+//! pyramid, the biquad recurrence) were made fast in earlier PRs; this
+//! module adds the remaining structural win — processing `L` traces per
+//! instruction by laying them out as fixed-width lanes.
+//!
+//! # Layout
+//!
+//! A [`TraceBatch<L>`] stores `L` equal-length traces column-major: one
+//! `[f64; L]` column per time step, lane `l` of column `t` holding sample
+//! `t` of trace `l`. Every kernel walks columns in the *exact* time /
+//! tap / level order of its scalar counterpart and applies the identical
+//! arithmetic expression to each lane, so **every lane is bit-identical
+//! to the scalar kernel run on that lane's trace** — lane 0's contract
+//! with the pinned `sim_fingerprints` / golden suites is the documented
+//! floor, and the batch property tests hold all lanes to it.
+//!
+//! # Dispatch
+//!
+//! `[f64; L]` columns autovectorize on any x86-64 target (SSE2 gives two
+//! lanes per op); when the host supports AVX2 the `L = 4` hot loops
+//! switch to an explicit `core::arch::x86_64` path behind runtime
+//! feature detection ([`cpu_features`]), four lanes per op, same
+//! association order, still bit-identical. Setting `DIDT_BATCH_LANES=1`
+//! forces every batch entry point down its scalar fallback (counted by
+//! [`BATCH_FALLBACK_COUNTER`]); consumers pack work in groups of
+//! [`effective_lanes`] and fall back to the scalar path for ragged
+//! remainders.
+
+use crate::transform::max_dwt_levels;
+use crate::wavelet::Wavelet;
+use crate::DspError;
+use std::sync::OnceLock;
+
+/// Column width the crate's batch consumers compile against: `f64x4`
+/// columns, one AVX2 register per column.
+pub const DEFAULT_LANES: usize = 4;
+
+/// Telemetry counter: batched-kernel invocations that ran lane-parallel.
+pub const BATCH_DISPATCH_COUNTER: &str = "dsp.batch.dispatch";
+
+/// Telemetry counter: batch entry points that fell back to the scalar
+/// path (forced `DIDT_BATCH_LANES=1`, ragged remainders, or unsupported
+/// modes).
+pub const BATCH_FALLBACK_COUNTER: &str = "dsp.batch.scalar_fallback";
+
+/// Lane width requested via `DIDT_BATCH_LANES` (`None` when unset or
+/// unparsable). `1` means "forced scalar"; values are read once per
+/// process.
+pub fn configured_lanes() -> Option<usize> {
+    static LANES: OnceLock<Option<usize>> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::env::var("DIDT_BATCH_LANES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|v| v.clamp(1, 8))
+    })
+}
+
+/// `false` when `DIDT_BATCH_LANES=1` pinned every batch entry point to
+/// its scalar fallback.
+#[must_use]
+pub fn batch_enabled() -> bool {
+    configured_lanes() != Some(1)
+}
+
+/// Work-group width batch consumers should pack to: the configured lane
+/// count, else [`DEFAULT_LANES`]. Always in `1..=8`.
+#[must_use]
+pub fn effective_lanes() -> usize {
+    configured_lanes().unwrap_or(DEFAULT_LANES)
+}
+
+/// Detected CPU SIMD feature set, as a stable label for BENCH reports
+/// and manifests: `"avx2+fma"`, `"avx2"`, or `"scalar-only"`. This
+/// reports what the *host* supports, not what dispatch currently uses,
+/// so the label is invariant under `DIDT_BATCH_LANES`.
+#[must_use]
+pub fn cpu_features() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            if is_x86_feature_detected!("fma") {
+                return "avx2+fma";
+            }
+            return "avx2";
+        }
+    }
+    "scalar-only"
+}
+
+/// Runtime gate for the explicit AVX2 kernels. The batch arithmetic
+/// never uses FMA — fused rounding would break lane bit-identity with
+/// the scalar mul-then-add expressions.
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+fn note_dispatch() {
+    didt_telemetry::MetricsRegistry::global()
+        .counter(BATCH_DISPATCH_COUNTER)
+        .incr();
+}
+
+/// Bump the scalar-fallback counter. Public so batch *consumers*
+/// (sweep packing, the serve drain, the batched estimator) can account
+/// for their ragged remainders with the same counter the kernels use.
+pub fn note_scalar_fallback() {
+    didt_telemetry::MetricsRegistry::global()
+        .counter(BATCH_FALLBACK_COUNTER)
+        .incr();
+}
+
+// ---------------------------------------------------------------------------
+// TraceBatch
+// ---------------------------------------------------------------------------
+
+/// `L` equal-length traces in struct-of-arrays layout: `cols[t][lane]`
+/// is sample `t` of trace `lane`. Lanes beyond [`TraceBatch::lanes`]
+/// are zero-filled padding (the ragged-tail case packs fewer traces
+/// than columns have room for).
+///
+/// # Examples
+///
+/// ```
+/// use didt_dsp::batch::TraceBatch;
+///
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [4.0, 5.0, 6.0];
+/// let batch = TraceBatch::<4>::from_traces(&[&a, &b]).unwrap();
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.lanes(), 2);
+/// assert_eq!(batch.lane(1), vec![4.0, 5.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBatch<const L: usize> {
+    cols: Vec<[f64; L]>,
+    lanes: usize,
+}
+
+impl<const L: usize> TraceBatch<L> {
+    /// Pack up to `L` equal-length traces into lanes (remaining lanes
+    /// zero-filled).
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::EmptySignal`] when no traces (or empty traces) are
+    /// supplied; [`DspError::BadLength`] when lengths differ or more
+    /// than `L` traces are passed.
+    pub fn from_traces(traces: &[&[f64]]) -> Result<Self, DspError> {
+        if traces.is_empty() || traces[0].is_empty() {
+            return Err(DspError::EmptySignal);
+        }
+        if traces.len() > L {
+            return Err(DspError::BadLength {
+                len: traces.len(),
+                requirement: "more traces than batch lanes",
+            });
+        }
+        let n = traces[0].len();
+        if traces.iter().any(|t| t.len() != n) {
+            return Err(DspError::BadLength {
+                len: n,
+                requirement: "batched traces must share one length",
+            });
+        }
+        let mut cols = vec![[0.0; L]; n];
+        for (lane, trace) in traces.iter().enumerate() {
+            for (col, &x) in cols.iter_mut().zip(trace.iter()) {
+                col[lane] = x;
+            }
+        }
+        Ok(TraceBatch {
+            cols,
+            lanes: traces.len(),
+        })
+    }
+
+    /// Number of time steps (columns).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` when the batch holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Number of occupied lanes (`<= L`).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The SoA columns.
+    #[must_use]
+    pub fn columns(&self) -> &[[f64; L]] {
+        &self.cols
+    }
+
+    /// Extract one lane as a contiguous trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= L`.
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < L, "lane {lane} out of {L}");
+        self.cols.iter().map(|c| c[lane]).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched blocked FIR (time-domain tier)
+// ---------------------------------------------------------------------------
+
+/// Mirror of the scalar kernel's output block size.
+use crate::convolution::TIME_BLOCK;
+
+/// Lane-parallel [`crate::fir_filter_time`]: causal FIR filtering of all
+/// lanes in lockstep, blocked over outputs with taps applied four at a
+/// time — the exact loop structure (and per-lane association order) of
+/// the scalar kernel, so every lane is bit-identical to
+/// `fir_filter_time(batch.lane(l), h)`.
+///
+/// # Panics
+///
+/// Panics when `h` is empty (as the scalar kernel would by indexing).
+#[must_use]
+pub fn fir_filter_time_batch<const L: usize>(x: &TraceBatch<L>, h: &[f64]) -> TraceBatch<L> {
+    let _span = didt_telemetry::span("dsp.batch.fir_time");
+    note_dispatch();
+    assert!(!h.is_empty(), "empty filter");
+    let n = x.len();
+    let k = h.len();
+    let xc = x.columns();
+    let mut out = vec![[0.0f64; L]; n];
+    // Prologue (t < k-1): reference loop, per lane.
+    let steady = (k - 1).min(n) * usize::from(k > 1);
+    for (t, o) in out.iter_mut().enumerate().take(steady) {
+        let mut acc = [0.0f64; L];
+        for j in 0..=t {
+            let hj = h[j];
+            let xs = &xc[t - j];
+            for l in 0..L {
+                acc[l] += hj * xs[l];
+            }
+        }
+        *o = acc;
+    }
+    // Steady state: block over outputs; taps four at a time as
+    // shifted-column AXPYs, matching the scalar tap grouping.
+    let mut t0 = steady;
+    while t0 < n {
+        let t1 = (t0 + TIME_BLOCK).min(n);
+        let width = t1 - t0;
+        let (_, tail) = out.split_at_mut(t0);
+        let ob = &mut tail[..width];
+        let mut j = 0;
+        while j + 4 <= k {
+            let (h0, h1, h2, h3) = (h[j], h[j + 1], h[j + 2], h[j + 3]);
+            let x0 = &xc[t0 - j..t1 - j];
+            let x1 = &xc[t0 - j - 1..t1 - j - 1];
+            let x2 = &xc[t0 - j - 2..t1 - j - 2];
+            let x3 = &xc[t0 - j - 3..t1 - j - 3];
+            axpy4_columns(ob, x0, x1, x2, x3, h0, h1, h2, h3);
+            j += 4;
+        }
+        while j < k {
+            let hj = h[j];
+            let xs = &xc[t0 - j..t1 - j];
+            for i in 0..width {
+                for l in 0..L {
+                    ob[i][l] += hj * xs[i][l];
+                }
+            }
+            j += 1;
+        }
+        t0 = t1;
+    }
+    TraceBatch {
+        cols: out,
+        lanes: x.lanes(),
+    }
+}
+
+/// `ob[i] += h0·x0[i] + h1·x1[i] + h2·x2[i] + h3·x3[i]`, per lane, in
+/// that association order. Dispatches to the AVX2 kernel for `f64x4`
+/// columns on capable hosts.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy4_columns<const L: usize>(
+    ob: &mut [[f64; L]],
+    x0: &[[f64; L]],
+    x1: &[[f64; L]],
+    x2: &[[f64; L]],
+    x3: &[[f64; L]],
+    h0: f64,
+    h1: f64,
+    h2: f64,
+    h3: f64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if L == 4 && avx2_available() {
+        // Columns of a `TraceBatch<4>` are exactly one 256-bit vector;
+        // the pointer casts reinterpret `[[f64; 4]]` as raw f64 runs.
+        unsafe {
+            avx2::axpy4_f64x4(
+                ob.as_mut_ptr().cast::<f64>(),
+                x0.as_ptr().cast::<f64>(),
+                x1.as_ptr().cast::<f64>(),
+                x2.as_ptr().cast::<f64>(),
+                x3.as_ptr().cast::<f64>(),
+                ob.len(),
+                h0,
+                h1,
+                h2,
+                h3,
+            );
+        }
+        return;
+    }
+    for i in 0..ob.len() {
+        for l in 0..L {
+            ob[i][l] += h0 * x0[i][l] + h1 * x1[i][l] + h2 * x2[i][l] + h3 * x3[i][l];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+
+    /// The 4-tap AXPY over `f64x4` columns. Mul-then-add only (no FMA):
+    /// each lane performs the scalar expression
+    /// `acc += h0*x0 + h1*x1 + h2*x2 + h3*x3` with identical rounding.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2 support and that all pointers address
+    /// `4 * width` valid f64s.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn axpy4_f64x4(
+        ob: *mut f64,
+        x0: *const f64,
+        x1: *const f64,
+        x2: *const f64,
+        x3: *const f64,
+        width: usize,
+        h0: f64,
+        h1: f64,
+        h2: f64,
+        h3: f64,
+    ) {
+        let (v0, v1, v2, v3) = (
+            _mm256_set1_pd(h0),
+            _mm256_set1_pd(h1),
+            _mm256_set1_pd(h2),
+            _mm256_set1_pd(h3),
+        );
+        for i in 0..width {
+            let o = ob.add(4 * i);
+            let mut acc: __m256d = _mm256_mul_pd(v0, _mm256_loadu_pd(x0.add(4 * i)));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v1, _mm256_loadu_pd(x1.add(4 * i))));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v2, _mm256_loadu_pd(x2.add(4 * i))));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v3, _mm256_loadu_pd(x3.add(4 * i))));
+            _mm256_storeu_pd(o, _mm256_add_pd(_mm256_loadu_pd(o), acc));
+        }
+    }
+
+    /// One periodic pyramid tap accumulation over a whole coefficient
+    /// row: `sa[k] += hm·a[idx(k)]`, `sd[k] += gm·a[idx(k)]` for f64x4
+    /// columns. `idx` strides by 2 columns with periodic wrap handled by
+    /// the caller passing a gather-free contiguous run.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2 support and in-bounds pointers for `half`
+    /// columns of `sa`/`sd` and the addressed `a` columns.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn pyramid_tap_f64x4(
+        sa: *mut f64,
+        sd: *mut f64,
+        a: *const f64,
+        n_cols: usize,
+        offset: usize,
+        half: usize,
+        hm: f64,
+        gm: f64,
+    ) {
+        let vh = _mm256_set1_pd(hm);
+        let vg = _mm256_set1_pd(gm);
+        for k in 0..half {
+            let idx = (2 * k + offset) % n_cols;
+            let av = _mm256_loadu_pd(a.add(4 * idx));
+            let sap = sa.add(4 * k);
+            let sdp = sd.add(4 * k);
+            _mm256_storeu_pd(
+                sap,
+                _mm256_add_pd(_mm256_loadu_pd(sap), _mm256_mul_pd(vh, av)),
+            );
+            _mm256_storeu_pd(
+                sdp,
+                _mm256_add_pd(_mm256_loadu_pd(sdp), _mm256_mul_pd(vg, av)),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched periodic DWT pyramid
+// ---------------------------------------------------------------------------
+
+/// Reusable working storage for [`dwt_into_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchDwtScratch<const L: usize> {
+    buf: Vec<[f64; L]>,
+}
+
+impl<const L: usize> BatchDwtScratch<L> {
+    /// An empty scratch buffer (grows to fit on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        BatchDwtScratch { buf: Vec::new() }
+    }
+}
+
+/// Lane-parallel periodic wavelet decomposition: `details[0]` is level 1
+/// (finest), columns share the [`TraceBatch`] lane layout.
+#[derive(Debug, Clone, Default)]
+pub struct BatchDecomposition<const L: usize> {
+    approx: Vec<[f64; L]>,
+    details: Vec<Vec<[f64; L]>>,
+    signal_len: usize,
+    lanes: usize,
+}
+
+impl<const L: usize> BatchDecomposition<L> {
+    /// An empty decomposition to pass to [`dwt_into_batch`].
+    #[must_use]
+    pub fn empty() -> Self {
+        BatchDecomposition::default()
+    }
+
+    /// Number of decomposition levels held.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Original signal length.
+    #[must_use]
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// Occupied lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Final approximation columns.
+    #[must_use]
+    pub fn approximation(&self) -> &[[f64; L]] {
+        &self.approx
+    }
+
+    /// Detail columns of `level` (1 = finest).
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::BadLevel`] out of range.
+    pub fn detail(&self, level: usize) -> Result<&[[f64; L]], DspError> {
+        if level == 0 || level > self.details.len() {
+            return Err(DspError::BadLevel {
+                level,
+                available: self.details.len(),
+            });
+        }
+        Ok(&self.details[level - 1])
+    }
+
+    /// Extract one lane's detail row as a contiguous vector (test and
+    /// interop helper; hot paths read the columns directly).
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::BadLevel`] out of range.
+    pub fn detail_lane(&self, level: usize, lane: usize) -> Result<Vec<f64>, DspError> {
+        Ok(self.detail(level)?.iter().map(|c| c[lane]).collect())
+    }
+}
+
+/// Lane-parallel periodic DWT pyramid — the batch counterpart of
+/// [`crate::dwt_boundary_into`] restricted to [`Periodic`] boundary
+/// handling (the paper's convention and the characterization hot path).
+/// Levels deeper than the dyadic depth are clamped exactly as the
+/// scalar engine clamps them (same telemetry counter); every lane of
+/// the result is bit-identical to the scalar pyramid on that lane.
+///
+/// [`Periodic`]: crate::BoundaryMode::Periodic
+///
+/// # Errors
+///
+/// The conditions of [`crate::dwt_boundary_into`] for periodic mode:
+/// empty signal, zero levels, length not divisible by `2^levels`, or a
+/// pyramid step shorter than the filter.
+pub fn dwt_into_batch<const L: usize, W: Wavelet + ?Sized>(
+    signal: &TraceBatch<L>,
+    wavelet: &W,
+    levels: usize,
+    scratch: &mut BatchDwtScratch<L>,
+    out: &mut BatchDecomposition<L>,
+) -> Result<usize, DspError> {
+    let _span = didt_telemetry::span("dsp.batch.dwt");
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    if levels == 0 {
+        return Err(DspError::ZeroLevels);
+    }
+    let depth_cap = max_dwt_levels(signal.len()).max(1);
+    let levels = if levels > depth_cap {
+        didt_telemetry::MetricsRegistry::global()
+            .counter(crate::LEVELS_CLAMPED_COUNTER)
+            .incr();
+        depth_cap
+    } else {
+        levels
+    };
+    if !signal.len().is_multiple_of(1usize << levels) {
+        return Err(DspError::BadLength {
+            len: signal.len(),
+            requirement: "length must be divisible by 2^levels",
+        });
+    }
+    note_dispatch();
+    let h = wavelet.lowpass();
+    let g = wavelet.highpass();
+    out.signal_len = signal.len();
+    out.lanes = signal.lanes();
+    out.details.truncate(levels);
+    out.details.resize(levels, Vec::new());
+
+    let approx = &mut scratch.buf;
+    approx.clear();
+    approx.extend_from_slice(signal.columns());
+    let mut next_a: Vec<[f64; L]> = std::mem::take(&mut out.approx);
+    for level in 0..levels {
+        let n = approx.len();
+        if n < h.len() {
+            out.approx = next_a;
+            return Err(DspError::BadLength {
+                len: signal.len(),
+                requirement: "pyramid step shorter than filter; reduce levels",
+            });
+        }
+        let half = n / 2;
+        let d = &mut out.details[level];
+        d.clear();
+        d.resize(half, [0.0; L]);
+        next_a.clear();
+        next_a.resize(half, [0.0; L]);
+        pyramid_level(approx, h, g, next_a.as_mut_slice(), d.as_mut_slice());
+        std::mem::swap(approx, &mut next_a);
+    }
+    // The loop leaves the final approximation in `approx` (the scratch);
+    // move it out and keep the previous buffer as scratch for reuse.
+    std::mem::swap(approx, &mut next_a);
+    out.approx = next_a;
+    Ok(levels)
+}
+
+/// One periodic pyramid level over all lanes:
+/// `sa += h[m]·a[(2k+m) % n]`, `sd += g[m]·a[(2k+m) % n]`, accumulated
+/// in the scalar kernel's `m`-then-`k` equivalent order (tap-major here;
+/// per-lane sums are associatively identical because each output column
+/// accumulates taps in ascending `m` exactly once either way).
+fn pyramid_level<const L: usize>(
+    a: &[[f64; L]],
+    h: &[f64],
+    g: &[f64],
+    sa: &mut [[f64; L]],
+    sd: &mut [[f64; L]],
+) {
+    let n = a.len();
+    let half = sa.len();
+    #[cfg(target_arch = "x86_64")]
+    if L == 4 && avx2_available() {
+        unsafe {
+            for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+                avx2::pyramid_tap_f64x4(
+                    sa.as_mut_ptr().cast::<f64>(),
+                    sd.as_mut_ptr().cast::<f64>(),
+                    a.as_ptr().cast::<f64>(),
+                    n,
+                    m,
+                    half,
+                    hm,
+                    gm,
+                );
+            }
+        }
+        return;
+    }
+    for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+        for k in 0..half {
+            let idx = (2 * k + m) % n;
+            let av = &a[idx];
+            for l in 0..L {
+                sa[k][l] += hm * av[l];
+                sd[k][l] += gm * av[l];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched window statistics (the χ²/streaming-variance moment pass)
+// ---------------------------------------------------------------------------
+
+/// Per-lane mean of SoA columns, accumulated in time order (bit-identical
+/// per lane to `didt_stats::mean` on that lane's trace).
+#[must_use]
+pub fn mean_batch<const L: usize>(cols: &[[f64; L]]) -> [f64; L] {
+    if cols.is_empty() {
+        return [0.0; L];
+    }
+    let mut sum = [0.0f64; L];
+    for c in cols {
+        for l in 0..L {
+            sum[l] += c[l];
+        }
+    }
+    let n = cols.len() as f64;
+    let mut out = [0.0; L];
+    for l in 0..L {
+        out[l] = sum[l] / n;
+    }
+    out
+}
+
+/// Per-lane population variance of SoA columns (bit-identical per lane
+/// to `didt_stats::variance`, which divides by `n`).
+#[must_use]
+pub fn variance_batch<const L: usize>(cols: &[[f64; L]]) -> [f64; L] {
+    if cols.is_empty() {
+        return [0.0; L];
+    }
+    let m = mean_batch(cols);
+    let mut acc = [0.0f64; L];
+    for c in cols {
+        for l in 0..L {
+            let d = c[l] - m[l];
+            acc[l] += d * d;
+        }
+    }
+    let n = cols.len() as f64;
+    let mut out = [0.0; L];
+    for l in 0..L {
+        out[l] = acc[l] / n;
+    }
+    out
+}
+
+/// Per-lane lag-1 autocorrelation of SoA columns, mirroring
+/// `didt_stats::lag_correlation` (clamped to `[-1, 1]`; lanes with a
+/// non-positive centered energy report 0). Rows shorter than 3 columns
+/// report 0 in every lane, matching the scalar call sites' guard.
+#[must_use]
+pub fn lag1_correlation_batch<const L: usize>(cols: &[[f64; L]]) -> [f64; L] {
+    if cols.len() < 3 {
+        return [0.0; L];
+    }
+    let m = mean_batch(cols);
+    let mut num = [0.0f64; L];
+    for i in 0..cols.len() - 1 {
+        for l in 0..L {
+            num[l] += (cols[i][l] - m[l]) * (cols[i + 1][l] - m[l]);
+        }
+    }
+    let mut den = [0.0f64; L];
+    for c in cols {
+        for l in 0..L {
+            let d = c[l] - m[l];
+            den[l] += d * d;
+        }
+    }
+    let mut out = [0.0; L];
+    for l in 0..L {
+        out[l] = if den[l] <= 0.0 {
+            0.0
+        } else {
+            (num[l] / den[l]).clamp(-1.0, 1.0)
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelet::{Haar, WaveletFamily};
+    use crate::{
+        dwt_boundary_into, fir_filter_time, BoundaryMode, DwtScratch, WaveletDecomposition,
+    };
+
+    fn traces(n: usize, count: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|t| {
+                (0..n)
+                    .map(|i| ((i * 7 + t * 13) % 31) as f64 * 0.7 - 5.0 + (i as f64 * 0.1).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_batch_roundtrips_lanes() {
+        let ts = traces(33, 3);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        assert_eq!(b.lanes(), 3);
+        for (l, t) in ts.iter().enumerate() {
+            assert_eq!(&b.lane(l), t);
+        }
+        // Padding lane is zero.
+        assert!(b.lane(3).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn trace_batch_rejects_bad_shapes() {
+        assert_eq!(
+            TraceBatch::<4>::from_traces(&[]),
+            Err(DspError::EmptySignal)
+        );
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        assert!(TraceBatch::<4>::from_traces(&[&a, &b]).is_err());
+        assert!(TraceBatch::<1>::from_traces(&[&a, &a]).is_err());
+    }
+
+    #[test]
+    fn fir_batch_matches_scalar_bitwise_all_lanes() {
+        let ts = traces(5000, 4);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        for k in [1usize, 3, 4, 7, 16, 65] {
+            let h: Vec<f64> = (0..k).map(|i| 0.97f64.powi(i as i32) * 0.05).collect();
+            let y = fir_filter_time_batch(&b, &h);
+            for (l, t) in ts.iter().enumerate() {
+                let want = fir_filter_time(t, &h);
+                let got = y.lane(l);
+                assert!(
+                    want.iter()
+                        .zip(&got)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k={k} lane={l} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_batch_matches_scalar_bitwise_all_lanes() {
+        let ts = traces(256, 4);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        for family in [WaveletFamily::Haar, WaveletFamily::Db3] {
+            let mut bs = BatchDwtScratch::new();
+            let mut bd = BatchDecomposition::empty();
+            let levels = dwt_into_batch(&b, &family, 5, &mut bs, &mut bd).unwrap();
+            assert_eq!(levels, 5);
+            let mut scratch = DwtScratch::new();
+            let mut decomp = WaveletDecomposition::empty();
+            for (l, t) in ts.iter().enumerate() {
+                dwt_boundary_into(
+                    t,
+                    &family,
+                    5,
+                    BoundaryMode::Periodic,
+                    &mut scratch,
+                    &mut decomp,
+                )
+                .unwrap();
+                for level in 1..=5 {
+                    let want = decomp.detail(level).unwrap();
+                    let got = bd.detail_lane(level, l).unwrap();
+                    assert!(
+                        want.iter()
+                            .zip(&got)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{} level {level} lane {l}",
+                        family.name()
+                    );
+                }
+                let approx_got: Vec<f64> = bd.approximation().iter().map(|c| c[l]).collect();
+                assert!(
+                    decomp
+                        .approximation()
+                        .iter()
+                        .zip(&approx_got)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{} approx lane {l}",
+                    family.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_batch_scratch_reuse_is_stable() {
+        let ts = traces(64, 2);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let mut bs = BatchDwtScratch::new();
+        let mut bd = BatchDecomposition::empty();
+        dwt_into_batch(&b, &Haar, 3, &mut bs, &mut bd).unwrap();
+        let first: Vec<Vec<[f64; 4]>> = bd.details.clone();
+        dwt_into_batch(&b, &Haar, 3, &mut bs, &mut bd).unwrap();
+        assert_eq!(first, bd.details);
+    }
+
+    #[test]
+    fn dwt_batch_propagates_scalar_errors() {
+        let ts = traces(20, 1);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let mut bs = BatchDwtScratch::new();
+        let mut bd = BatchDecomposition::empty();
+        // 20 is not divisible by 2^3.
+        assert!(dwt_into_batch(&b, &Haar, 3, &mut bs, &mut bd).is_err());
+        assert!(matches!(
+            dwt_into_batch(&b, &Haar, 0, &mut bs, &mut bd),
+            Err(DspError::ZeroLevels)
+        ));
+    }
+
+    #[test]
+    fn window_stats_match_scalar_bitwise() {
+        let ts = traces(256, 4);
+        let refs: Vec<&[f64]> = ts.iter().map(Vec::as_slice).collect();
+        let b = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let m = mean_batch(b.columns());
+        let v = variance_batch(b.columns());
+        let r = lag1_correlation_batch(b.columns());
+        for (l, t) in ts.iter().enumerate() {
+            assert_eq!(m[l].to_bits(), didt_stats::mean(t).to_bits(), "mean {l}");
+            assert_eq!(
+                v[l].to_bits(),
+                didt_stats::variance(t).to_bits(),
+                "variance {l}"
+            );
+            assert_eq!(
+                r[l].to_bits(),
+                didt_stats::lag_correlation(t).unwrap().to_bits(),
+                "lag1 {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn lag1_batch_handles_degenerate_lanes() {
+        let flat = [5.0; 16];
+        let ramp: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let b = TraceBatch::<4>::from_traces(&[&flat, &ramp]).unwrap();
+        let r = lag1_correlation_batch(b.columns());
+        assert_eq!(r[0], 0.0);
+        assert!(r[1] > 0.5);
+        assert_eq!(lag1_correlation_batch::<4>(&[[1.0; 4]; 2]), [0.0; 4]);
+    }
+
+    #[test]
+    fn cpu_features_is_stable_label() {
+        let f = cpu_features();
+        assert!(["avx2+fma", "avx2", "scalar-only"].contains(&f));
+        assert_eq!(f, cpu_features());
+    }
+}

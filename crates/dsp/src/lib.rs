@@ -28,6 +28,9 @@
 //!   equation 6: O(N·K) reference kernels, a cache-blocked time-domain
 //!   tier, FFT overlap-save ([`ConvScratch`]), and the measured-crossover
 //!   auto dispatcher [`fir_filter_auto`].
+//! * [`batch`] — lockstep multi-trace variants of the hot kernels over
+//!   struct-of-arrays [`TraceBatch`] lanes, every lane bit-identical to
+//!   the scalar path (opt-in AVX2 behind runtime feature detection).
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod convolution;
 pub mod fourier;
 pub mod packet;
@@ -59,6 +63,11 @@ pub mod wavelet;
 
 mod error;
 
+pub use batch::{
+    batch_enabled, cpu_features, dwt_into_batch, effective_lanes, fir_filter_time_batch,
+    lag1_correlation_batch, mean_batch, note_scalar_fallback, variance_batch, BatchDecomposition,
+    BatchDwtScratch, TraceBatch, BATCH_DISPATCH_COUNTER, BATCH_FALLBACK_COUNTER, DEFAULT_LANES,
+};
 pub use convolution::{
     conv_crossover_taps, convolve_fft, convolve_full, fir_filter, fir_filter_auto, fir_filter_fast,
     fir_filter_time, measure_crossover, ConvScratch,

@@ -1,0 +1,263 @@
+//! Property tests for the batch execution layer: every batched kernel
+//! must agree with its scalar counterpart on every lane. The contract
+//! the issue asks for is 1e-12 agreement; the implementation holds the
+//! stronger invariant — each lane performs the identical arithmetic in
+//! the identical association order as the scalar kernel — so these
+//! tests assert *bitwise* equality, which implies it. Three axes are
+//! swept: all occupied lanes of a full batch, ragged batches (fewer
+//! traces than lanes, the padding lanes zero-filled), and the `L = 1`
+//! degenerate batch, which must collapse to the scalar path exactly.
+
+use didt_core::characterize::{EmergencyEstimator, ScaleGainModel, VarianceModel};
+use didt_core::monitor::{BiquadMonitor, BiquadMonitorBatch, CycleSense, VoltageMonitor};
+use didt_core::DidtSystem;
+use didt_dsp::{
+    dwt_boundary_into, dwt_into_batch, fir_filter_time, fir_filter_time_batch,
+    lag1_correlation_batch, mean_batch, variance_batch, BatchDecomposition, BatchDwtScratch,
+    BoundaryMode, DwtScratch, TraceBatch, WaveletDecomposition, WaveletFamily,
+};
+use didt_pdn::{Biquad, BiquadBank};
+use didt_stats::{lag_correlation, mean, variance};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Occupied-lane slices of a possibly ragged batch.
+fn lane_slices(traces: &[Vec<f64>]) -> Vec<&[f64]> {
+    traces.iter().map(Vec::as_slice).collect()
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Random lane traces: `lanes` of them (1..=L makes the tail ragged),
+/// all the same length.
+fn traces_strategy(
+    lanes: impl Strategy<Value = usize>,
+    len: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    lanes.prop_flat_map(move |l| {
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, len..=len), l..=l)
+    })
+}
+
+proptest! {
+    /// Blocked FIR: every occupied lane of a (possibly ragged) 4-lane
+    /// batch is bitwise the scalar `fir_filter_time` of that trace.
+    #[test]
+    fn fir_batch_matches_scalar_on_all_lanes(
+        traces in traces_strategy(1usize..=4, 64),
+        k in 1usize..=24,
+        h_raw in prop::collection::vec(-1.0f64..1.0, 24..=24),
+    ) {
+        let h = &h_raw[..k];
+        let refs = lane_slices(&traces);
+        let tb = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let out = fir_filter_time_batch(&tb, h);
+        for (l, x) in refs.iter().enumerate() {
+            let want = fir_filter_time(x, h);
+            prop_assert!(bits_eq(&out.lane(l), &want), "fir lane {l} diverged");
+        }
+    }
+
+    /// The `L = 1` degenerate batch is the scalar kernel, bit for bit.
+    #[test]
+    fn fir_batch_l1_collapses_to_scalar(
+        trace in prop::collection::vec(-100.0f64..100.0, 8..=96),
+        k in 1usize..=16,
+        h_raw in prop::collection::vec(-1.0f64..1.0, 16..=16),
+    ) {
+        let h = &h_raw[..k];
+        let tb = TraceBatch::<1>::from_traces(&[&trace]).unwrap();
+        let out = fir_filter_time_batch(&tb, h);
+        prop_assert!(bits_eq(&out.lane(0), &fir_filter_time(&trace, h)));
+    }
+
+    /// Periodic pyramid: every lane's detail and approximation bands
+    /// match `dwt_boundary_into` bitwise, across the family ladder and
+    /// ragged lane counts.
+    #[test]
+    fn dwt_batch_matches_scalar_on_all_lanes(
+        m in 2usize..=6,
+        levels in 1usize..=3,
+        lanes in 1usize..=4,
+        family_ix in 0usize..3,
+        raw in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 96..=96), 4..=4),
+    ) {
+        let family = [WaveletFamily::Haar, WaveletFamily::Db2, WaveletFamily::Db4][family_ix];
+        let len = m << levels;
+        let traces: Vec<Vec<f64>> = raw[..lanes].iter().map(|t| t[..len].to_vec()).collect();
+        let refs = lane_slices(&traces);
+        // Deep pyramids over short signals are rejected identically by
+        // both paths; only compare where the scalar path succeeds.
+        let mut scratch = DwtScratch::new();
+        let mut decomp = WaveletDecomposition::empty();
+        let scalar_ok = dwt_boundary_into(
+            refs[0], &family, levels, BoundaryMode::Periodic, &mut scratch, &mut decomp,
+        )
+        .is_ok();
+
+        let tb = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let mut bscratch = BatchDwtScratch::<4>::new();
+        let mut bdecomp = BatchDecomposition::<4>::empty();
+        let batch = dwt_into_batch(&tb, &family, levels, &mut bscratch, &mut bdecomp);
+        prop_assert_eq!(scalar_ok, batch.is_ok());
+        prop_assume!(scalar_ok);
+
+        for (l, x) in refs.iter().enumerate() {
+            dwt_boundary_into(
+                x, &family, levels, BoundaryMode::Periodic, &mut scratch, &mut decomp,
+            )
+            .unwrap();
+            let approx: Vec<f64> = bdecomp.approximation().iter().map(|col| col[l]).collect();
+            prop_assert!(bits_eq(&approx, decomp.approximation()), "approx lane {l}");
+            for level in 1..=bdecomp.levels() {
+                let got = bdecomp.detail_lane(level, l).unwrap();
+                prop_assert!(
+                    bits_eq(&got, decomp.detail(level).unwrap()),
+                    "detail level {} lane {}", level, l
+                );
+            }
+        }
+    }
+
+    /// `L = 1` pyramid collapses to the scalar engine.
+    #[test]
+    fn dwt_batch_l1_collapses_to_scalar(
+        m in 2usize..=8,
+        levels in 1usize..=3,
+        raw in prop::collection::vec(-50.0f64..50.0, 96..=96),
+    ) {
+        let len = m << levels;
+        let signal = &raw[..len];
+        let mut scratch = DwtScratch::new();
+        let mut decomp = WaveletDecomposition::empty();
+        prop_assume!(dwt_boundary_into(
+            signal, &WaveletFamily::Db3, levels, BoundaryMode::Periodic,
+            &mut scratch, &mut decomp,
+        )
+        .is_ok());
+
+        let tb = TraceBatch::<1>::from_traces(&[signal]).unwrap();
+        let mut bscratch = BatchDwtScratch::<1>::new();
+        let mut bdecomp = BatchDecomposition::<1>::empty();
+        dwt_into_batch(&tb, &WaveletFamily::Db3, levels, &mut bscratch, &mut bdecomp).unwrap();
+        for level in 1..=bdecomp.levels() {
+            prop_assert!(bits_eq(
+                &bdecomp.detail_lane(level, 0).unwrap(),
+                decomp.detail(level).unwrap(),
+            ));
+        }
+    }
+
+    /// Window moment kernels: mean, variance, lag-1 correlation per
+    /// lane, including the short-window (`len < 3`) guard paths.
+    #[test]
+    fn window_stats_batch_matches_scalar_on_all_lanes(
+        traces in (1usize..=4).prop_flat_map(|l| (2usize..=64).prop_flat_map(move |n| {
+            prop::collection::vec(prop::collection::vec(-100.0f64..100.0, n..=n), l..=l)
+        })),
+    ) {
+        let refs = lane_slices(&traces);
+        let tb = TraceBatch::<4>::from_traces(&refs).unwrap();
+        let m = mean_batch(tb.columns());
+        let v = variance_batch(tb.columns());
+        let r = lag1_correlation_batch(tb.columns());
+        for (l, x) in refs.iter().enumerate() {
+            prop_assert!(m[l].to_bits() == mean(x).to_bits(), "mean lane {}", l);
+            prop_assert!(v[l].to_bits() == variance(x).to_bits(), "variance lane {}", l);
+            let want = if x.len() >= 3 { lag_correlation(x).unwrap_or(0.0) } else { 0.0 };
+            prop_assert!(r[l].to_bits() == want.to_bits(), "lag1 lane {}", l);
+        }
+    }
+
+    /// The raw biquad recursion bank: lockstep lanes with warm filter
+    /// state stay bitwise on the scalar recurrence.
+    #[test]
+    fn biquad_bank_matches_scalar_on_all_lanes(
+        coeff_b in prop::collection::vec(-1.0f64..1.0, 3..=3),
+        coeff_a in prop::collection::vec(-0.9f64..0.9, 2..=2),
+        drive in prop::collection::vec(-50.0f64..50.0, 4..=800),
+    ) {
+        let proto = Biquad::new(
+            [coeff_b[0], coeff_b[1], coeff_b[2]],
+            [coeff_a[0], coeff_a[1]],
+        );
+        let mut bank = BiquadBank::<4>::from_biquad(&proto);
+        let mut scalars = [proto, proto, proto, proto];
+        for x in drive.chunks_exact(4) {
+            let got = bank.step([x[0], x[1], x[2], x[3]]);
+            for l in 0..4 {
+                prop_assert!(got[l].to_bits() == scalars[l].step(x[l]).to_bits());
+            }
+        }
+    }
+}
+
+/// One calibration, shared by the estimator property tests below — the
+/// PDN design plus gain sweep is far too slow to redo per proptest case.
+fn shared_estimator() -> &'static EmergencyEstimator<VarianceModel> {
+    static EST: OnceLock<EmergencyEstimator<VarianceModel>> = OnceLock::new();
+    EST.get_or_init(|| {
+        let sys = DidtSystem::standard().expect("system");
+        let pdn = sys.pdn_at(150.0).expect("pdn");
+        let gains = ScaleGainModel::calibrate(&pdn, 64, 0xCAB1).expect("gains");
+        EmergencyEstimator::new(VarianceModel::new(gains), 0.97)
+    })
+}
+
+proptest! {
+    // The full estimator round trip is calibration-backed and slower
+    // per case, so sweep fewer cases than the pure-DSP properties.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched characterization sweep — lane-packed DWT, per-scale
+    /// variances, gain lookup, window moments — returns bitwise the
+    /// scalar `estimate_trace` triple for any window count: full
+    /// 4-lane groups, ragged tails, and sub-lane counts that fall back
+    /// to the scalar path outright.
+    #[test]
+    fn estimate_trace_batch_matches_scalar(
+        windows in 1usize..=9,
+        raw in prop::collection::vec(20.0f64..80.0, 9 * 64..=9 * 64),
+    ) {
+        let est = shared_estimator();
+        let trace = &raw[..windows * 64];
+        let (p_want, n_want, v_want) = est.estimate_trace(trace).unwrap();
+        let (p_got, n_got, v_got) = est.estimate_trace_batch(trace).unwrap();
+        prop_assert_eq!(p_want.to_bits(), p_got.to_bits());
+        prop_assert_eq!(n_want, n_got);
+        prop_assert_eq!(v_want.to_bits(), v_got.to_bits());
+    }
+}
+
+/// The monitor-facing batch wrapper, checked against four scalar
+/// monitors over a deterministic drive at several pipeline delays.
+#[test]
+fn biquad_monitor_batch_matches_scalar_monitors() {
+    let sys = DidtSystem::standard().expect("system");
+    let pdn = sys.pdn_at(150.0).expect("pdn");
+    for delay in [0usize, 1, 4] {
+        let mut batch = BiquadMonitorBatch::<4>::new(&pdn, delay);
+        let mut scalars: Vec<BiquadMonitor> =
+            (0..4).map(|_| BiquadMonitor::new(&pdn, delay)).collect();
+        for c in 0..2_000 {
+            let mut currents = [0.0f64; 4];
+            for (l, x) in currents.iter_mut().enumerate() {
+                *x = 30.0 + 25.0 * ((c as f64) * 0.21 + l as f64).sin();
+            }
+            let got = batch.observe(currents);
+            for (l, m) in scalars.iter_mut().enumerate() {
+                let want = m.observe(CycleSense {
+                    current: currents[l],
+                    voltage: 1.0,
+                });
+                assert_eq!(
+                    got[l].to_bits(),
+                    want.to_bits(),
+                    "delay {delay} lane {l} cycle {c}"
+                );
+            }
+        }
+    }
+}

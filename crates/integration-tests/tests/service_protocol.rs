@@ -527,3 +527,94 @@ fn shutdown_drains_admitted_work() {
     let _ = worker.join().expect("client thread");
     assert_eq!(report.worker_panics, 0);
 }
+
+/// Batched same-calibration drains must be invisible on the wire: each
+/// response in a `handle_batch` group is bitwise the response the same
+/// request gets handled alone, and the group is recorded in the
+/// service's `batch` stats block (group count, request count, mean
+/// fill ratio against the drain cap).
+#[test]
+fn batched_characterize_is_bitwise_identical_and_counted() {
+    let service = Service::standard().expect("service");
+    let trace = deterministic_trace(1_024);
+    let requests: Vec<didt_serve::Request> = (0..5)
+        .map(|i| didt_serve::Request {
+            id: 100 + i,
+            deadline_ms: None,
+            body: didt_serve::RequestBody::Characterize(inline_characterize(trace.clone())),
+        })
+        .collect();
+
+    // Reference: each request handled on its own.
+    let solo: Vec<Json> = requests
+        .iter()
+        .map(|r| match service.handle(r, None).payload {
+            didt_serve::ResponsePayload::Ok { result, .. } => result,
+            other => panic!("solo characterize failed: {other:?}"),
+        })
+        .collect();
+
+    let group: Vec<(&didt_serve::Request, Option<Instant>)> =
+        requests.iter().map(|r| (r, None)).collect();
+    let batched = service.handle_batch(&group);
+    assert_eq!(batched.len(), solo.len());
+    for ((request, response), want) in requests.iter().zip(&batched).zip(&solo) {
+        assert_eq!(response.id, request.id);
+        match &response.payload {
+            didt_serve::ResponsePayload::Ok { result, .. } => assert_eq!(
+                result.render(),
+                want.render(),
+                "batched answer must be bitwise the solo answer"
+            ),
+            other => panic!("batched characterize failed: {other:?}"),
+        }
+    }
+
+    // One drained group of five requests against the BATCH_MAX = 8 cap.
+    let stats = service.stats();
+    use std::sync::atomic::Ordering;
+    assert_eq!(stats.batch_groups.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.batch_requests.load(Ordering::Relaxed), 5);
+    let report = match service
+        .handle(
+            &didt_serve::Request {
+                id: 999,
+                deadline_ms: None,
+                body: didt_serve::RequestBody::Stats,
+            },
+            None,
+        )
+        .payload
+    {
+        didt_serve::ResponsePayload::Ok { result, .. } => result,
+        other => panic!("stats failed: {other:?}"),
+    };
+    let batch = report
+        .get("batch")
+        .expect("stats must report a `batch` block");
+    let field = |k: &str| batch.get(k).and_then(Json::as_f64).expect(k);
+    assert_eq!(field("groups"), 1.0);
+    assert_eq!(field("batched_requests"), 5.0);
+    let want_fill = 5.0 / didt_serve::BATCH_MAX as f64;
+    assert!(
+        (field("mean_fill_ratio") - want_fill).abs() < 1e-12,
+        "mean_fill_ratio: {batch:?}"
+    );
+}
+
+/// A singleton pop is not a batch: `handle_batch` over one request must
+/// leave the batch counters untouched.
+#[test]
+fn singleton_handle_batch_is_not_counted_as_a_batch() {
+    let service = Service::standard().expect("service");
+    let request = didt_serve::Request {
+        id: 1,
+        deadline_ms: None,
+        body: didt_serve::RequestBody::Ping,
+    };
+    let responses = service.handle_batch(&[(&request, None)]);
+    assert_eq!(responses.len(), 1);
+    use std::sync::atomic::Ordering;
+    assert_eq!(service.stats().batch_groups.load(Ordering::Relaxed), 0);
+    assert_eq!(service.stats().batch_requests.load(Ordering::Relaxed), 0);
+}

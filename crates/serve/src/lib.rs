@@ -46,5 +46,5 @@ pub use protocol::{
     write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader,
     Request, RequestBody, Response, ResponsePayload, TraceSource, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server, ShutdownReport};
+pub use server::{ServeConfig, Server, ShutdownReport, BATCH_MAX};
 pub use service::{Service, ServiceStats};

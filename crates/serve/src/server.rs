@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use didt_dsp::Wavelet;
 use didt_telemetry::{Json, MetricsRegistry};
 
 use crate::protocol::{
@@ -78,6 +79,12 @@ impl Default for ServeConfig {
 
 /// How often connection readers wake up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Most requests a worker drains from the queue as one batch: the job
+/// it popped plus up to `BATCH_MAX - 1` queued `Characterize` requests
+/// sharing its calibration key. Two lane-groups of the batched
+/// estimator per drain.
+pub const BATCH_MAX: usize = 8;
 
 // ---------------------------------------------------------------------------
 // Bounded queue
@@ -146,6 +153,24 @@ impl<T> BoundedQueue<T> {
     fn close(&self) {
         self.inner.lock().expect("queue poisoned").closed = true;
         self.takers.notify_all();
+    }
+
+    /// Remove and return up to `max` queued items matching `pred`,
+    /// preserving queue order among both the taken and the remaining
+    /// items. Non-blocking; returns fewer (possibly zero) items when
+    /// the queue holds fewer matches.
+    fn drain_where<F: FnMut(&T) -> bool>(&self, max: usize, mut pred: F) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while taken.len() < max && i < inner.items.len() {
+            if pred(&inner.items[i]) {
+                taken.push(inner.items.remove(i).expect("indexed item"));
+            } else {
+                i += 1;
+            }
+        }
+        taken
     }
 }
 
@@ -390,43 +415,74 @@ fn admit(shared: &Arc<Shared>, request: Request, writer: &ConnWriter) {
     }
 }
 
+/// The calibration identity of a queued `Characterize` request: jobs
+/// sharing this key hit the same cached gain model, so a worker can
+/// drain them together and keep the calibration (and the batched
+/// estimator's lane groups) hot across the whole group.
+fn calibration_key(request: &Request) -> Option<(&'static str, &'static str, usize, u64)> {
+    match &request.body {
+        crate::protocol::RequestBody::Characterize(spec) => Some((
+            spec.family.name(),
+            spec.boundary.name(),
+            spec.window,
+            spec.pdn_pct.to_bits(),
+        )),
+        _ => None,
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let stats = shared.service.stats();
     let metrics = MetricsRegistry::global();
     while let Some(job) = shared.queue.pop() {
-        let now = Instant::now();
-        metrics
-            .histogram("serve.queue_wait_ns")
-            .record_duration(now.duration_since(job.enqueued));
-        let id = job.request.id;
-        let response = if job.deadline.is_some_and(|d| now >= d) {
-            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-            metrics.counter("serve.deadline_exceeded").incr();
-            Response::error(
-                id,
-                ErrorCode::DeadlineExceeded,
-                "deadline expired while queued",
-            )
-        } else {
-            let service = &shared.service;
-            let request = &job.request;
-            let deadline = job.deadline;
-            match catch_unwind(AssertUnwindSafe(|| service.handle(request, deadline))) {
-                Ok(response) => response,
-                Err(_) => {
-                    stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-                    metrics.counter("serve.worker_panics").incr();
-                    Response::error(id, ErrorCode::Internal, "request handler panicked")
-                }
+        // Same-calibration Characterize requests already waiting in the
+        // queue ride along with the popped job as one drained batch.
+        let mut group = vec![job];
+        if didt_dsp::batch_enabled() {
+            if let Some(key) = calibration_key(&group[0].request) {
+                group.extend(shared.queue.drain_where(BATCH_MAX - 1, |j: &Job| {
+                    calibration_key(&j.request) == Some(key)
+                }));
             }
-        };
-        stats.served.fetch_add(1, Ordering::Relaxed);
-        if matches!(response.payload, ResponsePayload::Error { .. }) {
-            metrics.counter("serve.errors").incr();
         }
-        // A peer that vanished mid-request is its own problem; the
-        // worker moves on.
-        let _ = send_response(&job.writer, &response);
+        if group.len() >= 2 {
+            shared.service.note_batch_group(group.len());
+        }
+        for job in group {
+            let now = Instant::now();
+            metrics
+                .histogram("serve.queue_wait_ns")
+                .record_duration(now.duration_since(job.enqueued));
+            let id = job.request.id;
+            let response = if job.deadline.is_some_and(|d| now >= d) {
+                stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("serve.deadline_exceeded").incr();
+                Response::error(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued",
+                )
+            } else {
+                let service = &shared.service;
+                let request = &job.request;
+                let deadline = job.deadline;
+                match catch_unwind(AssertUnwindSafe(|| service.handle(request, deadline))) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        metrics.counter("serve.worker_panics").incr();
+                        Response::error(id, ErrorCode::Internal, "request handler panicked")
+                    }
+                }
+            };
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            if matches!(response.payload, ResponsePayload::Error { .. }) {
+                metrics.counter("serve.errors").incr();
+            }
+            // A peer that vanished mid-request is its own problem; the
+            // worker moves on.
+            let _ = send_response(&job.writer, &response);
+        }
     }
 }
 
@@ -445,6 +501,21 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_where_takes_matches_in_order_and_preserves_rest() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        let even = q.drain_where(2, |v| v % 2 == 0);
+        assert_eq!(even, vec![2, 4]); // capped at 2, in queue order
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(6));
+        assert!(q.drain_where(4, |_| true).is_empty());
     }
 
     #[test]

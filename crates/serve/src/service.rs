@@ -57,6 +57,11 @@ pub struct ServiceStats {
     pub workers: AtomicU64,
     /// Admission queue capacity (set once at server start).
     pub queue_capacity: AtomicU64,
+    /// Same-calibration `Characterize` groups drained together (size
+    /// ≥ 2; singleton pops are not batches).
+    pub batch_groups: AtomicU64,
+    /// Requests served inside those groups.
+    pub batch_requests: AtomicU64,
 }
 
 impl ServiceStats {
@@ -182,6 +187,33 @@ impl Service {
         }
     }
 
+    /// Handle a drained group of requests sequentially, recording the
+    /// group in the batch counters when it holds two or more requests.
+    /// Each response is exactly what [`Service::handle`] would have
+    /// produced for that request alone — batching is invisible to
+    /// clients.
+    #[must_use]
+    pub fn handle_batch(&self, group: &[(&Request, Option<Instant>)]) -> Vec<Response> {
+        if group.len() >= 2 {
+            self.note_batch_group(group.len());
+        }
+        group
+            .iter()
+            .map(|(req, dl)| self.handle(req, *dl))
+            .collect()
+    }
+
+    /// Record one drained same-calibration group of `size` requests.
+    pub(crate) fn note_batch_group(&self, size: usize) {
+        self.stats.batch_groups.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .batch_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        MetricsRegistry::global()
+            .counter("serve.batch.drained")
+            .add(size as u64);
+    }
+
     fn stats_report(&self) -> Json {
         let mut pairs = vec![(
             "uptime_ms",
@@ -243,6 +275,27 @@ impl Service {
                 (
                     "replay_cycles",
                     Json::num(metrics.counter(didt_trace::REPLAY_CYCLES_COUNTER).get() as f64),
+                ),
+            ]),
+        ));
+        // Batched same-calibration Characterize drains (the worker pool
+        // records these; zero when batching is disabled or traffic
+        // never lines up). Fill ratio is measured against the drain
+        // limit [`crate::server::BATCH_MAX`].
+        let groups = self.stats.batch_groups.load(Ordering::Relaxed);
+        let batched = self.stats.batch_requests.load(Ordering::Relaxed);
+        pairs.push((
+            "batch",
+            Json::obj(vec![
+                ("groups", Json::num(groups as f64)),
+                ("batched_requests", Json::num(batched as f64)),
+                (
+                    "mean_fill_ratio",
+                    Json::num(if groups > 0 {
+                        batched as f64 / (groups * crate::server::BATCH_MAX as u64) as f64
+                    } else {
+                        0.0
+                    }),
                 ),
             ]),
         ));
@@ -413,8 +466,13 @@ impl Service {
             VarianceModel::with_boundary((*gains).clone(), None, spec.boundary)
         };
         let estimator = EmergencyEstimator::new(model, spec.threshold);
-        let (fraction, windows, mean_v) =
-            estimator.estimate_trace(&trace).map_err(|e| didt_err(&e))?;
+        // The batched tiling: lane-groups of windows through the SoA
+        // kernels, bit-identical to `estimate_trace` (and falling back
+        // to it per window for expansive boundaries or forced-scalar
+        // runs).
+        let (fraction, windows, mean_v) = estimator
+            .estimate_trace_batch(&trace)
+            .map_err(|e| didt_err(&e))?;
 
         Ok(Json::obj(vec![
             ("trace_len", Json::num(trace.len() as f64)),

@@ -14,11 +14,20 @@
 //!   (`--rate-tolerance`, default 0.9 = flag only order-of-magnitude
 //!   collapses) and are otherwise informational.
 //!
-//! Structural fields (schema, serial/parallel bit-identity) are checked
-//! exactly. Exit status is nonzero when any check fails, so the CI step
-//! is just `bench_diff <reference> <candidate>`.
+//! Structural fields (schema, serial/parallel bit-identity, batched-
+//! kernel lane-0 bit-identity) are checked exactly. A schema mismatch
+//! reports *which* top-level sections differ between the two files
+//! instead of a bare name comparison, and `--schema <name>` pins the
+//! expected schema explicitly (both files must carry it). Exit status
+//! is nonzero when any check fails, so the CI step is just
+//! `bench_diff <reference> <candidate>`.
+//!
+//! A second mode, `bench_diff --manifest-fingerprint <a.json> <b.json>`,
+//! compares the non-timing fingerprints of two run manifests — CI uses
+//! it to assert that a forced-scalar (`DIDT_BATCH_LANES=1`) smoke run
+//! and an auto-dispatch run produce identical deterministic outputs.
 
-use didt_telemetry::Json;
+use didt_telemetry::{Json, RunManifest};
 use std::process::ExitCode;
 
 /// One comparison: a dotted path into both reports plus its band kind.
@@ -60,6 +69,14 @@ const METRICS: &[Metric] = &[
         path: &["sim", "serial_cycles_per_sec"],
         kind: Kind::Rate,
     },
+    Metric {
+        path: &["batch", "best_speedup"],
+        kind: Kind::Ratio,
+    },
+    Metric {
+        path: &["batch", "estimate_sweep", "batch_windows_per_sec"],
+        kind: Kind::Rate,
+    },
 ];
 
 fn lookup<'a>(root: &'a Json, path: &[&str]) -> Option<&'a Json> {
@@ -77,8 +94,73 @@ fn load(path: &str) -> Result<Json, String> {
 
 fn usage() -> String {
     "usage: bench_diff <reference.json> <candidate.json> \
-     [--ratio-tolerance F] [--rate-tolerance F]"
+     [--ratio-tolerance F] [--rate-tolerance F] [--schema NAME]\n\
+     \x20      bench_diff --manifest-fingerprint <a.json> <b.json>"
         .to_string()
+}
+
+/// The top-level object keys of one report, for schema-mismatch diffs.
+fn sections(j: &Json) -> Vec<String> {
+    match j {
+        Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Report which top-level sections each file is missing relative to the
+/// other, so a schema bump fails with an actionable diff.
+fn section_diff(reference: &Json, candidate: &Json) -> String {
+    let rs = sections(reference);
+    let cs = sections(candidate);
+    let missing: Vec<&str> = rs
+        .iter()
+        .filter(|k| !cs.contains(k))
+        .map(String::as_str)
+        .collect();
+    let extra: Vec<&str> = cs
+        .iter()
+        .filter(|k| !rs.contains(k))
+        .map(String::as_str)
+        .collect();
+    format!(
+        "sections missing from candidate: [{}]; only in candidate: [{}]",
+        missing.join(", "),
+        extra.join(", ")
+    )
+}
+
+/// Compare the non-timing fingerprints of two run manifests.
+fn manifest_fingerprint_mode(a_path: &str, b_path: &str) -> Result<bool, String> {
+    let parse = |path: &str| -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        RunManifest::from_json_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let a = parse(a_path)?.non_timing_fingerprint();
+    let b = parse(b_path)?.non_timing_fingerprint();
+    if a == b {
+        // FNV-1a digest: enough to quote in a log line without dumping
+        // the whole fingerprint document.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in a.bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x1000_0000_01b3);
+        }
+        println!(
+            "ok    non-timing fingerprints identical ({} bytes, fnv1a {h:016x})",
+            a.len()
+        );
+        Ok(true)
+    } else {
+        // Quote the first differing line of each so the failure is
+        // actionable straight from the CI log.
+        let differing = a
+            .lines()
+            .zip(b.lines())
+            .find(|(x, y)| x != y)
+            .map(|(x, y)| format!("\n  first differing line:\n  {a_path}: {x}\n  {b_path}: {y}"))
+            .unwrap_or_default();
+        println!("FAIL  non-timing fingerprints differ{differing}");
+        Ok(false)
+    }
 }
 
 fn run() -> Result<bool, String> {
@@ -86,6 +168,8 @@ fn run() -> Result<bool, String> {
     let mut files: Vec<&str> = Vec::new();
     let mut ratio_tol = 0.5f64;
     let mut rate_tol = 0.9f64;
+    let mut want_schema: Option<String> = None;
+    let mut fingerprint_mode = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,6 +188,10 @@ fn run() -> Result<bool, String> {
                     rate_tol = v;
                 }
             }
+            "--schema" => {
+                want_schema = Some(it.next().ok_or_else(usage)?.clone());
+            }
+            "--manifest-fingerprint" => fingerprint_mode = true,
             "--help" | "-h" => return Err(usage()),
             other => files.push(other),
         }
@@ -111,6 +199,9 @@ fn run() -> Result<bool, String> {
     let [reference_path, candidate_path] = files.as_slice() else {
         return Err(usage());
     };
+    if fingerprint_mode {
+        return manifest_fingerprint_mode(reference_path, candidate_path);
+    }
     let reference = load(reference_path)?;
     let candidate = load(candidate_path)?;
 
@@ -120,11 +211,22 @@ fn run() -> Result<bool, String> {
         ok = false;
     };
 
-    // Structural checks: exact.
+    // Structural checks: exact. On mismatch, say which sections differ,
+    // not just which label — that is what a schema bump actually means.
     let schema = |j: &Json| j.get("schema").and_then(Json::as_str).map(str::to_string);
-    match (schema(&reference), schema(&candidate)) {
-        (Some(a), Some(b)) if a == b => println!("ok    schema: {a}"),
-        (a, b) => fail(format!("schema mismatch: reference {a:?}, candidate {b:?}")),
+    match (schema(&reference), schema(&candidate), &want_schema) {
+        (Some(a), Some(b), Some(w)) if a == *w && b == *w => println!("ok    schema: {a}"),
+        (Some(a), Some(b), None) if a == b => println!("ok    schema: {a}"),
+        (a, b, w) => {
+            let expected = match w {
+                Some(w) => format!(" (expected --schema {w})"),
+                None => String::new(),
+            };
+            fail(format!(
+                "schema mismatch{expected}: reference {a:?}, candidate {b:?}; {}",
+                section_diff(&reference, &candidate)
+            ));
+        }
     }
     match lookup(&candidate, &["sweep", "serial_parallel_identical"]) {
         Some(Json::Bool(true)) => println!("ok    sweep.serial_parallel_identical: true"),
@@ -138,6 +240,15 @@ fn run() -> Result<bool, String> {
     match lookup(&candidate, &["dwt", "within_noise"]) {
         Some(Json::Bool(true)) => println!("ok    dwt.within_noise: true"),
         other => fail(format!("dwt.within_noise must be true, got {other:?}")),
+    }
+    // Candidate-only: every batched kernel lane must have stayed
+    // bitwise equal to the scalar path (lane 0 is the contract floor;
+    // the harness verifies all lanes and reports both flags).
+    match lookup(&candidate, &["batch", "lane0_bit_identical"]) {
+        Some(Json::Bool(true)) => println!("ok    batch.lane0_bit_identical: true"),
+        other => fail(format!(
+            "batch.lane0_bit_identical must be true, got {other:?}"
+        )),
     }
 
     // Banded metric checks.
