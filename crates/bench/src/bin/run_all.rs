@@ -54,8 +54,9 @@ const EXPERIMENTS: &[&str] = &[
     "trace_record",
     "ext_phase_clustering",
     "perf_report",
-    // Built by didt-serve, not didt-bench; lands in the same bin dir.
+    // Built by didt-serve, not didt-bench; land in the same bin dir.
     "load_report",
+    "storm_report",
 ];
 
 struct Outcome {

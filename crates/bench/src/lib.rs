@@ -15,8 +15,8 @@ pub mod table;
 pub use experiments::{benchmark_trace, standard_system, TRACE_CYCLES, TRACE_WARMUP};
 pub use observe::Experiment;
 pub use runner::{
-    capture_records, default_threads, point_seed, with_worker_scratch, workload_seed, CacheStats,
-    ControllerSpec, ExperimentRunner, MemoCache, MemoStats, PointResult, RunParams, Sweep,
-    SweepContext, SweepPoint, WorkerScratch,
+    capture_records, default_threads, pct_millis, point_seed, with_worker_scratch, workload_seed,
+    CacheStats, ControllerSpec, ExperimentRunner, GainSnapshotEntry, MemoCache, MemoStats,
+    PointResult, RunParams, Sweep, SweepContext, SweepPoint, WorkerScratch,
 };
 pub use table::TextTable;

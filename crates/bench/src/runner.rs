@@ -307,6 +307,47 @@ impl<K: Eq + std::hash::Hash + Clone, V> MemoCache<K, V> {
         self.contended.load(Ordering::Relaxed)
     }
 
+    /// Insert an already-computed value for `key` without running a
+    /// compute closure, for cache warming from a peer's snapshot.
+    ///
+    /// Returns `true` if the value was installed, `false` when the key
+    /// already holds a value (or has a fill in flight) — the resident
+    /// value always wins, so a snapshot can never overwrite local work.
+    /// Seeding bumps neither `requests` nor `computations`: warmed
+    /// entries count as hits when first requested, which is exactly the
+    /// effect cache warming is meant to have on the hit ratio.
+    pub fn seed(&self, key: K, value: V) -> bool {
+        let shard = &self.shards[self.shard_of(&key)];
+        let slot = {
+            let mut slots = shard.lock().expect("memo cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut installed = false;
+        slot.get_or_init(|| {
+            installed = true;
+            Arc::new(value)
+        });
+        installed
+    }
+
+    /// Snapshot of every completed entry: `(key, value)` pairs whose
+    /// fill has finished. Entries with a compute still in flight are
+    /// skipped rather than waited on, so this never blocks on a fill —
+    /// the exporter side of the cache-warming protocol.
+    #[must_use]
+    pub fn completed_entries(&self) -> Vec<(K, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let slots = shard.lock().expect("memo cache poisoned");
+            for (key, slot) in slots.iter() {
+                if let Some(value) = slot.get() {
+                    out.push((key.clone(), Arc::clone(value)));
+                }
+            }
+        }
+        out
+    }
+
     /// All counters in one shard-summed snapshot; see [`MemoStats`].
     #[must_use]
     pub fn stats(&self) -> MemoStats {
@@ -832,6 +873,24 @@ type FamilyDesignKey = (u64, usize, &'static str, &'static str);
 /// instructions, warmup cycles, workload seed).
 type BaselineKey = (u64, &'static str, u64, u64, u64);
 
+/// One gain-model calibration lifted out of (or destined for) a
+/// [`SweepContext`] memo cache — the unit of the cluster cache-warming
+/// snapshot. Key parts mirror the cache keys exactly; `pct_millis` is
+/// the [`pct_millis`] encoding of the PDN impedance percentage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainSnapshotEntry {
+    /// PDN impedance percentage in millipercent (cache-key encoding).
+    pub pct_millis: u64,
+    /// Analysis window in cycles.
+    pub window: usize,
+    /// Calibration seed.
+    pub seed: u64,
+    /// Wavelet family the model was calibrated in.
+    pub family: WaveletFamily,
+    /// The calibrated model itself.
+    pub model: ScaleGainModel,
+}
+
 impl SweepContext {
     /// Build the context around the standard Table 1 system.
     ///
@@ -1054,6 +1113,58 @@ impl SweepContext {
             let _span = didt_telemetry::span("cache.fill.family_gains");
             ScaleGainModel::calibrate_family(&pdn, window, seed, family).expect("probed above")
         }))
+    }
+
+    /// Export completed gain-model calibrations (both the Haar cache
+    /// and the family cache) for cache warming a peer, newest-key-last
+    /// order unspecified, truncated to `max` entries. Only finished
+    /// fills are included; in-flight calibrations are skipped, never
+    /// waited on.
+    #[must_use]
+    pub fn export_gain_entries(&self, max: usize) -> Vec<GainSnapshotEntry> {
+        let mut out = Vec::new();
+        for ((pct_millis, window, seed), model) in self.gains.completed_entries() {
+            out.push(GainSnapshotEntry {
+                pct_millis,
+                window,
+                seed,
+                family: WaveletFamily::Haar,
+                model: (*model).clone(),
+            });
+        }
+        for ((pct_millis, window, seed, family), model) in self.family_gains.completed_entries() {
+            let Some(family) = WaveletFamily::parse(family) else {
+                continue; // cache keys are always valid names
+            };
+            out.push(GainSnapshotEntry {
+                pct_millis,
+                window,
+                seed,
+                family,
+                model: (*model).clone(),
+            });
+        }
+        out.truncate(max);
+        out
+    }
+
+    /// Install one peer-exported gain calibration into the matching
+    /// cache without recomputing it. Returns `true` if the entry was
+    /// installed, `false` when the key is already resident (the local
+    /// value wins — warming never overwrites local work).
+    pub fn import_gain_entry(&self, entry: GainSnapshotEntry) -> bool {
+        if entry.family == WaveletFamily::Haar {
+            self.gains
+                .seed((entry.pct_millis, entry.window, entry.seed), entry.model)
+        } else {
+            let key = (
+                entry.pct_millis,
+                entry.window,
+                entry.seed,
+                entry.family.name(),
+            );
+            self.family_gains.seed(key, entry.model)
+        }
     }
 
     /// The uncontrolled closed-loop baseline for one (benchmark,
@@ -1437,6 +1548,67 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16 * 50);
         assert_eq!(cache.computations(), 1, "value computed more than once");
+    }
+
+    #[test]
+    fn memo_cache_seed_installs_without_counting_as_compute() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        assert!(cache.seed(1, 10), "seed into empty slot must install");
+        assert_eq!(cache.computations(), 0);
+        assert_eq!(cache.requests(), 0);
+        // First request after warming is a pure hit.
+        let v = cache.get_or_compute(1, || unreachable!("warmed"));
+        assert_eq!(*v, 10);
+        assert_eq!((cache.requests(), cache.hits()), (1, 1));
+        // Resident value wins over a late snapshot.
+        assert!(!cache.seed(1, 99));
+        assert_eq!(*cache.get_or_compute(1, || unreachable!()), 10);
+    }
+
+    #[test]
+    fn memo_cache_completed_entries_round_trip() {
+        let a: MemoCache<u64, u64> = MemoCache::new();
+        for k in 0..20u64 {
+            a.get_or_compute(k, || k * 3);
+        }
+        let entries = a.completed_entries();
+        assert_eq!(entries.len(), 20);
+        let b: MemoCache<u64, u64> = MemoCache::new();
+        for (k, v) in entries {
+            assert!(b.seed(k, *v));
+        }
+        assert_eq!(b.len(), 20);
+        for k in 0..20u64 {
+            assert_eq!(*b.get_or_compute(k, || unreachable!("warmed")), k * 3);
+        }
+        assert_eq!(b.computations(), 0);
+    }
+
+    #[test]
+    fn gain_snapshot_export_import_is_bit_exact() {
+        let ctx = SweepContext::standard().unwrap();
+        let haar = ctx.gain_model(100.0, 256, 11).unwrap();
+        let db4 = ctx
+            .gain_model_family(100.0, 256, 11, WaveletFamily::Db4)
+            .unwrap();
+        let entries = ctx.export_gain_entries(usize::MAX);
+        assert_eq!(entries.len(), 2);
+
+        let peer = SweepContext::standard().unwrap();
+        for e in entries {
+            assert!(peer.import_gain_entry(e));
+        }
+        // Warmed peer serves both models as hits, bit-identical.
+        let haar2 = peer.gain_model(100.0, 256, 11).unwrap();
+        let db42 = peer
+            .gain_model_family(100.0, 256, 11, WaveletFamily::Db4)
+            .unwrap();
+        assert_eq!(*haar2, *haar);
+        assert_eq!(*db42, *db4);
+        assert_eq!(peer.cache_stats().gains, 0, "warmed model recomputed");
+        assert_eq!(peer.cache_stats().family_gains, 0);
+        // Truncation bound respected.
+        assert_eq!(ctx.export_gain_entries(1).len(), 1);
     }
 
     #[test]

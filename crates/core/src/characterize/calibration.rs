@@ -351,6 +351,66 @@ impl ScaleGainModel {
         Ok(row[lo] + t * (row[hi] - row[lo]))
     }
 
+    /// The raw calibration grid, `rows[level - 1][rho_index]` over the
+    /// fixed ρ grid `[-0.8, -0.4, 0.0, 0.4, 0.8]`. This is the model's
+    /// entire learned state; together with [`Self::window`],
+    /// [`Self::resistance`], [`Self::vdd`] and [`Self::family`] it is
+    /// what cache-warming snapshots ship between serve workers.
+    #[must_use]
+    pub fn gain_rows(&self) -> &[[f64; 5]] {
+        &self.gains
+    }
+
+    /// Reassemble a model from parts previously read out of another
+    /// process's model (the cache-warming snapshot path). The level
+    /// count is implied by `gains.len()`. Bit-identical round-trip:
+    /// `from_parts(m.window(), m.gain_rows().to_vec(), m.resistance(),
+    /// m.vdd(), m.family())` compares equal to `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DidtError::InvalidConfig`] for a non-power-of-two or
+    /// undersized window, an empty or oversized gain grid, or
+    /// non-finite parameters.
+    pub fn from_parts(
+        window: usize,
+        gains: Vec<[f64; 5]>,
+        resistance: f64,
+        vdd: f64,
+        family: WaveletFamily,
+    ) -> Result<Self, DidtError> {
+        if !window.is_power_of_two() || window < 8 {
+            return Err(DidtError::InvalidConfig {
+                name: "window",
+                reason: "window must be a power of two, at least 8",
+            });
+        }
+        let levels = gains.len();
+        if levels == 0 || (1usize << levels) > window {
+            return Err(DidtError::InvalidConfig {
+                name: "gains",
+                reason: "gain grid must hold between 1 and log2(window) levels",
+            });
+        }
+        if !resistance.is_finite()
+            || !vdd.is_finite()
+            || gains.iter().flatten().any(|g| !g.is_finite())
+        {
+            return Err(DidtError::InvalidConfig {
+                name: "gains",
+                reason: "snapshot parameters must be finite",
+            });
+        }
+        Ok(ScaleGainModel {
+            window,
+            levels,
+            gains,
+            resistance,
+            vdd,
+            family,
+        })
+    }
+
     /// Levels ranked by their zero-correlation gain, strongest first —
     /// used to pick the "4 of 8 levels" of the paper's Figure 8.
     #[must_use]
@@ -422,6 +482,34 @@ mod tests {
         let m = model();
         assert!(m.gain(0, 0.0).is_err());
         assert!(m.gain(9, 0.0).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_exactly() {
+        let m = model();
+        let rebuilt = ScaleGainModel::from_parts(
+            m.window(),
+            m.gain_rows().to_vec(),
+            m.resistance(),
+            m.vdd(),
+            m.family(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_snapshots() {
+        let m = model();
+        let rows = m.gain_rows().to_vec();
+        // Non-power-of-two window.
+        assert!(ScaleGainModel::from_parts(100, rows.clone(), 1.0, 1.0, m.family()).is_err());
+        // Empty grid.
+        assert!(ScaleGainModel::from_parts(256, Vec::new(), 1.0, 1.0, m.family()).is_err());
+        // More levels than log2(window).
+        assert!(ScaleGainModel::from_parts(8, rows.clone(), 1.0, 1.0, m.family()).is_err());
+        // Non-finite parameter.
+        assert!(ScaleGainModel::from_parts(256, rows, f64::NAN, 1.0, m.family()).is_err());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Run the shard router in front of a worker fleet.
+//!
+//! ```text
+//! cluster --addr HOST:PORT --worker HOST:PORT [--worker HOST:PORT ...]
+//!         [--replicas N] [--probe-ms N] [--max-in-flight N] [--no-warm]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7420`), prints one
+//! `didt-cluster routing on <addr> across <N> workers` line so scripts
+//! can scrape the resolved address, then routes until killed. Workers
+//! are ordinary `serve` processes; they need no cluster-specific
+//! configuration and cannot tell a router from a direct client.
+//!
+//! The CI cluster smoke job starts two `serve` workers and this binary,
+//! drives them with `storm_report --smoke`, kills one worker mid-storm,
+//! and gates on zero lost or duplicated responses.
+
+use didt_serve::{Router, RouterConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn arg_values(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7420".to_string());
+    let workers = arg_values("--worker");
+    if workers.is_empty() {
+        return Err("cluster needs at least one --worker HOST:PORT".into());
+    }
+    let mut config = RouterConfig::new(addr, workers);
+    if let Some(r) = arg_value("--replicas") {
+        config.replicas = r.parse::<usize>()?.max(1);
+    }
+    if let Some(ms) = arg_value("--probe-ms") {
+        config.probe_interval_ms = ms.parse::<u64>()?.max(1);
+    }
+    if let Some(n) = arg_value("--max-in-flight") {
+        config.max_in_flight = n.parse::<u64>()?.max(1);
+    }
+    if std::env::args().any(|a| a == "--no-warm") {
+        config.warm_on_rejoin = false;
+    }
+
+    let worker_count = config.workers.len();
+    let router = Router::start(config)?;
+    println!(
+        "didt-cluster routing on {} across {worker_count} workers ({} healthy)",
+        router.local_addr(),
+        router.healthy_workers()
+    );
+    // Routing happens on the router's own threads; this thread only
+    // keeps the process alive (CI kills the process; graceful drain is
+    // exercised by the in-process tests via Router::shutdown).
+    loop {
+        std::thread::park();
+    }
+}

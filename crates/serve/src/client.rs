@@ -4,17 +4,75 @@
 //! request-then-response calls, so responses can never arrive out of
 //! order even though the server's worker pool completes pipelined
 //! requests in any order.
+//!
+//! Overload handling is opt-in: with a [`ClientConfig`] retry budget,
+//! `Rejected{retry_after_ms}` answers are absorbed by a deterministic
+//! capped-exponential backoff (no jitter — replayable schedules) before
+//! surfacing as [`ClientError::Rejected`].
 
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use didt_bench::GainSnapshotEntry;
 use didt_telemetry::Json;
 
 use crate::protocol::{
-    write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader,
-    Request, RequestBody, Response, ResponsePayload, MAX_FRAME_LEN,
+    snapshot_entry_from_json, write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode,
+    FrameError, FrameReader, Request, RequestBody, Response, ResponsePayload, SessionSpec,
+    MAX_FRAME_LEN,
 };
+
+/// Client-side retry policy for `Rejected` (overload) responses.
+///
+/// The schedule is deterministic — no jitter — so a replayed workload
+/// produces a replayable retry trace: attempt `k` (0-based) sleeps
+/// `max(server_hint, base_ms << k)` capped at `cap_ms`. The default
+/// config never retries, preserving the pre-config behavior where every
+/// rejection surfaces immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Retries after the first rejection (0 = surface immediately).
+    pub max_retries: u32,
+    /// First retry delay (doubles each attempt).
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single delay.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 0,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config that retries overload up to `max_retries` times with
+    /// the default backoff curve.
+    #[must_use]
+    pub fn with_retries(max_retries: u32) -> Self {
+        ClientConfig {
+            max_retries,
+            ..ClientConfig::default()
+        }
+    }
+
+    /// The deterministic delay before retry attempt `attempt`
+    /// (0-based), honoring the server's `retry_after_ms` hint as a
+    /// floor and `backoff_cap_ms` as a ceiling.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, server_hint_ms: u64) -> u64 {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        exp.max(server_hint_ms).min(self.backoff_cap_ms)
+    }
+}
 
 /// Why a call failed.
 #[derive(Debug)]
@@ -75,15 +133,26 @@ pub struct Client {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
     next_id: u64,
+    config: ClientConfig,
+    retries: u64,
 }
 
 impl Client {
-    /// Connect.
+    /// Connect with the default (no-retry) config.
     ///
     /// # Errors
     ///
     /// Propagates connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with an explicit retry/backoff config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failure.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
@@ -91,10 +160,29 @@ impl Client {
             writer,
             reader: FrameReader::new(stream),
             next_id: 1,
+            config,
+            retries: 0,
         })
     }
 
+    /// Replace the retry/backoff config.
+    pub fn set_config(&mut self, config: ClientConfig) {
+        self.config = config;
+    }
+
+    /// Overload retries this connection has performed (absorbed
+    /// `Rejected` answers that were eventually resolved or re-issued).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Issue one request and wait for its response (any status).
+    ///
+    /// With a retry budget ([`ClientConfig::max_retries`] > 0),
+    /// `Rejected` responses are retried on the deterministic backoff
+    /// schedule; the last rejection is returned as-is once the budget
+    /// is exhausted. `Error` responses are never retried.
     ///
     /// # Errors
     ///
@@ -106,12 +194,35 @@ impl Client {
         body: RequestBody,
         deadline_ms: Option<u64>,
     ) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let response = self.call_once(&body, deadline_ms)?;
+            let retry_after_ms = match &response.payload {
+                ResponsePayload::Rejected { retry_after_ms, .. }
+                    if attempt < self.config.max_retries =>
+                {
+                    *retry_after_ms
+                }
+                _ => return Ok(response),
+            };
+            let delay = self.config.backoff_ms(attempt, retry_after_ms);
+            std::thread::sleep(Duration::from_millis(delay));
+            self.retries += 1;
+            attempt += 1;
+        }
+    }
+
+    fn call_once(
+        &mut self,
+        body: &RequestBody,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request {
             id,
             deadline_ms,
-            body,
+            body: body.clone(),
         };
         write_frame(&mut self.writer, &request.to_json())?;
         let mut never = || false;
@@ -201,5 +312,117 @@ impl Client {
         deadline_ms: Option<u64>,
     ) -> Result<Json, ClientError> {
         Self::expect_ok(self.call(RequestBody::Design(spec), deadline_ms)?)
+    }
+
+    /// Open a streaming characterization session; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn session_open(&mut self, spec: SessionSpec) -> Result<u64, ClientError> {
+        let result = Self::expect_ok(self.call(RequestBody::SessionOpen(spec), None)?)?;
+        result
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("session_open result lacks `session`".to_string()))
+    }
+
+    /// Append samples to an open session.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn session_push(&mut self, session: u64, samples: Vec<f64>) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::SessionPush { session, samples }, None)?)
+    }
+
+    /// Incremental verdict over everything pushed so far.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn session_verdict(
+        &mut self,
+        session: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::SessionVerdict { session }, deadline_ms)?)
+    }
+
+    /// Close a session.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn session_close(&mut self, session: u64) -> Result<Json, ClientError> {
+        Self::expect_ok(self.call(RequestBody::SessionClose { session }, None)?)
+    }
+
+    /// Pull up to `max_entries` completed gain calibrations from the
+    /// peer's memo caches (the exporter half of cache warming).
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn snapshot_export(
+        &mut self,
+        max_entries: usize,
+    ) -> Result<Vec<GainSnapshotEntry>, ClientError> {
+        let result =
+            Self::expect_ok(self.call(RequestBody::SnapshotExport { max_entries }, None)?)?;
+        let arr = result
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("snapshot result lacks `entries`".to_string()))?;
+        arr.iter()
+            .map(|e| snapshot_entry_from_json(e).map_err(ClientError::Protocol))
+            .collect()
+    }
+
+    /// Install peer-exported calibrations into the server's caches (the
+    /// importer half of cache warming). Returns the count installed.
+    ///
+    /// # Errors
+    ///
+    /// All [`ClientError`] variants.
+    pub fn snapshot_import(&mut self, entries: Vec<GainSnapshotEntry>) -> Result<u64, ClientError> {
+        let result = Self::expect_ok(self.call(RequestBody::SnapshotImport { entries }, None)?)?;
+        result
+            .get("installed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("snapshot result lacks `installed`".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_hint_floored() {
+        let cfg = ClientConfig {
+            max_retries: 8,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 400,
+        };
+        // Pure exponential when the hint is below the curve.
+        assert_eq!(cfg.backoff_ms(0, 0), 25);
+        assert_eq!(cfg.backoff_ms(1, 0), 50);
+        assert_eq!(cfg.backoff_ms(2, 0), 100);
+        assert_eq!(cfg.backoff_ms(3, 0), 200);
+        // Capped from attempt 4 on.
+        assert_eq!(cfg.backoff_ms(4, 0), 400);
+        assert_eq!(cfg.backoff_ms(63, 0), 400);
+        assert_eq!(cfg.backoff_ms(64, 0), 400, "shift overflow must cap");
+        // The server hint floors early attempts but never beats the cap.
+        assert_eq!(cfg.backoff_ms(0, 60), 60);
+        assert_eq!(cfg.backoff_ms(2, 60), 100);
+        assert_eq!(cfg.backoff_ms(0, 10_000), 400);
+        // Identical inputs, identical schedule (no jitter).
+        let a: Vec<u64> = (0..6).map(|k| cfg.backoff_ms(k, 50)).collect();
+        let b: Vec<u64> = (0..6).map(|k| cfg.backoff_ms(k, 50)).collect();
+        assert_eq!(a, b);
+        // The default config never retries.
+        assert_eq!(ClientConfig::default().max_retries, 0);
     }
 }

@@ -1,0 +1,21 @@
+//! The scale-out tier: consistent-hash sharded routing over a worker
+//! fleet.
+//!
+//! A [`Router`] fronts N ordinary [`crate::server::Server`] workers.
+//! Requests that carry a calibration identity
+//! ([`crate::protocol::Request::shard_key`]) are consistently hashed
+//! onto the fleet by [`HashRing`], so every worker's memo caches stay
+//! hot and pairwise disjoint; streaming sessions are pinned to the
+//! worker that opened them; and a worker (re)joining the ring is warmed
+//! from a healthy peer's caches ([`warm_worker`]) before it takes
+//! traffic. The router speaks the same length-prefixed JSON wire
+//! protocol on both sides — clients need no changes, and a worker
+//! cannot tell a router from a direct client.
+
+pub mod ring;
+pub mod router;
+pub mod snapshot;
+
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig, RouterReport};
+pub use snapshot::warm_worker;

@@ -1,0 +1,149 @@
+//! Consistent-hash ring over worker indices.
+//!
+//! Each worker owns `replicas` virtual nodes placed by a full-avalanche
+//! 64-bit mix (splitmix64's finalizer) on the `u64` key space; a shard
+//! key routes to the first virtual node at or clockwise after it.
+//! Virtual nodes smooth the per-worker share of the key space, and
+//! consistency means a worker joining or leaving only moves the keys
+//! adjacent to its own virtual nodes — every other shard's memo cache
+//! stays where it was.
+
+/// A fixed-membership consistent-hash ring. Health is intentionally
+/// *not* stored here: the ring is immutable after construction, and
+/// callers pass a liveness predicate to [`HashRing::route_healthy`] so
+/// a worker flapping up and down never moves keys between healthy
+/// workers.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, worker)` pairs — the ring.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl HashRing {
+    /// A ring of `workers` members with `replicas` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `replicas` is zero — an empty ring has
+    /// nowhere to route.
+    #[must_use]
+    pub fn new(workers: usize, replicas: usize) -> Self {
+        assert!(workers > 0, "ring needs at least one worker");
+        assert!(replicas > 0, "ring needs at least one replica");
+        let mut points = Vec::with_capacity(workers * replicas);
+        for worker in 0..workers {
+            for replica in 0..replicas {
+                let h = mix64(((worker as u64) << 32) | replica as u64);
+                points.push((h, worker));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, workers }
+    }
+
+    /// Number of member workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker owning `key`, ignoring health.
+    #[must_use]
+    pub fn route(&self, key: u64) -> usize {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        self.points[start % self.points.len()].1
+    }
+
+    /// The first healthy worker at or clockwise after `key`: the owner
+    /// when it is healthy, otherwise the failover target. Returns
+    /// `None` when no worker satisfies `healthy`. Walking the ring (not
+    /// the worker list) keeps failover assignments as consistent as the
+    /// primary ones.
+    #[must_use]
+    pub fn route_healthy(&self, key: u64, healthy: impl Fn(usize) -> bool) -> Option<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let n = self.points.len();
+        let mut tried = 0usize;
+        for i in 0..n {
+            let (_, worker) = self.points[(start + i) % n];
+            if healthy(worker) {
+                return Some(worker);
+            }
+            // Every worker appears `replicas` times; bail once we have
+            // provably consulted all of them.
+            tried += 1;
+            if tried >= n {
+                break;
+            }
+        }
+        None
+    }
+}
+
+/// splitmix64's finalizer: a bijective full-avalanche mix, so vnode
+/// points spread uniformly even though (worker, replica) inputs are
+/// tiny consecutive integers.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(3, 64);
+        for key in (0..10_000u64).map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            let w = ring.route(key);
+            assert!(w < 3);
+            assert_eq!(w, ring.route(key), "route must be stable");
+            assert_eq!(ring.clone().route(key), w, "route must survive clone");
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_balance_the_key_space() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for key in (0..40_000u64).map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            counts[ring.route(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / 40_000.0;
+            assert!(
+                (0.12..=0.40).contains(&share),
+                "worker {i} owns {share:.3} of the key space"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_only_moves_the_dead_workers_keys() {
+        let ring = HashRing::new(3, 64);
+        let keys: Vec<u64> = (0..5_000u64)
+            .map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for &key in &keys {
+            let primary = ring.route(key);
+            let dead = (primary + 1) % 3;
+            // A different worker dying must not move this key.
+            let with_dead = ring.route_healthy(key, |w| w != dead).unwrap();
+            assert_eq!(with_dead, primary, "unrelated death moved key {key:#x}");
+            // The owner dying moves it to some other healthy worker.
+            let failed_over = ring.route_healthy(key, |w| w != primary).unwrap();
+            assert_ne!(failed_over, primary);
+        }
+    }
+
+    #[test]
+    fn route_healthy_exhausts_to_none() {
+        let ring = HashRing::new(2, 8);
+        assert_eq!(ring.route_healthy(42, |_| false), None);
+        assert_eq!(ring.route_healthy(42, |w| w == 1), Some(1));
+    }
+}

@@ -1,0 +1,1017 @@
+//! The router: consistent-hash sharding front for a worker fleet.
+//!
+//! ```text
+//!  clients ──► router accept ──► connection threads (1/conn)
+//!                                     │ shard_key() → ring → worker
+//!                                     ▼
+//!                         worker conn pools (per worker)
+//!                                     │        ▲
+//!                                     ▼        │ health probes,
+//!                               worker servers │ cache warming
+//! ```
+//!
+//! Design points:
+//!
+//! * **Sharding follows the calibration key.** A request's
+//!   [`crate::protocol::Request::shard_key`] — FNV-1a over (family,
+//!   boundary, window, PDN bits), the same identity the worker's batch
+//!   drain groups on — picks its worker on a consistent-hash ring
+//!   ([`super::HashRing`]). Same key, same worker: each worker's memo
+//!   caches stay hot and pairwise disjoint.
+//! * **Sessions are affine.** `SessionOpen` shards like the matching
+//!   one-shot `Characterize`; the router records which worker owns the
+//!   session, rewrites session ids (router-scoped ids outlive worker
+//!   restarts of *other* workers), and pins every follow-up to the
+//!   owner. A follow-up for a dead owner answers `unavailable` — the
+//!   streaming state died with the worker, and silently re-opening
+//!   elsewhere would break the bit-identity contract.
+//! * **Failover re-routes, rejection stays bounded.** A forward that
+//!   fails at the transport level marks the worker down, bumps the
+//!   route-table version, and walks the ring to the next healthy
+//!   worker (`serve.router.rerouted` counts the hops). Per-worker
+//!   in-flight is capped; a saturated worker answers a structured
+//!   `Rejected` with a retry hint instead of spilling to a cold shard.
+//! * **Joining workers are warmed first.** The health prober notices a
+//!   down→up transition, copies hot gain calibrations from a healthy
+//!   peer ([`super::warm_worker`]), and only then re-enables the
+//!   worker — its first routed request per warmed shard is a cache hit.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use didt_telemetry::{Json, MetricsRegistry};
+
+use super::ring::HashRing;
+use super::snapshot::warm_worker;
+use crate::protocol::{
+    write_frame, ErrorCode, FrameError, FrameReader, Request, RequestBody, Response,
+    ResponsePayload, MAX_FRAME_LEN, PROTOCOL_VERSION, SNAPSHOT_MAX_ENTRIES,
+};
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker addresses; ring membership is fixed for the router's
+    /// lifetime (health toggles, membership does not).
+    pub workers: Vec<String>,
+    /// Virtual nodes per worker on the ring.
+    pub replicas: usize,
+    /// Health probe cadence.
+    pub probe_interval_ms: u64,
+    /// Concurrent forwards allowed per worker before the router answers
+    /// `Rejected` (the router-side queue-depth bound).
+    pub max_in_flight: u64,
+    /// Backoff hint sent with router-side rejections.
+    pub retry_after_ms: u64,
+    /// Give up on a single forward after this long and treat the worker
+    /// as dead (covers a worker wedged mid-request without a deadline).
+    pub forward_timeout_ms: u64,
+    /// Largest accepted frame payload (client- and worker-side).
+    pub max_frame_len: usize,
+    /// Warm a rejoining worker's caches from a healthy peer before
+    /// routing traffic to it.
+    pub warm_on_rejoin: bool,
+}
+
+impl RouterConfig {
+    /// A config for `addr` fronting `workers` with the defaults:
+    /// 64 replicas, 250 ms probes, 32 in-flight per worker, 50 ms retry
+    /// hint, 120 s forward timeout, warming on rejoin.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, workers: Vec<String>) -> Self {
+        RouterConfig {
+            addr: addr.into(),
+            workers,
+            replicas: 64,
+            probe_interval_ms: 250,
+            max_in_flight: 32,
+            retry_after_ms: 50,
+            forward_timeout_ms: 120_000,
+            max_frame_len: MAX_FRAME_LEN,
+            warm_on_rejoin: true,
+        }
+    }
+}
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Idle worker connections kept per worker.
+const POOL_MAX: usize = 8;
+
+/// Wall-clock budget for one health probe round trip.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// One pooled connection to a worker: exclusive use between checkout
+/// and return, so the strict request→response discipline holds.
+struct WorkerConn {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+/// Router-side view of one worker.
+struct WorkerSlot {
+    addr: String,
+    healthy: AtomicBool,
+    in_flight: AtomicU64,
+    pool: Mutex<Vec<WorkerConn>>,
+}
+
+/// Where an open streaming session lives.
+struct SessionRoute {
+    worker: usize,
+    remote: u64,
+}
+
+#[derive(Default)]
+struct RouterStats {
+    forwarded: AtomicU64,
+    rerouted: AtomicU64,
+    rejected: AtomicU64,
+    unavailable: AtomicU64,
+    sessions_opened: AtomicU64,
+    warmed: AtomicU64,
+    route_version: AtomicU64,
+}
+
+struct Shared {
+    config: RouterConfig,
+    ring: HashRing,
+    slots: Vec<WorkerSlot>,
+    sessions: Mutex<HashMap<u64, SessionRoute>>,
+    next_session: AtomicU64,
+    stats: RouterStats,
+    shutdown: AtomicBool,
+}
+
+/// Final counters returned by [`Router::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Requests forwarded to workers (answers of any status).
+    pub forwarded: u64,
+    /// Failover hops: forwards re-routed past a dead worker.
+    pub rerouted: u64,
+    /// Router-side overload rejections (in-flight cap).
+    pub rejected: u64,
+    /// Requests answered `unavailable` (no healthy worker / lost
+    /// session owner).
+    pub unavailable: u64,
+    /// Streaming sessions opened through the router.
+    pub sessions_opened: u64,
+    /// Rejoining workers warmed from a peer before re-enabling.
+    pub warmed: u64,
+}
+
+/// A running shard router.
+pub struct Router {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Bind, probe the fleet once, and start accepting.
+    ///
+    /// Workers that fail the initial probe start unhealthy; the prober
+    /// brings them in (and warms them) when they come up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failure, and rejects an empty worker list.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        if config.workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one worker address",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let slots = config
+            .workers
+            .iter()
+            .map(|addr| WorkerSlot {
+                addr: addr.clone(),
+                healthy: AtomicBool::new(false),
+                in_flight: AtomicU64::new(0),
+                pool: Mutex::new(Vec::new()),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            ring: HashRing::new(config.workers.len(), config.replicas),
+            slots,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            stats: RouterStats::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        // Initial synchronous probe round: a cold cluster start has
+        // nothing to warm, so up-transitions here skip the snapshot.
+        for w in 0..shared.slots.len() {
+            let up = probe_worker(&shared, w);
+            shared.slots[w].healthy.store(up, Ordering::SeqCst);
+        }
+        shared.stats.route_version.fetch_add(1, Ordering::Relaxed);
+
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("didt-router-probe".to_string())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn prober")
+        };
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("didt-router-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(Router {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            prober: Some(prober),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Workers currently marked healthy.
+    #[must_use]
+    pub fn healthy_workers(&self) -> usize {
+        self.shared
+            .slots
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Stop accepting, let in-flight forwards finish, join every
+    /// thread. Workers are not touched — they are independent
+    /// processes.
+    #[must_use]
+    pub fn shutdown(mut self) -> RouterReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for handle in conns {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+        let stats = &self.shared.stats;
+        RouterReport {
+            forwarded: stats.forwarded.load(Ordering::Relaxed),
+            rerouted: stats.rerouted.load(Ordering::Relaxed),
+            rejected: stats.rejected.load(Ordering::Relaxed),
+            unavailable: stats.unavailable.load(Ordering::Relaxed),
+            sessions_opened: stats.sessions_opened.load(Ordering::Relaxed),
+            warmed: stats.warmed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept / connection handling (mirrors the worker server's front)
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("didt-router-conn".to_string())
+            .spawn(move || connection_loop(&shared, stream));
+        if let Ok(handle) = handle {
+            conns.lock().expect("conns poisoned").push(handle);
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+    loop {
+        let mut should_abort = || shared.shutdown.load(Ordering::SeqCst);
+        match reader.read_frame(shared.config.max_frame_len, &mut should_abort) {
+            Ok(json) => {
+                let response = match Request::from_json(&json) {
+                    Ok(request) => handle_request(shared, &request),
+                    Err(message) => {
+                        let id = json.get("id").and_then(Json::as_u64).unwrap_or(0);
+                        Response::error(id, ErrorCode::BadRequest, message)
+                    }
+                };
+                if write_frame(&mut writer, &response.to_json()).is_err() {
+                    break;
+                }
+            }
+            Err(FrameError::Json(e)) => {
+                let resp = Response::error(0, ErrorCode::BadRequest, format!("bad payload: {e}"));
+                if write_frame(&mut writer, &resp.to_json()).is_err() {
+                    break;
+                }
+            }
+            Err(FrameError::TooLarge { len, max }) => {
+                let resp = Response::error(
+                    0,
+                    ErrorCode::BadRequest,
+                    format!("frame of {len} bytes exceeds limit of {max}"),
+                );
+                let _ = write_frame(&mut writer, &resp.to_json());
+                break;
+            }
+            Err(
+                FrameError::Truncated { .. }
+                | FrameError::Closed
+                | FrameError::Aborted
+                | FrameError::Io(_),
+            ) => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request routing
+// ---------------------------------------------------------------------------
+
+fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+    match &request.body {
+        RequestBody::Ping => Response::ok(
+            request.id,
+            "ping",
+            Json::obj(vec![
+                ("version", Json::num(PROTOCOL_VERSION as f64)),
+                ("role", Json::str("router")),
+                ("workers", Json::num(shared.slots.len() as f64)),
+            ]),
+        ),
+        RequestBody::Stats => Response::ok(request.id, "stats", router_stats(shared)),
+        // Snapshot administration addresses one node's cache; routing
+        // it through a shard hash would warm an arbitrary worker.
+        RequestBody::SnapshotExport { .. } | RequestBody::SnapshotImport { .. } => Response::error(
+            request.id,
+            ErrorCode::BadRequest,
+            "snapshot administration is node-local; connect to a worker directly",
+        ),
+        _ => {
+            if let Some(session) = request.body.session_id() {
+                forward_session_follow_up(shared, request, session)
+            } else if let Some(key) = request.shard_key() {
+                forward_sharded(shared, request, key)
+            } else {
+                // Every kind is either local, session-affine, or
+                // shard-keyed; a new kind falling through is a bug.
+                Response::error(
+                    request.id,
+                    ErrorCode::Internal,
+                    format!("kind `{}` has no route", request.body.kind()),
+                )
+            }
+        }
+    }
+}
+
+/// Route a shard-keyed request, failing over past dead workers.
+fn forward_sharded(shared: &Arc<Shared>, request: &Request, key: u64) -> Response {
+    let metrics = MetricsRegistry::global();
+    let mut attempted = vec![false; shared.slots.len()];
+    let mut hops = 0u64;
+    loop {
+        let Some(w) = shared.ring.route_healthy(key, |i| {
+            !attempted[i] && shared.slots[i].healthy.load(Ordering::SeqCst)
+        }) else {
+            shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                request.id,
+                ErrorCode::Unavailable,
+                "no healthy worker for this shard",
+            );
+        };
+        attempted[w] = true;
+        let slot = &shared.slots[w];
+        if slot.in_flight.load(Ordering::SeqCst) >= shared.config.max_in_flight {
+            // The owner is saturated. Rejecting (with a retry hint)
+            // keeps the shard's cache affinity; spilling to another
+            // worker would trade a short wait for a cold calibration.
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.counter("serve.router.rejected").incr();
+            return Response::rejected(
+                request.id,
+                shared.config.retry_after_ms,
+                slot.in_flight.load(Ordering::SeqCst),
+            );
+        }
+        match forward_once(shared, w, request) {
+            Ok(response) => {
+                shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("serve.router.forwarded").incr();
+                if hops > 0 {
+                    shared.stats.rerouted.fetch_add(hops, Ordering::Relaxed);
+                    metrics.counter("serve.router.rerouted").add(hops);
+                }
+                if matches!(request.body, RequestBody::SessionOpen(_)) {
+                    return adopt_session(shared, request.id, w, response);
+                }
+                return response;
+            }
+            Err(ForwardFail::Shutdown) => {
+                shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                return Response::error(request.id, ErrorCode::Unavailable, "router shutting down");
+            }
+            Err(ForwardFail::Conn) => {
+                mark_down(shared, w);
+                hops += 1;
+            }
+        }
+    }
+}
+
+/// Pin a session follow-up to the worker that owns the session.
+fn forward_session_follow_up(shared: &Arc<Shared>, request: &Request, session: u64) -> Response {
+    let route = {
+        let sessions = shared.sessions.lock().expect("sessions poisoned");
+        sessions.get(&session).map(|r| (r.worker, r.remote))
+    };
+    let Some((worker, remote)) = route else {
+        return Response::error(
+            request.id,
+            ErrorCode::SessionNotFound,
+            format!("session {session} is not open on this router"),
+        );
+    };
+    if !shared.slots[worker].healthy.load(Ordering::SeqCst) {
+        shared
+            .sessions
+            .lock()
+            .expect("sessions poisoned")
+            .remove(&session);
+        shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            request.id,
+            ErrorCode::Unavailable,
+            format!("session {session} was lost: its worker is down"),
+        );
+    }
+    let rewritten = Request {
+        id: request.id,
+        deadline_ms: request.deadline_ms,
+        body: rewrite_session_id(&request.body, remote),
+    };
+    match forward_once(shared, worker, &rewritten) {
+        Ok(response) => {
+            shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            MetricsRegistry::global()
+                .counter("serve.router.forwarded")
+                .incr();
+            if matches!(request.body, RequestBody::SessionClose { .. }) {
+                shared
+                    .sessions
+                    .lock()
+                    .expect("sessions poisoned")
+                    .remove(&session);
+            }
+            rewrite_result_session(response, session)
+        }
+        Err(ForwardFail::Shutdown) => {
+            shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            Response::error(request.id, ErrorCode::Unavailable, "router shutting down")
+        }
+        Err(ForwardFail::Conn) => {
+            // The streaming state died with the worker; a session
+            // follow-up is not idempotent, so no failover retry.
+            mark_down(shared, worker);
+            shared.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                request.id,
+                ErrorCode::Unavailable,
+                format!("session {session} was lost: its worker died mid-request"),
+            )
+        }
+    }
+}
+
+/// On a successful `SessionOpen`, record the route and swap the
+/// worker-local session id for a router-scoped one.
+fn adopt_session(shared: &Arc<Shared>, id: u64, worker: usize, response: Response) -> Response {
+    let ResponsePayload::Ok { kind, result } = response.payload else {
+        return response;
+    };
+    let Some(remote) = result.get("session").and_then(Json::as_u64) else {
+        return Response::error(
+            id,
+            ErrorCode::Internal,
+            "worker session_open result lacks `session`",
+        );
+    };
+    let router_session = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    shared
+        .sessions
+        .lock()
+        .expect("sessions poisoned")
+        .insert(router_session, SessionRoute { worker, remote });
+    shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    MetricsRegistry::global()
+        .counter("serve.router.sessions.opened")
+        .incr();
+    rewrite_result_session(
+        Response {
+            id,
+            payload: ResponsePayload::Ok { kind, result },
+        },
+        router_session,
+    )
+}
+
+/// A session-affine request body with the worker-local session id
+/// substituted in.
+fn rewrite_session_id(body: &RequestBody, remote: u64) -> RequestBody {
+    match body {
+        RequestBody::SessionPush { samples, .. } => RequestBody::SessionPush {
+            session: remote,
+            samples: samples.clone(),
+        },
+        RequestBody::SessionVerdict { .. } => RequestBody::SessionVerdict { session: remote },
+        RequestBody::SessionClose { .. } => RequestBody::SessionClose { session: remote },
+        other => other.clone(),
+    }
+}
+
+/// Rewrite a worker response's `session` field back to the
+/// router-scoped id, so clients only ever see one id space.
+fn rewrite_result_session(response: Response, router_session: u64) -> Response {
+    let Response { id, payload } = response;
+    let payload = match payload {
+        ResponsePayload::Ok { kind, result } => {
+            let result = match result {
+                Json::Obj(mut pairs) => {
+                    for (k, v) in &mut pairs {
+                        if k == "session" {
+                            *v = Json::num(router_session as f64);
+                        }
+                    }
+                    Json::Obj(pairs)
+                }
+                other => other,
+            };
+            ResponsePayload::Ok { kind, result }
+        }
+        other => other,
+    };
+    Response { id, payload }
+}
+
+fn router_stats(shared: &Arc<Shared>) -> Json {
+    let stats = &shared.stats;
+    let workers = shared
+        .slots
+        .iter()
+        .map(|slot| {
+            Json::obj(vec![
+                ("addr", Json::str(slot.addr.as_str())),
+                ("healthy", Json::Bool(slot.healthy.load(Ordering::SeqCst))),
+                (
+                    "in_flight",
+                    Json::num(slot.in_flight.load(Ordering::SeqCst) as f64),
+                ),
+            ])
+        })
+        .collect();
+    let sessions_open = shared.sessions.lock().expect("sessions poisoned").len();
+    Json::obj(vec![
+        ("role", Json::str("router")),
+        ("protocol_version", Json::num(PROTOCOL_VERSION as f64)),
+        (
+            "router",
+            Json::obj(vec![
+                (
+                    "route_table_version",
+                    Json::num(stats.route_version.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "forwarded",
+                    Json::num(stats.forwarded.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rerouted",
+                    Json::num(stats.rerouted.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected",
+                    Json::num(stats.rejected.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "unavailable",
+                    Json::num(stats.unavailable.load(Ordering::Relaxed) as f64),
+                ),
+                ("sessions_open", Json::num(sessions_open as f64)),
+                (
+                    "sessions_opened",
+                    Json::num(stats.sessions_opened.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "warmed",
+                    Json::num(stats.warmed.load(Ordering::Relaxed) as f64),
+                ),
+                ("workers", Json::Arr(workers)),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Worker transport
+// ---------------------------------------------------------------------------
+
+enum ForwardFail {
+    /// The router is shutting down; answer `unavailable`, don't blame
+    /// the worker.
+    Shutdown,
+    /// Transport-level failure: connect, write, read, or desync. The
+    /// worker is presumed dead.
+    Conn,
+}
+
+/// Decrement-on-drop guard for a worker's in-flight gauge.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One strict request→response exchange with worker `w`, through its
+/// connection pool. Any failure drops the connection (never returned to
+/// the pool half-used).
+fn forward_once(
+    shared: &Arc<Shared>,
+    w: usize,
+    request: &Request,
+) -> Result<Response, ForwardFail> {
+    let slot = &shared.slots[w];
+    slot.in_flight.fetch_add(1, Ordering::SeqCst);
+    let _guard = InFlight(&slot.in_flight);
+    let mut conn = checkout(slot).map_err(|_| ForwardFail::Conn)?;
+    if write_frame(&mut conn.writer, &request.to_json()).is_err() {
+        return Err(ForwardFail::Conn);
+    }
+    let deadline = Instant::now() + Duration::from_millis(shared.config.forward_timeout_ms);
+    let mut timed_out = false;
+    let mut should_abort = || {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return true;
+        }
+        timed_out = Instant::now() >= deadline;
+        timed_out
+    };
+    let json = conn
+        .reader
+        .read_frame(shared.config.max_frame_len, &mut should_abort)
+        .map_err(|e| match e {
+            FrameError::Aborted if !timed_out => ForwardFail::Shutdown,
+            _ => ForwardFail::Conn,
+        })?;
+    let response = Response::from_json(&json).map_err(|_| ForwardFail::Conn)?;
+    if response.id != request.id {
+        // Desynchronized stream; the connection is unusable.
+        return Err(ForwardFail::Conn);
+    }
+    checkin(slot, conn);
+    Ok(response)
+}
+
+fn checkout(slot: &WorkerSlot) -> std::io::Result<WorkerConn> {
+    if let Some(conn) = slot.pool.lock().expect("pool poisoned").pop() {
+        return Ok(conn);
+    }
+    let addr =
+        slot.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "unresolvable worker")
+        })?;
+    let stream = TcpStream::connect_timeout(&addr, PROBE_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let writer = stream.try_clone()?;
+    Ok(WorkerConn {
+        writer,
+        reader: FrameReader::new(stream),
+    })
+}
+
+fn checkin(slot: &WorkerSlot, conn: WorkerConn) {
+    let mut pool = slot.pool.lock().expect("pool poisoned");
+    if pool.len() < POOL_MAX {
+        pool.push(conn);
+    }
+}
+
+/// Mark worker `w` unhealthy: bump the route-table version, drop its
+/// pooled connections, and orphan every session it owned (follow-ups
+/// answer `unavailable` / `session_not_found` instead of hanging).
+fn mark_down(shared: &Arc<Shared>, w: usize) {
+    if shared.slots[w].healthy.swap(false, Ordering::SeqCst) {
+        shared.stats.route_version.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.slots[w].pool.lock().expect("pool poisoned").clear();
+    shared
+        .sessions
+        .lock()
+        .expect("sessions poisoned")
+        .retain(|_, route| route.worker != w);
+}
+
+// ---------------------------------------------------------------------------
+// Health probing / cache warming
+// ---------------------------------------------------------------------------
+
+/// One ping round trip to worker `w`. Uses the connection pool, so a
+/// successful probe leaves a warm connection behind.
+fn probe_worker(shared: &Arc<Shared>, w: usize) -> bool {
+    let request = Request {
+        id: 0,
+        deadline_ms: Some(PROBE_TIMEOUT.as_millis() as u64),
+        body: RequestBody::Ping,
+    };
+    let slot = &shared.slots[w];
+    let Ok(mut conn) = checkout(slot) else {
+        return false;
+    };
+    if write_frame(&mut conn.writer, &request.to_json()).is_err() {
+        return false;
+    }
+    let deadline = Instant::now() + PROBE_TIMEOUT;
+    let mut should_abort = || shared.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline;
+    let Ok(json) = conn
+        .reader
+        .read_frame(shared.config.max_frame_len, &mut should_abort)
+    else {
+        return false;
+    };
+    let ok = matches!(
+        Response::from_json(&json),
+        Ok(Response {
+            id: 0,
+            payload: ResponsePayload::Ok { .. },
+        })
+    );
+    if ok {
+        checkin(slot, conn);
+    }
+    ok
+}
+
+fn prober_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for w in 0..shared.slots.len() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let was = shared.slots[w].healthy.load(Ordering::SeqCst);
+            let now = probe_worker(shared, w);
+            if was && !now {
+                mark_down(shared, w);
+            } else if !was && now {
+                bring_up(shared, w);
+            }
+        }
+        // Sleep in READ_POLL steps so shutdown is not stuck behind a
+        // long probe interval.
+        let until = Instant::now() + Duration::from_millis(shared.config.probe_interval_ms);
+        while Instant::now() < until {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(READ_POLL.min(until.saturating_duration_since(Instant::now())));
+        }
+    }
+}
+
+/// Re-enable a worker that came (back) up: warm its caches from a
+/// healthy peer first, so its first routed request per warmed shard is
+/// a memo-cache hit, then flip it healthy and bump the route version.
+fn bring_up(shared: &Arc<Shared>, w: usize) {
+    if shared.config.warm_on_rejoin {
+        let peer = shared
+            .slots
+            .iter()
+            .enumerate()
+            .find(|(i, s)| *i != w && s.healthy.load(Ordering::SeqCst))
+            .map(|(_, s)| s.addr.clone());
+        if let Some(peer) = peer {
+            // A failed warm only costs the joiner cold-cache misses;
+            // it still takes traffic.
+            if let Ok(installed) = warm_worker(&peer, &shared.slots[w].addr, SNAPSHOT_MAX_ENTRIES) {
+                shared.stats.warmed.fetch_add(1, Ordering::Relaxed);
+                MetricsRegistry::global()
+                    .counter("serve.router.warmed_entries")
+                    .add(installed);
+            }
+        }
+    }
+    shared.slots[w].healthy.store(true, Ordering::SeqCst);
+    shared.stats.route_version.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::protocol::{CharacterizeSpec, SessionSpec, TraceSource};
+    use crate::server::{ServeConfig, Server};
+    use crate::service::Service;
+
+    fn start_worker() -> Server {
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let service = Service::standard().expect("standard service");
+        Server::start(config, service).expect("start worker")
+    }
+
+    fn test_trace(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 20.0 + 6.0 * f64::sin(i as f64 / 9.0) + 2.5 * f64::sin(i as f64 / 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn router_shards_sessions_and_serves_local_kinds() {
+        let w1 = start_worker();
+        let w2 = start_worker();
+        let config = RouterConfig::new(
+            "127.0.0.1:0",
+            vec![w1.local_addr().to_string(), w2.local_addr().to_string()],
+        );
+        let router = Router::start(config).expect("start router");
+        assert_eq!(router.healthy_workers(), 2);
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        // Ping and Stats are answered by the router itself.
+        assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("role").and_then(Json::as_str), Some("router"));
+        let block = stats.get("router").expect("router block");
+        assert_eq!(
+            block
+                .get("workers")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+
+        // Same calibration key forwards twice; both answers arrive.
+        let spec = CharacterizeSpec {
+            trace: TraceSource::Inline(test_trace(256)),
+            window: 64,
+            gauss_windows: 40,
+            ..CharacterizeSpec::default()
+        };
+        let a = client.characterize(spec.clone(), None).unwrap();
+        let b = client.characterize(spec, None).unwrap();
+        assert_eq!(a.render(), b.render(), "same spec, same worker, same bits");
+
+        // A streaming session through the router: router-scoped id.
+        let session = client
+            .session_open(SessionSpec {
+                window: 64,
+                gauss_windows: 40,
+                ..SessionSpec::default()
+            })
+            .unwrap();
+        client.session_push(session, test_trace(256)).unwrap();
+        let verdict = client.session_verdict(session, None).unwrap();
+        assert_eq!(
+            verdict.get("session").and_then(Json::as_u64),
+            Some(session),
+            "verdict must carry the router-scoped id"
+        );
+        client.session_close(session).unwrap();
+        // Follow-up after close: structured session_not_found from the
+        // router, connection stays usable.
+        match client.session_push(session, vec![1.0]) {
+            Err(crate::client::ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::SessionNotFound);
+            }
+            other => panic!("expected session_not_found, got {other:?}"),
+        }
+        assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+
+        // Snapshot administration is refused at the router.
+        match client.snapshot_export(16) {
+            Err(crate::client::ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::BadRequest);
+            }
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+
+        let report = router.shutdown();
+        assert!(report.forwarded >= 6, "report: {report:?}");
+        assert_eq!(report.sessions_opened, 1);
+        assert_eq!(report.rerouted, 0);
+        let _ = w1.shutdown();
+        let _ = w2.shutdown();
+    }
+
+    #[test]
+    fn router_fails_over_when_a_worker_dies() {
+        let w1 = start_worker();
+        let w2 = start_worker();
+        let mut config = RouterConfig::new(
+            "127.0.0.1:0",
+            vec![w1.local_addr().to_string(), w2.local_addr().to_string()],
+        );
+        // Long probe interval: the *forward path* must detect the death.
+        config.probe_interval_ms = 60_000;
+        config.warm_on_rejoin = false;
+        let router = Router::start(config).expect("start router");
+        assert_eq!(router.healthy_workers(), 2);
+
+        // Kill one worker, then route requests across many shards so
+        // some of them hash to the dead worker and must re-route.
+        let _ = w1.shutdown();
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+        for window in [16usize, 32, 64, 128] {
+            let spec = CharacterizeSpec {
+                trace: TraceSource::Inline(test_trace(256)),
+                window,
+                gauss_windows: 20,
+                ..CharacterizeSpec::default()
+            };
+            let result = client.characterize(spec, None).unwrap();
+            assert!(result.get("scales").is_some(), "window {window} answered");
+        }
+        assert_eq!(router.healthy_workers(), 1, "dead worker marked down");
+        let report = router.shutdown();
+        assert_eq!(report.forwarded, 4, "every request got exactly one answer");
+        let _ = w2.shutdown();
+    }
+
+    #[test]
+    fn router_rejects_unroutable_states() {
+        // No worker listening at all: every shard-keyed request answers
+        // a structured `unavailable`, never a hang or a transport error.
+        let dead = {
+            // Grab a port that nothing listens on.
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut config = RouterConfig::new("127.0.0.1:0", vec![dead]);
+        config.probe_interval_ms = 60_000;
+        let router = Router::start(config).expect("start router");
+        assert_eq!(router.healthy_workers(), 0);
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+        match client.characterize(
+            CharacterizeSpec {
+                trace: TraceSource::Inline(test_trace(64)),
+                window: 16,
+                gauss_windows: 10,
+                ..CharacterizeSpec::default()
+            },
+            None,
+        ) {
+            Err(crate::client::ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::Unavailable);
+            }
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        // Ping still works: the router itself is alive.
+        assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+        let report = router.shutdown();
+        assert_eq!(report.forwarded, 0);
+        assert!(report.unavailable >= 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cache warming: copy completed gain calibrations between workers.
+//!
+//! A worker joining (or rejoining) the ring starts with cold memo
+//! caches, so its first request per shard would pay a full gain
+//! calibration that some peer already did. [`warm_worker`] closes that
+//! gap before the router routes traffic to the joiner: it pulls up to
+//! `max_entries` completed calibrations from a healthy peer
+//! (`snapshot_export`) and installs them into the joiner
+//! (`snapshot_import`). Installed entries are bit-exact copies — the
+//! wire codec round-trips every gain bit — and land as *pre-completed*
+//! memo slots, so the joiner's first request per warmed key counts as a
+//! cache hit, exactly as if it had calibrated locally.
+
+use crate::client::{Client, ClientError};
+
+/// Pull hot gain calibrations from `peer` and install them into
+/// `joiner`. Returns the number of entries the joiner actually
+/// installed (entries it already had, or lost a fill race for, are
+/// skipped on the joiner and not counted).
+///
+/// Both addresses are ordinary worker servers; no router involvement.
+/// An empty peer cache is not an error — the joiner simply starts cold.
+///
+/// # Errors
+///
+/// Connection, transport, and protocol failures on either leg.
+pub fn warm_worker(peer: &str, joiner: &str, max_entries: usize) -> Result<u64, ClientError> {
+    let mut exporter = Client::connect(peer)?;
+    let entries = exporter.snapshot_export(max_entries)?;
+    if entries.is_empty() {
+        return Ok(0);
+    }
+    let mut importer = Client::connect(joiner)?;
+    importer.snapshot_import(entries)
+}

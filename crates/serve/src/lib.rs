@@ -26,25 +26,40 @@
 //!   shutdown drains in-flight work before returning.
 //! * [`client`] — [`client::Client`]: a small blocking client used by
 //!   the `load_report` harness, the examples and the protocol tests.
+//!   Opt-in [`client::ClientConfig`] retry/backoff absorbs overload
+//!   rejections on a deterministic schedule.
+//! * [`cluster`] — the scale-out tier: [`cluster::Router`] consistent-
+//!   hash shards requests on their calibration key across N workers
+//!   (each an ordinary [`server::Server`]), with health probes,
+//!   failover re-routing, session affinity, and cache-warming
+//!   snapshots for joining workers.
 //!
 //! # Binaries
 //!
 //! * `serve` — bind a loopback (or given) address and serve forever.
+//! * `cluster` — bind a router in front of a list of worker addresses.
 //! * `load_report` — the workspace's 20th experiment: drives request
 //!   mixes against a local server and writes `BENCH_pr4.json` with
 //!   throughput, latency quantiles, rejection behaviour under overload,
 //!   cache hit ratios, and a serial-replay fidelity check against the
 //!   batch runner.
+//! * `storm_report` — the multi-node benchmark: router + ≥ 2 workers,
+//!   sharding balance/hit-ratio gates, streaming-session fidelity, a
+//!   mid-storm worker kill, and cache warming; writes `BENCH_pr9.json`.
 
 pub mod client;
+pub mod cluster;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
+pub use cluster::{warm_worker, HashRing, Router, RouterConfig};
 pub use protocol::{
-    write_frame, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader,
-    Request, RequestBody, Response, ResponsePayload, TraceSource, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    calibration_shard_key, snapshot_entry_from_json, snapshot_entry_to_json, write_frame,
+    CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, FrameError, FrameReader, Request,
+    RequestBody, Response, ResponsePayload, SessionSpec, TraceSource, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, SNAPSHOT_MAX_ENTRIES,
 };
 pub use server::{ServeConfig, Server, ShutdownReport, BATCH_MAX};
-pub use service::{Service, ServiceStats};
+pub use service::{Service, ServiceStats, MAX_OPEN_SESSIONS, MAX_SESSION_SAMPLES};

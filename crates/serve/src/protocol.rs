@@ -24,12 +24,16 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use didt_bench::ControllerSpec;
+use didt_bench::{ControllerSpec, GainSnapshotEntry};
+use didt_core::characterize::ScaleGainModel;
 use didt_dsp::{BoundaryMode, Wavelet, WaveletFamily};
 use didt_telemetry::{seed_from_hex, seed_to_hex, Json, JsonError};
 
-/// Protocol version reported by `Ping`.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version reported by `Ping`. Version 2 adds the streaming
+/// session kinds (`session_*`) and the cache-warming snapshot pair
+/// (`snapshot_export` / `snapshot_import`); version-1 requests decode
+/// unchanged.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Default upper bound on a frame payload (16 MiB — a million-sample
 /// inline trace renders to roughly this much JSON).
@@ -307,6 +311,45 @@ pub struct DesignSpec {
     pub i_dev: f64,
 }
 
+/// Spec for a streaming characterization session: a `Characterize`
+/// analysis whose trace arrives incrementally via `SessionPush` chunks
+/// instead of in one frame. Identical fields to [`CharacterizeSpec`]
+/// minus the trace; sessions are restricted to the Haar/periodic basis
+/// (the only one with a streaming transform).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Supply impedance, percent of target.
+    pub pdn_pct: f64,
+    /// Analysis window (power of two, ≥ 8).
+    pub window: usize,
+    /// Emergency voltage threshold (V).
+    pub threshold: f64,
+    /// χ² significance level for the Gaussianity study.
+    pub significance: f64,
+    /// Random windows sampled for the Gaussianity study.
+    pub gauss_windows: usize,
+    /// Wavelet basis; must be `Haar` (decode accepts any name, the
+    /// handler rejects non-streaming bases with `bad_request`).
+    pub family: WaveletFamily,
+    /// Boundary mode; must be `Periodic` (see `family`).
+    pub boundary: BoundaryMode,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        let d = CharacterizeSpec::default();
+        SessionSpec {
+            pdn_pct: d.pdn_pct,
+            window: d.window,
+            threshold: d.threshold,
+            significance: d.significance,
+            gauss_windows: d.gauss_windows,
+            family: d.family,
+            boundary: d.boundary,
+        }
+    }
+}
+
 /// The analyses a request can ask for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -320,6 +363,35 @@ pub enum RequestBody {
     ClosedLoop(ClosedLoopSpec),
     /// Monitor design / truncation report.
     Design(DesignSpec),
+    /// Open a streaming characterization session.
+    SessionOpen(SessionSpec),
+    /// Append current samples to an open session.
+    SessionPush {
+        /// Session id from the `SessionOpen` response.
+        session: u64,
+        /// Per-cycle current samples, appended in order.
+        samples: Vec<f64>,
+    },
+    /// Compute the incremental verdict over all samples pushed so far.
+    SessionVerdict {
+        /// Session id from the `SessionOpen` response.
+        session: u64,
+    },
+    /// Close a session and discard its state.
+    SessionClose {
+        /// Session id from the `SessionOpen` response.
+        session: u64,
+    },
+    /// Export completed gain calibrations for warming a joining peer.
+    SnapshotExport {
+        /// Upper bound on entries returned.
+        max_entries: usize,
+    },
+    /// Install peer-exported gain calibrations into the local cache.
+    SnapshotImport {
+        /// Entries from a peer's `SnapshotExport` response.
+        entries: Vec<GainSnapshotEntry>,
+    },
 }
 
 impl RequestBody {
@@ -332,8 +404,50 @@ impl RequestBody {
             RequestBody::Characterize(_) => "characterize",
             RequestBody::ClosedLoop(_) => "closed_loop",
             RequestBody::Design(_) => "design",
+            RequestBody::SessionOpen(_) => "session_open",
+            RequestBody::SessionPush { .. } => "session_push",
+            RequestBody::SessionVerdict { .. } => "session_verdict",
+            RequestBody::SessionClose { .. } => "session_close",
+            RequestBody::SnapshotExport { .. } => "snapshot_export",
+            RequestBody::SnapshotImport { .. } => "snapshot_import",
         }
     }
+
+    /// Session id this request is bound to, for session-affine routing:
+    /// a follow-up must land on the worker that owns the session.
+    #[must_use]
+    pub fn session_id(&self) -> Option<u64> {
+        match *self {
+            RequestBody::SessionPush { session, .. }
+            | RequestBody::SessionVerdict { session }
+            | RequestBody::SessionClose { session } => Some(session),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over the calibration key parts — the cluster shard key. Every
+/// request with the same (family, boundary, window, PDN bits) hashes to
+/// the same shard, which is exactly the grouping the server's batch
+/// drain uses, so one shard's memo caches stay hot and disjoint.
+#[must_use]
+pub fn calibration_shard_key(family: &str, boundary: &str, window: usize, pdn_bits: u64) -> u64 {
+    let mut h = shard_fnv(FNV_SHARD_OFFSET, family.as_bytes());
+    h = shard_fnv(h, &[0]);
+    h = shard_fnv(h, boundary.as_bytes());
+    h = shard_fnv(h, &[0]);
+    h = shard_fnv(h, &(window as u64).to_le_bytes());
+    shard_fnv(h, &pdn_bits.to_le_bytes())
+}
+
+const FNV_SHARD_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn shard_fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// One request frame.
@@ -416,6 +530,15 @@ fn req_usize(json: &Json, key: &str) -> Result<usize, String> {
         .and_then(Json::as_u64)
         .map(|v| v as usize)
         .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+/// Default cap on entries in one `SnapshotExport` response frame.
+pub const SNAPSHOT_MAX_ENTRIES: usize = 4_096;
+
+fn req_session(json: &Json) -> Result<u64, String> {
+    json.get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing or non-integer field `session`".to_string())
 }
 
 /// Optional `family` field: absent means Haar (pre-family wire compat).
@@ -507,7 +630,129 @@ fn controller_from_json(json: &Json) -> Result<ControllerSpec, String> {
     }
 }
 
+/// Encode one cache-warming snapshot entry to wire JSON. The gain grid
+/// and PDN constants round-trip bit-exactly (shortest-roundtrip f64
+/// rendering), so a warmed cache serves the same bits a local
+/// calibration would have produced.
+#[must_use]
+pub fn snapshot_entry_to_json(entry: &GainSnapshotEntry) -> Json {
+    let gains = entry
+        .model
+        .gain_rows()
+        .iter()
+        .map(|row| Json::Arr(row.iter().map(|&g| Json::num(g)).collect()))
+        .collect();
+    Json::obj(vec![
+        ("pct_millis", Json::num(entry.pct_millis as f64)),
+        ("window", Json::num(entry.window as f64)),
+        ("seed_hex", Json::str(seed_to_hex(entry.seed))),
+        ("family", Json::str(entry.family.name())),
+        ("resistance", Json::num(entry.model.resistance())),
+        ("vdd", Json::num(entry.model.vdd())),
+        ("gains", Json::Arr(gains)),
+    ])
+}
+
+/// Decode one cache-warming snapshot entry from wire JSON.
+///
+/// # Errors
+///
+/// A human-readable message naming the first offending field.
+pub fn snapshot_entry_from_json(json: &Json) -> Result<GainSnapshotEntry, String> {
+    let pct_millis = json
+        .get("pct_millis")
+        .and_then(Json::as_u64)
+        .ok_or("snapshot entry is missing integer field `pct_millis`")?;
+    let window = req_usize(json, "window")?;
+    let seed = seed_from_hex(
+        json.get("seed_hex")
+            .and_then(Json::as_str)
+            .ok_or("snapshot entry is missing string field `seed_hex`")?,
+    )?;
+    let family = json
+        .get("family")
+        .and_then(Json::as_str)
+        .and_then(WaveletFamily::parse)
+        .ok_or("snapshot entry has a missing or unknown `family`")?;
+    let resistance = req_f64(json, "resistance")?;
+    let vdd = req_f64(json, "vdd")?;
+    let rows = json
+        .get("gains")
+        .and_then(Json::as_arr)
+        .ok_or("snapshot entry is missing array field `gains`")?;
+    let mut gains = Vec::with_capacity(rows.len());
+    for row in rows {
+        let row = row
+            .as_arr()
+            .ok_or("`gains` rows must be arrays of 5 numbers")?;
+        if row.len() != 5 {
+            return Err("`gains` rows must be arrays of 5 numbers".to_string());
+        }
+        let mut out = [0.0f64; 5];
+        for (slot, v) in out.iter_mut().zip(row) {
+            *slot = v.as_f64().ok_or("`gains` rows must hold only numbers")?;
+        }
+        gains.push(out);
+    }
+    let model = ScaleGainModel::from_parts(window, gains, resistance, vdd, family)
+        .map_err(|e| format!("snapshot entry is not a valid gain model: {e}"))?;
+    Ok(GainSnapshotEntry {
+        pct_millis,
+        window,
+        seed,
+        family,
+        model,
+    })
+}
+
 impl Request {
+    /// The consistent-hash shard key this request routes on, when it
+    /// has one. `Characterize` and `SessionOpen` shard on their
+    /// calibration key (family, boundary, window, PDN bits — the batch
+    /// drain's grouping); `Design` always calibrates in Haar/periodic;
+    /// `ClosedLoop` shards on (benchmark, PDN bits) so a benchmark's
+    /// baseline cache stays on one worker. `None` means the request is
+    /// not shardable: `Ping`/`Stats` are answered by whoever receives
+    /// them, session follow-ups are session-affine
+    /// ([`RequestBody::session_id`]), and snapshot administration is
+    /// addressed to a specific node.
+    #[must_use]
+    pub fn shard_key(&self) -> Option<u64> {
+        match &self.body {
+            RequestBody::Characterize(s) => Some(calibration_shard_key(
+                s.family.name(),
+                s.boundary.name(),
+                s.window,
+                s.pdn_pct.to_bits(),
+            )),
+            RequestBody::SessionOpen(s) => Some(calibration_shard_key(
+                s.family.name(),
+                s.boundary.name(),
+                s.window,
+                s.pdn_pct.to_bits(),
+            )),
+            RequestBody::Design(s) => Some(calibration_shard_key(
+                WaveletFamily::Haar.name(),
+                BoundaryMode::Periodic.name(),
+                s.window,
+                s.pdn_pct.to_bits(),
+            )),
+            RequestBody::ClosedLoop(s) => Some(calibration_shard_key(
+                "closed_loop",
+                s.benchmark.as_str(),
+                s.monitor_terms,
+                s.pdn_pct.to_bits(),
+            )),
+            RequestBody::Ping
+            | RequestBody::Stats
+            | RequestBody::SessionPush { .. }
+            | RequestBody::SessionVerdict { .. }
+            | RequestBody::SessionClose { .. }
+            | RequestBody::SnapshotExport { .. }
+            | RequestBody::SnapshotImport { .. } => None,
+        }
+    }
+
     /// Encode to the wire JSON shape.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -578,6 +823,33 @@ impl Request {
                 ("terms", Json::num(s.terms as f64)),
                 ("i_dev", Json::num(s.i_dev)),
             ])),
+            RequestBody::SessionOpen(s) => Some(Json::obj(vec![
+                ("pdn_pct", Json::num(s.pdn_pct)),
+                ("window", Json::num(s.window as f64)),
+                ("threshold", Json::num(s.threshold)),
+                ("significance", Json::num(s.significance)),
+                ("gauss_windows", Json::num(s.gauss_windows as f64)),
+                ("family", Json::str(s.family.name())),
+                ("boundary", Json::str(s.boundary.name())),
+            ])),
+            RequestBody::SessionPush { session, samples } => Some(Json::obj(vec![
+                ("session", Json::num(*session as f64)),
+                (
+                    "samples",
+                    Json::Arr(samples.iter().map(|&x| Json::num(x)).collect()),
+                ),
+            ])),
+            RequestBody::SessionVerdict { session } | RequestBody::SessionClose { session } => {
+                Some(Json::obj(vec![("session", Json::num(*session as f64))]))
+            }
+            RequestBody::SnapshotExport { max_entries } => Some(Json::obj(vec![(
+                "max_entries",
+                Json::num(*max_entries as f64),
+            )])),
+            RequestBody::SnapshotImport { entries } => Some(Json::obj(vec![(
+                "entries",
+                Json::Arr(entries.iter().map(snapshot_entry_to_json).collect()),
+            )])),
         };
         if let Some(spec) = spec {
             pairs.push(("spec", spec));
@@ -699,6 +971,59 @@ impl Request {
                     i_dev: req_f64(s, "i_dev").unwrap_or(10.0),
                 })
             }
+            "session_open" => {
+                let s = need_spec()?;
+                let d = SessionSpec::default();
+                RequestBody::SessionOpen(SessionSpec {
+                    pdn_pct: req_f64(s, "pdn_pct").unwrap_or(d.pdn_pct),
+                    window: req_usize(s, "window").unwrap_or(d.window),
+                    threshold: req_f64(s, "threshold").unwrap_or(d.threshold),
+                    significance: req_f64(s, "significance").unwrap_or(d.significance),
+                    gauss_windows: req_usize(s, "gauss_windows").unwrap_or(d.gauss_windows),
+                    family: req_family(s)?,
+                    boundary: req_boundary(s)?,
+                })
+            }
+            "session_push" => {
+                let s = need_spec()?;
+                let arr = s
+                    .get("samples")
+                    .and_then(Json::as_arr)
+                    .ok_or("`session_push` needs an array field `samples`")?;
+                let mut samples = Vec::with_capacity(arr.len());
+                for v in arr {
+                    samples.push(v.as_f64().ok_or("field `samples` must hold only numbers")?);
+                }
+                RequestBody::SessionPush {
+                    session: req_session(s)?,
+                    samples,
+                }
+            }
+            "session_verdict" => RequestBody::SessionVerdict {
+                session: req_session(need_spec()?)?,
+            },
+            "session_close" => RequestBody::SessionClose {
+                session: req_session(need_spec()?)?,
+            },
+            "snapshot_export" => {
+                let max_entries = match json.get("spec") {
+                    None | Some(Json::Null) => SNAPSHOT_MAX_ENTRIES,
+                    Some(s) => req_usize(s, "max_entries").unwrap_or(SNAPSHOT_MAX_ENTRIES),
+                };
+                RequestBody::SnapshotExport { max_entries }
+            }
+            "snapshot_import" => {
+                let s = need_spec()?;
+                let arr = s
+                    .get("entries")
+                    .and_then(Json::as_arr)
+                    .ok_or("`snapshot_import` needs an array field `entries`")?;
+                let mut entries = Vec::with_capacity(arr.len());
+                for v in arr {
+                    entries.push(snapshot_entry_from_json(v)?);
+                }
+                RequestBody::SnapshotImport { entries }
+            }
             other => return Err(format!("unknown request kind `{other}`")),
         };
         Ok(Request {
@@ -722,6 +1047,14 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The handler failed internally (including a caught panic).
     Internal,
+    /// The named streaming session does not exist (never opened, timed
+    /// out, or already closed). The connection stays usable — this is a
+    /// structured answer, not a protocol desync.
+    SessionNotFound,
+    /// No healthy worker can take the request right now (router-side:
+    /// every candidate shard is down, or a session's owning worker was
+    /// lost). Retrying later may succeed; the session itself is gone.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -732,6 +1065,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Internal => "internal",
+            ErrorCode::SessionNotFound => "session_not_found",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 
@@ -742,6 +1077,8 @@ impl ErrorCode {
             "bad_request" => Some(ErrorCode::BadRequest),
             "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
             "internal" => Some(ErrorCode::Internal),
+            "session_not_found" => Some(ErrorCode::SessionNotFound),
+            "unavailable" => Some(ErrorCode::Unavailable),
             _ => None,
         }
     }
@@ -984,6 +1321,154 @@ mod tests {
                 i_dev: 10.0,
             }),
         });
+    }
+
+    #[test]
+    fn session_and_snapshot_requests_roundtrip() {
+        roundtrip_request(&Request {
+            id: 20,
+            deadline_ms: Some(1_000),
+            body: RequestBody::SessionOpen(SessionSpec::default()),
+        });
+        roundtrip_request(&Request {
+            id: 21,
+            deadline_ms: None,
+            body: RequestBody::SessionPush {
+                session: 7,
+                samples: vec![1.0, -0.5, std::f64::consts::PI, f64::MIN_POSITIVE],
+            },
+        });
+        roundtrip_request(&Request {
+            id: 22,
+            deadline_ms: None,
+            body: RequestBody::SessionVerdict { session: 7 },
+        });
+        roundtrip_request(&Request {
+            id: 23,
+            deadline_ms: None,
+            body: RequestBody::SessionClose { session: 7 },
+        });
+        roundtrip_request(&Request {
+            id: 24,
+            deadline_ms: None,
+            body: RequestBody::SnapshotExport { max_entries: 128 },
+        });
+        // Push with an empty chunk is legal on the wire.
+        roundtrip_request(&Request {
+            id: 25,
+            deadline_ms: None,
+            body: RequestBody::SessionPush {
+                session: 9,
+                samples: Vec::new(),
+            },
+        });
+    }
+
+    #[test]
+    fn snapshot_entries_roundtrip_bit_exactly() {
+        let pdn = didt_pdn::SecondOrderPdn::from_resonance(100e6, 2.2, 4e-4, 1.0, 3e9).unwrap();
+        let model = ScaleGainModel::calibrate(&pdn, 256, 11).unwrap();
+        let entry = GainSnapshotEntry {
+            pct_millis: 100_000,
+            window: 256,
+            seed: 11,
+            family: WaveletFamily::Haar,
+            model,
+        };
+        let req = Request {
+            id: 26,
+            deadline_ms: None,
+            body: RequestBody::SnapshotImport {
+                entries: vec![entry.clone()],
+            },
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().render()).unwrap()).unwrap();
+        match back.body {
+            RequestBody::SnapshotImport { entries } => {
+                assert_eq!(entries.len(), 1);
+                // PartialEq on f64 fields; equality here means every
+                // gain bit survived the wire.
+                assert_eq!(entries[0], entry);
+                for (a, b) in entries[0]
+                    .model
+                    .gain_rows()
+                    .iter()
+                    .flatten()
+                    .zip(entry.model.gain_rows().iter().flatten())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_keys_group_on_calibration_identity() {
+        let characterize = |window: usize, pdn_pct: f64, family: WaveletFamily| Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec {
+                window,
+                pdn_pct,
+                family,
+                ..CharacterizeSpec::default()
+            }),
+        };
+        let a = characterize(256, 100.0, WaveletFamily::Haar);
+        let b = characterize(256, 100.0, WaveletFamily::Haar);
+        assert_eq!(a.shard_key(), b.shard_key());
+        // The trace does not participate: two different traces with the
+        // same calibration key land on the same shard.
+        let mut c = characterize(256, 100.0, WaveletFamily::Haar);
+        if let RequestBody::Characterize(s) = &mut c.body {
+            s.trace = TraceSource::Inline(vec![1.0, 2.0]);
+        }
+        assert_eq!(a.shard_key(), c.shard_key());
+        // Any key part changing moves the shard.
+        assert_ne!(
+            a.shard_key(),
+            characterize(512, 100.0, WaveletFamily::Haar).shard_key()
+        );
+        assert_ne!(
+            a.shard_key(),
+            characterize(256, 150.0, WaveletFamily::Haar).shard_key()
+        );
+        assert_ne!(
+            a.shard_key(),
+            characterize(256, 100.0, WaveletFamily::Db4).shard_key()
+        );
+        // A session opens on the same shard as the matching one-shot.
+        let open = Request {
+            id: 2,
+            deadline_ms: None,
+            body: RequestBody::SessionOpen(SessionSpec::default()),
+        };
+        let oneshot = Request {
+            id: 3,
+            deadline_ms: None,
+            body: RequestBody::Characterize(CharacterizeSpec::default()),
+        };
+        assert_eq!(open.shard_key(), oneshot.shard_key());
+        // Unshardable kinds.
+        for body in [
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::SessionPush {
+                session: 1,
+                samples: vec![],
+            },
+            RequestBody::SessionVerdict { session: 1 },
+            RequestBody::SessionClose { session: 1 },
+            RequestBody::SnapshotExport { max_entries: 1 },
+        ] {
+            let r = Request {
+                id: 4,
+                deadline_ms: None,
+                body,
+            };
+            assert_eq!(r.shard_key(), None, "{} must not shard", r.body.kind());
+        }
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! binaries, which is what makes serial client replay bit-identical to
 //! batch-runner results.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use didt_bench::{SweepContext, SweepPoint};
+use didt_bench::{GainSnapshotEntry, SweepContext, SweepPoint};
 use didt_core::characterize::{EmergencyEstimator, GaussianityStudy, VarianceModel};
 use didt_core::monitor::TermKind;
 use didt_core::DidtError;
@@ -29,9 +30,16 @@ use didt_telemetry::{seed_to_hex, Json, MetricsRegistry};
 use didt_uarch::Benchmark;
 
 use crate::protocol::{
-    CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, Request, RequestBody, Response,
-    TraceSource, PROTOCOL_VERSION,
+    snapshot_entry_to_json, CharacterizeSpec, ClosedLoopSpec, DesignSpec, ErrorCode, Request,
+    RequestBody, Response, SessionSpec, TraceSource, PROTOCOL_VERSION,
 };
+
+/// Cap on concurrently open streaming sessions per service instance.
+pub const MAX_OPEN_SESSIONS: usize = 256;
+
+/// Cap on total samples accumulated by one streaming session — matches
+/// the synthetic trace-length cap of the one-shot `Characterize` path.
+pub const MAX_SESSION_SAMPLES: usize = 4_000_000;
 
 /// Seed for server-side gain calibrations. Fixed so identical
 /// `Characterize` specs give identical answers across connections,
@@ -62,6 +70,14 @@ pub struct ServiceStats {
     pub batch_groups: AtomicU64,
     /// Requests served inside those groups.
     pub batch_requests: AtomicU64,
+    /// Streaming sessions opened over the process lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Streaming sessions closed by the client.
+    pub sessions_closed: AtomicU64,
+    /// Current samples accepted across all `SessionPush` requests.
+    pub session_samples: AtomicU64,
+    /// Incremental verdicts computed across all sessions.
+    pub session_verdicts: AtomicU64,
 }
 
 impl ServiceStats {
@@ -79,11 +95,28 @@ impl ServiceStats {
     }
 }
 
+/// One open streaming session: the incremental Haar pyramid plus the
+/// full sample history. The pyramid and per-level coefficient rows are
+/// grown in push order, so at verdict time they hold exactly what a
+/// one-shot `Characterize` over the concatenated samples would have
+/// accumulated — the basis of the bit-identity contract.
+#[derive(Debug)]
+struct SessionState {
+    spec: SessionSpec,
+    levels: usize,
+    pyramid: StreamingHaar,
+    per_level: Vec<Vec<f64>>,
+    samples: Vec<f64>,
+    verdicts: u64,
+}
+
 /// The dI/dt characterization service.
 #[derive(Debug, Clone)]
 pub struct Service {
     ctx: Arc<SweepContext>,
     stats: Arc<ServiceStats>,
+    sessions: Arc<Mutex<HashMap<u64, SessionState>>>,
+    next_session: Arc<AtomicU64>,
     started: Instant,
 }
 
@@ -91,6 +124,15 @@ type HandlerResult = Result<Json, (ErrorCode, String)>;
 
 fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
     (ErrorCode::BadRequest, msg.into())
+}
+
+/// The structured answer for an unknown session id — a normal error
+/// response on an intact connection, never a desync.
+fn no_session(session: u64) -> (ErrorCode, String) {
+    (
+        ErrorCode::SessionNotFound,
+        format!("session {session} is not open (never opened, or already closed)"),
+    )
 }
 
 fn didt_err(e: &DidtError) -> (ErrorCode, String) {
@@ -127,6 +169,8 @@ impl Service {
         Service {
             ctx,
             stats: Arc::new(ServiceStats::default()),
+            sessions: Arc::new(Mutex::new(HashMap::new())),
+            next_session: Arc::new(AtomicU64::new(1)),
             started: Instant::now(),
         }
     }
@@ -160,6 +204,13 @@ impl Service {
             RequestBody::Characterize(_) => didt_telemetry::span("serve.handle.characterize"),
             RequestBody::ClosedLoop(_) => didt_telemetry::span("serve.handle.closed_loop"),
             RequestBody::Design(_) => didt_telemetry::span("serve.handle.design"),
+            RequestBody::SessionOpen(_)
+            | RequestBody::SessionPush { .. }
+            | RequestBody::SessionVerdict { .. }
+            | RequestBody::SessionClose { .. } => didt_telemetry::span("serve.handle.session"),
+            RequestBody::SnapshotExport { .. } | RequestBody::SnapshotImport { .. } => {
+                didt_telemetry::span("serve.handle.snapshot")
+            }
         };
         let t0 = Instant::now();
         let result = match &request.body {
@@ -171,6 +222,12 @@ impl Service {
             RequestBody::Characterize(spec) => self.characterize(spec, deadline),
             RequestBody::ClosedLoop(spec) => self.closed_loop(spec, deadline),
             RequestBody::Design(spec) => self.design(spec),
+            RequestBody::SessionOpen(spec) => self.session_open(spec),
+            RequestBody::SessionPush { session, samples } => self.session_push(*session, samples),
+            RequestBody::SessionVerdict { session } => self.session_verdict(*session, deadline),
+            RequestBody::SessionClose { session } => self.session_close(*session),
+            RequestBody::SnapshotExport { max_entries } => self.snapshot_export(*max_entries),
+            RequestBody::SnapshotImport { entries } => self.snapshot_import(entries),
         };
         metrics
             .histogram("serve.handle_ns")
@@ -299,6 +356,33 @@ impl Service {
                 ),
             ]),
         ));
+        // Streaming session activity. `open` is the live table size;
+        // the rest are lifetime counters.
+        pairs.push((
+            "sessions",
+            Json::obj(vec![
+                (
+                    "open",
+                    Json::num(self.sessions.lock().expect("session table poisoned").len() as f64),
+                ),
+                (
+                    "opened",
+                    Json::num(self.stats.sessions_opened.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "closed",
+                    Json::num(self.stats.sessions_closed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "pushed_samples",
+                    Json::num(self.stats.session_samples.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "verdicts",
+                    Json::num(self.stats.session_verdicts.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ));
         // Queue-wait distribution, recorded by the worker pool at
         // dequeue. Empty (all zeros) when `handle` is called without
         // the TCP front, e.g. from tests or the in-process example.
@@ -423,6 +507,33 @@ impl Service {
                 per_level[row].extend_from_slice(detail);
             }
         }
+        let params = SessionSpec {
+            pdn_pct: spec.pdn_pct,
+            window: spec.window,
+            threshold: spec.threshold,
+            significance: spec.significance,
+            gauss_windows: spec.gauss_windows,
+            family: spec.family,
+            boundary: spec.boundary,
+        };
+        self.characterize_report(&trace, &per_level, &params, haar_streaming, deadline)
+    }
+
+    /// The analysis back half shared *verbatim* by one-shot
+    /// `Characterize` and the streaming session verdict: per-scale
+    /// variance/correlation over the accumulated detail rows, the χ²
+    /// Gaussianity study, and the Gaussian emergency-fraction estimate.
+    /// Because both callers run this literal code over the same inputs,
+    /// a session verdict is `to_bits()`-identical to a one-shot over
+    /// the concatenated samples.
+    fn characterize_report(
+        &self,
+        trace: &[f64],
+        per_level: &[Vec<f64>],
+        spec: &SessionSpec,
+        haar_streaming: bool,
+        deadline: Option<Instant>,
+    ) -> HandlerResult {
         let n = trace.len() as f64;
         let scales: Vec<Json> = per_level
             .iter()
@@ -446,7 +557,7 @@ impl Service {
         // χ² Gaussianity verdict over sampled windows (paper §4.2).
         check_deadline(deadline)?;
         let gauss = GaussianityStudy::new(spec.significance, GAIN_CALIBRATION_SEED)
-            .classify(&trace, spec.window, spec.gauss_windows)
+            .classify(trace, spec.window, spec.gauss_windows)
             .map_err(|e| didt_err(&e))?;
 
         // Gaussian emergency-fraction estimate (paper §4.3 step 5).
@@ -471,7 +582,7 @@ impl Service {
         // to it per window for expansive boundaries or forced-scalar
         // runs).
         let (fraction, windows, mean_v) = estimator
-            .estimate_trace_batch(&trace)
+            .estimate_trace_batch(trace)
             .map_err(|e| didt_err(&e))?;
 
         Ok(Json::obj(vec![
@@ -504,6 +615,176 @@ impl Service {
                     ("mean_voltage", Json::num(mean_v)),
                 ]),
             ),
+        ]))
+    }
+
+    fn session_open(&self, spec: &SessionSpec) -> HandlerResult {
+        if !spec.window.is_power_of_two() || spec.window < 8 {
+            return Err(bad("`window` must be a power of two, at least 8"));
+        }
+        if !(0.0..1.0).contains(&spec.significance) {
+            return Err(bad("`significance` must be in (0, 1)"));
+        }
+        if spec.family != WaveletFamily::Haar || spec.boundary != BoundaryMode::Periodic {
+            return Err(bad("streaming sessions require the haar/periodic basis \
+                 (the online pyramid has no filter-generic sibling); \
+                 use one-shot `characterize` for other bases"));
+        }
+        // Probe the PDN now so a bad impedance fails at open, not at
+        // the first verdict.
+        self.ctx.pdn(spec.pdn_pct).map_err(|e| didt_err(&e))?;
+        let levels = spec.window.trailing_zeros() as usize;
+        let pyramid = StreamingHaar::new(levels).map_err(|e| bad(format!("pyramid setup: {e}")))?;
+        let mut sessions = self.sessions.lock().expect("session table poisoned");
+        if sessions.len() >= MAX_OPEN_SESSIONS {
+            return Err((
+                ErrorCode::Unavailable,
+                format!("session table full ({MAX_OPEN_SESSIONS} open); close or retry later"),
+            ));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(
+            id,
+            SessionState {
+                spec: spec.clone(),
+                levels,
+                pyramid,
+                per_level: vec![Vec::new(); levels],
+                samples: Vec::new(),
+                verdicts: 0,
+            },
+        );
+        self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        MetricsRegistry::global()
+            .counter("serve.sessions.opened")
+            .incr();
+        Ok(Json::obj(vec![
+            ("session", Json::num(id as f64)),
+            ("window", Json::num(spec.window as f64)),
+            ("levels", Json::num(levels as f64)),
+        ]))
+    }
+
+    fn session_push(&self, session: u64, samples: &[f64]) -> HandlerResult {
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(bad("session chunk holds non-finite samples"));
+        }
+        let mut sessions = self.sessions.lock().expect("session table poisoned");
+        let state = sessions
+            .get_mut(&session)
+            .ok_or_else(|| no_session(session))?;
+        if state.samples.len() + samples.len() > MAX_SESSION_SAMPLES {
+            return Err(bad(format!(
+                "session would exceed {MAX_SESSION_SAMPLES} samples"
+            )));
+        }
+        for &x in samples {
+            for c in state.pyramid.push(x) {
+                state.per_level[c.level - 1].push(c.value);
+            }
+        }
+        state.samples.extend_from_slice(samples);
+        self.stats
+            .session_samples
+            .fetch_add(samples.len() as u64, Ordering::Relaxed);
+        Ok(Json::obj(vec![
+            ("session", Json::num(session as f64)),
+            ("received", Json::num(samples.len() as f64)),
+            ("total_samples", Json::num(state.samples.len() as f64)),
+            (
+                "pending_samples",
+                Json::num(state.pyramid.pending_samples() as f64),
+            ),
+        ]))
+    }
+
+    fn session_verdict(&self, session: u64, deadline: Option<Instant>) -> HandlerResult {
+        // Clone the accumulated state out of the table so the (cheap)
+        // session lock is never held across the analysis, then flush
+        // the *clone* of the pyramid: the live session keeps absorbing
+        // pushes, and this verdict sees exactly the one-shot view of
+        // everything pushed so far.
+        let (spec, mut per_level, samples, pyramid) = {
+            let mut sessions = self.sessions.lock().expect("session table poisoned");
+            let state = sessions
+                .get_mut(&session)
+                .ok_or_else(|| no_session(session))?;
+            if state.samples.len() < state.spec.window {
+                return Err(bad(format!(
+                    "session has {} samples, needs at least the {}-cycle window",
+                    state.samples.len(),
+                    state.spec.window
+                )));
+            }
+            state.verdicts += 1;
+            (
+                state.spec.clone(),
+                state.per_level.clone(),
+                state.samples.clone(),
+                state.pyramid.clone(),
+            )
+        };
+        // Zero-padded tail flush, exactly like the one-shot path's
+        // `finish` over a trace of this length.
+        let (tail, _) = {
+            let mut p = pyramid;
+            p.finish()
+        };
+        for c in tail {
+            per_level[c.level - 1].push(c.value);
+        }
+        self.stats.session_verdicts.fetch_add(1, Ordering::Relaxed);
+        let mut report = self.characterize_report(&samples, &per_level, &spec, true, deadline)?;
+        if let Json::Obj(pairs) = &mut report {
+            pairs.insert(0, ("session".to_string(), Json::num(session as f64)));
+        }
+        Ok(report)
+    }
+
+    fn session_close(&self, session: u64) -> HandlerResult {
+        let state = self
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(&session)
+            .ok_or_else(|| no_session(session))?;
+        self.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        MetricsRegistry::global()
+            .counter("serve.sessions.closed")
+            .incr();
+        Ok(Json::obj(vec![
+            ("session", Json::num(session as f64)),
+            ("total_samples", Json::num(state.samples.len() as f64)),
+            ("verdicts", Json::num(state.verdicts as f64)),
+            ("levels", Json::num(state.levels as f64)),
+        ]))
+    }
+
+    fn snapshot_export(&self, max_entries: usize) -> HandlerResult {
+        let entries = self.ctx.export_gain_entries(max_entries);
+        Ok(Json::obj(vec![
+            ("count", Json::num(entries.len() as f64)),
+            (
+                "entries",
+                Json::Arr(entries.iter().map(snapshot_entry_to_json).collect()),
+            ),
+        ]))
+    }
+
+    fn snapshot_import(&self, entries: &[GainSnapshotEntry]) -> HandlerResult {
+        let mut installed = 0usize;
+        for entry in entries {
+            if self.ctx.import_gain_entry(entry.clone()) {
+                installed += 1;
+            }
+        }
+        MetricsRegistry::global()
+            .counter("serve.snapshot.imported")
+            .add(installed as u64);
+        Ok(Json::obj(vec![
+            ("received", Json::num(entries.len() as f64)),
+            ("installed", Json::num(installed as f64)),
+            ("skipped", Json::num((entries.len() - installed) as f64)),
         ]))
     }
 
@@ -660,7 +941,10 @@ mod tests {
             },
             None,
         ));
-        assert_eq!(ping.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            ping.get("version").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
         let stats = ok_result(svc.handle(
             &Request {
                 id: 2,
@@ -1005,6 +1289,250 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    fn session_req(id: u64, body: RequestBody) -> Request {
+        Request {
+            id,
+            deadline_ms: None,
+            body,
+        }
+    }
+
+    #[test]
+    fn session_verdict_is_bit_identical_to_oneshot_characterize() {
+        let svc = service();
+        // A deterministic synthetic trace, pushed in ragged chunks so
+        // chunk boundaries cross window and pyramid alignments.
+        let trace: Vec<f64> = (0..1_234)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 100.0)
+            .collect();
+        let spec = SessionSpec {
+            window: 64,
+            gauss_windows: 40,
+            ..SessionSpec::default()
+        };
+        let open = ok_result(svc.handle(
+            &session_req(1, RequestBody::SessionOpen(spec.clone())),
+            None,
+        ));
+        let sid = open.get("session").and_then(Json::as_u64).unwrap();
+        let mut offset = 0usize;
+        for chunk_len in [1, 7, 100, 63, 64, 500, 499] {
+            let end = (offset + chunk_len).min(trace.len());
+            ok_result(svc.handle(
+                &session_req(
+                    2,
+                    RequestBody::SessionPush {
+                        session: sid,
+                        samples: trace[offset..end].to_vec(),
+                    },
+                ),
+                None,
+            ));
+            offset = end;
+        }
+        assert_eq!(offset, trace.len(), "chunk plan must cover the trace");
+        let verdict = ok_result(svc.handle(
+            &session_req(3, RequestBody::SessionVerdict { session: sid }),
+            None,
+        ));
+        let oneshot = ok_result(svc.handle(
+            &session_req(
+                4,
+                RequestBody::Characterize(CharacterizeSpec {
+                    trace: TraceSource::Inline(trace),
+                    window: spec.window,
+                    gauss_windows: spec.gauss_windows,
+                    ..CharacterizeSpec::default()
+                }),
+            ),
+            None,
+        ));
+        // Strip the verdict's session id; every remaining byte — every
+        // f64 rendered shortest-roundtrip — must match the one-shot.
+        let stripped = match verdict {
+            Json::Obj(pairs) => {
+                Json::Obj(pairs.into_iter().filter(|(k, _)| k != "session").collect())
+            }
+            other => panic!("verdict must be an object, got {other:?}"),
+        };
+        assert_eq!(
+            stripped.render(),
+            oneshot.render(),
+            "session verdict must be bit-identical to one-shot characterize"
+        );
+    }
+
+    #[test]
+    fn session_verdicts_are_incremental_and_close_frees_the_id() {
+        let svc = service();
+        let open = ok_result(svc.handle(
+            &session_req(
+                1,
+                RequestBody::SessionOpen(SessionSpec {
+                    window: 32,
+                    gauss_windows: 20,
+                    ..SessionSpec::default()
+                }),
+            ),
+            None,
+        ));
+        let sid = open.get("session").and_then(Json::as_u64).unwrap();
+        // Too few samples for a verdict: a structured BadRequest.
+        let push = |svc: &Service, n: usize| {
+            ok_result(svc.handle(
+                &session_req(
+                    2,
+                    RequestBody::SessionPush {
+                        session: sid,
+                        samples: (0..n).map(|i| 100.0 + (i % 5) as f64).collect(),
+                    },
+                ),
+                None,
+            ))
+        };
+        push(&svc, 16);
+        let early = svc.handle(
+            &session_req(3, RequestBody::SessionVerdict { session: sid }),
+            None,
+        );
+        assert!(matches!(
+            early.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // Enough samples: verdicts at two horizons differ (more data).
+        push(&svc, 48);
+        let v1 = ok_result(svc.handle(
+            &session_req(4, RequestBody::SessionVerdict { session: sid }),
+            None,
+        ));
+        assert_eq!(v1.get("trace_len").and_then(Json::as_u64), Some(64));
+        push(&svc, 64);
+        let v2 = ok_result(svc.handle(
+            &session_req(5, RequestBody::SessionVerdict { session: sid }),
+            None,
+        ));
+        assert_eq!(v2.get("trace_len").and_then(Json::as_u64), Some(128));
+        // Close reports totals; the id is then unknown.
+        let closed = ok_result(svc.handle(
+            &session_req(6, RequestBody::SessionClose { session: sid }),
+            None,
+        ));
+        assert_eq!(
+            closed.get("total_samples").and_then(Json::as_u64),
+            Some(128)
+        );
+        assert_eq!(closed.get("verdicts").and_then(Json::as_u64), Some(2));
+        let gone = svc.handle(
+            &session_req(
+                7,
+                RequestBody::SessionPush {
+                    session: sid,
+                    samples: vec![1.0],
+                },
+            ),
+            None,
+        );
+        assert!(matches!(
+            gone.payload,
+            ResponsePayload::Error {
+                code: ErrorCode::SessionNotFound,
+                ..
+            }
+        ));
+        // Stats surfaces the lifecycle.
+        let stats = ok_result(svc.handle(&session_req(8, RequestBody::Stats), None));
+        let sessions = stats.get("sessions").expect("sessions block");
+        assert_eq!(sessions.get("open").and_then(Json::as_u64), Some(0));
+        assert_eq!(sessions.get("opened").and_then(Json::as_u64), Some(1));
+        assert_eq!(sessions.get("closed").and_then(Json::as_u64), Some(1));
+        assert_eq!(sessions.get("verdicts").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn session_open_rejects_non_streaming_bases() {
+        let svc = service();
+        for (family, boundary) in [
+            (WaveletFamily::Db4, BoundaryMode::Periodic),
+            (WaveletFamily::Haar, BoundaryMode::ZeroPad),
+        ] {
+            let resp = svc.handle(
+                &session_req(
+                    1,
+                    RequestBody::SessionOpen(SessionSpec {
+                        family,
+                        boundary,
+                        ..SessionSpec::default()
+                    }),
+                ),
+                None,
+            );
+            assert!(
+                matches!(
+                    resp.payload,
+                    ResponsePayload::Error {
+                        code: ErrorCode::BadRequest,
+                        ..
+                    }
+                ),
+                "{}/{} must be rejected at open",
+                family.name(),
+                boundary.name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_export_import_warms_a_fresh_service() {
+        let svc = service();
+        // Calibrate two models by serving characterize requests.
+        let characterize = |id, pdn_pct, family| {
+            session_req(
+                id,
+                RequestBody::Characterize(CharacterizeSpec {
+                    trace: TraceSource::Inline((0..256).map(|i| 100.0 + (i % 7) as f64).collect()),
+                    window: 64,
+                    gauss_windows: 20,
+                    pdn_pct,
+                    family,
+                    ..CharacterizeSpec::default()
+                }),
+            )
+        };
+        ok_result(svc.handle(&characterize(1, 100.0, WaveletFamily::Haar), None));
+        ok_result(svc.handle(&characterize(2, 150.0, WaveletFamily::Db4), None));
+        let export = ok_result(svc.handle(
+            &session_req(3, RequestBody::SnapshotExport { max_entries: 64 }),
+            None,
+        ));
+        assert_eq!(export.get("count").and_then(Json::as_u64), Some(2));
+        // Ship the entries to a fresh service over the wire shape.
+        let entries: Vec<_> = export
+            .get("entries")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| crate::protocol::snapshot_entry_from_json(e).unwrap())
+            .collect();
+        let fresh = service();
+        let import = ok_result(fresh.handle(
+            &session_req(4, RequestBody::SnapshotImport { entries }),
+            None,
+        ));
+        assert_eq!(import.get("installed").and_then(Json::as_u64), Some(2));
+        // The warmed service answers the same specs without calibrating.
+        let a = ok_result(svc.handle(&characterize(5, 100.0, WaveletFamily::Haar), None));
+        let b = ok_result(fresh.handle(&characterize(6, 100.0, WaveletFamily::Haar), None));
+        assert_eq!(a.render(), b.render(), "warmed answer must match origin");
+        assert_eq!(
+            fresh.context().cache_stats().gains,
+            0,
+            "warmed model must not be recomputed"
+        );
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! is nonzero when any check fails, so the CI step is just
 //! `bench_diff <reference> <candidate>`.
 //!
+//! Which structural fields and metrics apply is keyed on the schema:
+//! the perf-report profile above is the default, and `didt-bench-v4`
+//! (the `storm_report` cluster benchmark) gets the storm profile —
+//! exact checks on session bit-identity, shard-key collisions, and
+//! zero lost/duplicated responses under failover, an absolute floor on
+//! the per-shard cache hit ratio, and a loose rate band on storm
+//! throughput.
+//!
 //! A second mode, `bench_diff --manifest-fingerprint <a.json> <b.json>`,
 //! compares the non-timing fingerprints of two run manifests — CI uses
 //! it to assert that a forced-scalar (`DIDT_BATCH_LANES=1`) smoke run
@@ -43,6 +51,35 @@ enum Kind {
     /// Absolute throughput — host-dependent, loose band.
     Rate,
 }
+
+/// Which check set a report gets, keyed on its schema.
+#[derive(Clone, Copy, PartialEq)]
+enum Profile {
+    /// The batch/perf report family (`didt-bench-v1`..`v3` and the
+    /// serve load report): kernel speedups and bit-identity flags.
+    Perf,
+    /// `didt-bench-v4`, the `storm_report` cluster benchmark.
+    Storm,
+}
+
+/// Candidate paths that must be exactly `true` under the storm profile.
+const STORM_EXACT_TRUE: &[&[&str]] = &[
+    &["sessions", "bit_identical"],
+    &["warm", "bit_identical"],
+    &["failover", "zero_lost"],
+    &["failover", "zero_duplicated"],
+];
+
+/// Storm-profile banded metrics (throughput is host-dependent: loose).
+const STORM_METRICS: &[Metric] = &[Metric {
+    path: &["sharding", "requests_per_sec"],
+    kind: Kind::Rate,
+}];
+
+/// Absolute floor on the storm candidate's worst per-shard cache hit
+/// ratio. Looser than `storm_report`'s own full-run gate (0.9) because
+/// the CI candidate is a smoke run with a mid-storm kill.
+const STORM_MIN_HIT_RATIO: f64 = 0.8;
 
 const METRICS: &[Metric] = &[
     Metric {
@@ -228,31 +265,71 @@ fn run() -> Result<bool, String> {
             ));
         }
     }
-    match lookup(&candidate, &["sweep", "serial_parallel_identical"]) {
-        Some(Json::Bool(true)) => println!("ok    sweep.serial_parallel_identical: true"),
-        other => fail(format!(
-            "sweep.serial_parallel_identical must be true, got {other:?}"
-        )),
-    }
-    // Candidate-only (the pre-family reference has no `dwt` section):
-    // the filter-generic engine must keep Haar within timing noise of
-    // the legacy kernel it replaced.
-    match lookup(&candidate, &["dwt", "within_noise"]) {
-        Some(Json::Bool(true)) => println!("ok    dwt.within_noise: true"),
-        other => fail(format!("dwt.within_noise must be true, got {other:?}")),
-    }
-    // Candidate-only: every batched kernel lane must have stayed
-    // bitwise equal to the scalar path (lane 0 is the contract floor;
-    // the harness verifies all lanes and reports both flags).
-    match lookup(&candidate, &["batch", "lane0_bit_identical"]) {
-        Some(Json::Bool(true)) => println!("ok    batch.lane0_bit_identical: true"),
-        other => fail(format!(
-            "batch.lane0_bit_identical must be true, got {other:?}"
-        )),
+    let profile = match want_schema
+        .as_deref()
+        .or_else(|| candidate.get("schema").and_then(Json::as_str))
+    {
+        Some("didt-bench-v4") => Profile::Storm,
+        _ => Profile::Perf,
+    };
+
+    match profile {
+        Profile::Perf => {
+            match lookup(&candidate, &["sweep", "serial_parallel_identical"]) {
+                Some(Json::Bool(true)) => println!("ok    sweep.serial_parallel_identical: true"),
+                other => fail(format!(
+                    "sweep.serial_parallel_identical must be true, got {other:?}"
+                )),
+            }
+            // Candidate-only (the pre-family reference has no `dwt`
+            // section): the filter-generic engine must keep Haar within
+            // timing noise of the legacy kernel it replaced.
+            match lookup(&candidate, &["dwt", "within_noise"]) {
+                Some(Json::Bool(true)) => println!("ok    dwt.within_noise: true"),
+                other => fail(format!("dwt.within_noise must be true, got {other:?}")),
+            }
+            // Candidate-only: every batched kernel lane must have
+            // stayed bitwise equal to the scalar path (lane 0 is the
+            // contract floor; the harness verifies all lanes and
+            // reports both flags).
+            match lookup(&candidate, &["batch", "lane0_bit_identical"]) {
+                Some(Json::Bool(true)) => println!("ok    batch.lane0_bit_identical: true"),
+                other => fail(format!(
+                    "batch.lane0_bit_identical must be true, got {other:?}"
+                )),
+            }
+        }
+        Profile::Storm => {
+            for path in STORM_EXACT_TRUE {
+                let name = path.join(".");
+                match lookup(&candidate, path) {
+                    Some(Json::Bool(true)) => println!("ok    {name}: true"),
+                    other => fail(format!("{name} must be true, got {other:?}")),
+                }
+            }
+            match lookup(&candidate, &["sharding", "collisions"]).and_then(Json::as_f64) {
+                Some(0.0) => println!("ok    sharding.collisions: 0"),
+                other => fail(format!("sharding.collisions must be 0, got {other:?}")),
+            }
+            match lookup(&candidate, &["sharding", "min_shard_hit_ratio"]).and_then(Json::as_f64) {
+                Some(r) if r >= STORM_MIN_HIT_RATIO => {
+                    println!(
+                        "ok    sharding.min_shard_hit_ratio: {r:.4} (floor {STORM_MIN_HIT_RATIO})"
+                    );
+                }
+                other => fail(format!(
+                    "sharding.min_shard_hit_ratio must be >= {STORM_MIN_HIT_RATIO}, got {other:?}"
+                )),
+            }
+        }
     }
 
     // Banded metric checks.
-    for metric in METRICS {
+    let metrics = match profile {
+        Profile::Perf => METRICS,
+        Profile::Storm => STORM_METRICS,
+    };
+    for metric in metrics {
         let name = metric.path.join(".");
         let (want, got) = match (
             lookup(&reference, metric.path).and_then(Json::as_f64),
