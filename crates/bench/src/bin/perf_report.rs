@@ -7,18 +7,21 @@
 //! Haar kernel — the generic path must stay within timing noise), the
 //! cycle simulator itself (per-benchmark `ClosedLoop::run` throughput,
 //! serial and 16-thread), a whole closed-loop sweep (serial and
-//! parallel, checking the results stay bit-identical), and the batch
+//! parallel, checking the results stay bit-identical), the batch
 //! execution layer (each lockstep 4-lane kernel against a scalar loop
 //! over the same four traces, with all-lane bit-identity verified),
-//! then writes a `BENCH_pr8.json` machine-readable report at the
-//! current directory (override the path with `DIDT_BENCH_OUT`). CI
-//! runs `perf_report --smoke` on every push and diffs the smoke report
-//! against the committed reference with `bench_diff`; the headline
-//! metrics are the `fir_filter_auto` speedup over `fir_filter` at
-//! N = 1 M, K = 1024, the simulator's cycles/s against the pinned PR 4
-//! and PR 5 baselines, and the batched-kernel speedups. The detected
-//! CPU feature set rides along in both the JSON and the manifest so
-//! cross-host numbers are interpretable.
+//! and the scheduler skew benchmark (the work-stealing core against
+//! the pack scheduler on uniform, Zipf-skewed and mixed live+replay
+//! shapes — DESIGN.md §16), then writes a `BENCH_pr10.json`
+//! machine-readable report at the current directory (override the
+//! path with `DIDT_BENCH_OUT`). CI runs `perf_report --smoke` on every
+//! push and diffs the smoke report against the committed reference
+//! with `bench_diff`; the headline metrics are the `fir_filter_auto`
+//! speedup over `fir_filter` at N = 1 M, K = 1024, the simulator's
+//! cycles/s against the pinned PR 4 and PR 5 baselines, the
+//! batched-kernel speedups, and the skew shapes' steal-over-pack
+//! ratios. The detected CPU feature set rides along in both the JSON
+//! and the manifest so cross-host numbers are interpretable.
 //!
 //! Like every experiment binary it also emits a run manifest — but all
 //! wall-clock figures live only in the BENCH JSON, never in manifest
@@ -27,7 +30,8 @@
 use std::time::Instant;
 
 use didt_bench::{
-    ControllerSpec, Experiment, ExperimentRunner, RunParams, Sweep, SweepContext, TextTable,
+    ControllerSpec, CostClass, Experiment, ExperimentRunner, PointResult, RunParams, SchedReport,
+    Scheduler, Sweep, SweepContext, SweepPoint, TextTable,
 };
 use didt_core::characterize::{EmergencyEstimator, VarianceModel};
 use didt_core::control::{ClosedLoop, ClosedLoopConfig, NoControl};
@@ -68,6 +72,58 @@ const SIM_GRID_THREADS: usize = 16;
 /// Speedup the batched kernels must show over a scalar loop on at
 /// least one grid row.
 const BATCH_TARGET: f64 = 3.0;
+
+/// Fixed worker count for the scheduler skew benchmark. Oversubscribed
+/// on small hosts by design: the synthetic shapes sleep, so eight
+/// workers overlap on one core and the wall clock measures the
+/// *schedule* (who holds which points), not raw compute.
+const SKEW_WORKERS: usize = 8;
+
+/// Wall-clock speedup the steal scheduler must show over the pack
+/// scheduler on the Zipf-skewed shape (full run; `bench_diff` holds
+/// the smoke run to a looser 1.5 floor).
+const SKEW_ZIPF_TARGET: f64 = 1.8;
+
+/// Relative band within which pack and steal must agree on the
+/// uniform shape (full run): stealing must be free when there is
+/// nothing to steal.
+const SKEW_UNIFORM_BAND: f64 = 0.03;
+
+/// One shape of the scheduler skew benchmark: the same point set timed
+/// under the pack and steal schedulers.
+struct SkewRow {
+    shape: &'static str,
+    points: usize,
+    pack_ms: f64,
+    steal_ms: f64,
+    /// Results bit-identical across serial, pack and steal.
+    identical: bool,
+    /// The steal run's scheduler observations.
+    report: SchedReport,
+    /// p50/p95/p99 over the steal run's per-point execution times.
+    latency_ns: (u64, u64, u64),
+}
+
+impl SkewRow {
+    fn speedup(&self) -> f64 {
+        self.pack_ms / self.steal_ms
+    }
+}
+
+/// Identity cost hint for the synthetic sleep shapes.
+fn sleep_cost(c: &u64) -> u64 {
+    *c
+}
+
+/// Exact quantiles over a small sample of per-point durations.
+fn latency_quantiles(mut ns: Vec<u64>) -> (u64, u64, u64) {
+    if ns.is_empty() {
+        return (0, 0, 0);
+    }
+    ns.sort_unstable();
+    let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    (pick(0.50), pick(0.95), pick(0.99))
+}
 
 /// One benchmark's simulator-throughput measurement.
 struct SimRow {
@@ -766,7 +822,265 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ------------------------------------------------------------------
-    // 7. The BENCH JSON report.
+    // 7. Scheduler skew benchmark: the work-stealing core against the
+    //    pack scheduler on three shapes (DESIGN.md §16). The synthetic
+    //    shapes sleep for their hinted cost, so the wall clock isolates
+    //    scheduling; the mixed shape re-runs real live + replay points.
+    //    The pack leg pins `width: 8` explicitly so the measurement is
+    //    invariant under `DIDT_BATCH_LANES` (CI runs a scalar leg).
+    // ------------------------------------------------------------------
+    let mut skew_rows: Vec<SkewRow> = Vec::new();
+    let mut skew_total = SchedReport::default();
+    let pack8 = Scheduler::Pack { width: 8 };
+
+    // A synthetic shape: run once serially for the reference results,
+    // then min-of-5 under each scheduler with the legs interleaved
+    // rep by rep (pack, steal, pack, steal, …) — sequential legs let
+    // slow drift on a shared host masquerade as a scheduler delta at
+    // the few-percent level the uniform parity gate cares about. Jobs
+    // sleep for the hinted cost and return a value derived only from
+    // (index, point).
+    let sleep_value = |i: usize, c: u64| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c;
+    let mut run_sleep_shape = |name: &'static str, costs: &[u64], cost: CostClass<u64>| {
+        let job = |i: usize, c: &u64| {
+            let t0 = Instant::now();
+            std::thread::sleep(std::time::Duration::from_micros(*c));
+            (sleep_value(i, *c), t0.elapsed().as_nanos() as u64)
+        };
+        let strip = |r: &[(u64, u64)]| r.iter().map(|&(v, _)| v).collect::<Vec<u64>>();
+        let serial = strip(&ExperimentRunner::serial().run_costed(costs, cost, job));
+        let pack_runner = ExperimentRunner::with_threads(SKEW_WORKERS).with_scheduler(pack8);
+        let steal_runner =
+            ExperimentRunner::with_threads(SKEW_WORKERS).with_scheduler(Scheduler::Steal);
+        let mut pack_ms = f64::INFINITY;
+        let mut steal_ms = f64::INFINITY;
+        let mut pack_results: Vec<(u64, u64)> = Vec::new();
+        let mut steal_best: (Vec<(u64, u64)>, SchedReport) = (Vec::new(), SchedReport::default());
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let out = pack_runner.run_costed_reported(costs, cost, job);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < pack_ms {
+                pack_ms = ms;
+                pack_results = out.0;
+            }
+            let t0 = Instant::now();
+            let out = steal_runner.run_costed_reported(costs, cost, job);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < steal_ms {
+                steal_ms = ms;
+                steal_best = out;
+            }
+        }
+        let (steal_results, report) = steal_best;
+        let identical = strip(&pack_results) == serial && strip(&steal_results) == serial;
+        let latency_ns = latency_quantiles(steal_results.iter().map(|&(_, ns)| ns).collect());
+        skew_total.absorb(&report);
+        skew_rows.push(SkewRow {
+            shape: name,
+            points: costs.len(),
+            pack_ms,
+            steal_ms,
+            identical,
+            report,
+            latency_ns,
+        });
+    };
+
+    // 7a. Uniform grid: every point costs the same; stealing must be
+    //     free when there is nothing to steal. Point counts are
+    //     multiples of `workers × 8` so the width-8 pack scheduler is
+    //     not starved by construction (that pathology is the zipf
+    //     shape's job to show).
+    let uniform_costs: Vec<u64> = if smoke {
+        vec![250; 64]
+    } else {
+        vec![1_000; 128]
+    };
+    run_sleep_shape("uniform", &uniform_costs, CostClass::Uniform);
+
+    // 7b. Zipf-skewed costs, heaviest first: the first width-8 pack
+    //     serializes ~57% of the total work on one worker, while
+    //     cost-aware chunks isolate the head points and thieves absorb
+    //     the tail.
+    let (zipf_n, zipf_k) = if smoke {
+        (32usize, 2_000u64)
+    } else {
+        (64, 8_000)
+    };
+    let zipf_costs: Vec<u64> = (0..zipf_n).map(|i| zipf_k / (i as u64 + 1)).collect();
+    run_sleep_shape("zipf", &zipf_costs, CostClass::Hinted(sleep_cost));
+
+    // 7c. Mixed live + replay sweep: real compute, ragged costs. Live
+    //     points are hinted by instruction count, replay points by
+    //     record count. No speedup gate — on a single-core host real
+    //     compute cannot overlap — but results must stay bit-identical
+    //     and the shape exercises the hint plumbing end to end.
+    {
+        struct MixedItem {
+            point: SweepPoint,
+            run: RunParams,
+            records: Option<std::sync::Arc<Vec<didt_trace::Record>>>,
+        }
+        fn mixed_cost(it: &MixedItem) -> u64 {
+            match &it.records {
+                Some(r) => r.len() as u64,
+                None => it.run.instructions,
+            }
+        }
+        const PRE_ROLL: usize = 256;
+        let controller = ControllerSpec::WaveletThreshold {
+            low: 0.975,
+            high: 1.025,
+            hysteresis: 0.004,
+            delay: 1,
+        };
+        let live_instructions: &[u64] = if smoke {
+            &[1_000, 4_000]
+        } else {
+            &[3_000, 12_000]
+        };
+        let replay_cycles: &[usize] = if smoke {
+            &[1_024, 4_096]
+        } else {
+            &[4_096, 16_384]
+        };
+        let mut items: Vec<MixedItem> = Vec::new();
+        for rep in 0..2u64 {
+            for &b in &[Benchmark::Gzip, Benchmark::Swim] {
+                let point = SweepPoint {
+                    benchmark: b,
+                    pdn_pct: 150.0,
+                    monitor_terms: 13,
+                    controller,
+                };
+                for &instructions in live_instructions {
+                    items.push(MixedItem {
+                        point: point.clone(),
+                        run: RunParams {
+                            instructions: instructions + rep,
+                            warmup_cycles: 1_000,
+                        },
+                        records: None,
+                    });
+                }
+                for &cycles in replay_cycles {
+                    items.push(MixedItem {
+                        point: point.clone(),
+                        run: RunParams {
+                            instructions: 2_000,
+                            warmup_cycles: 1_000,
+                        },
+                        records: Some(ctx.record_trace(
+                            b,
+                            &processor,
+                            17,
+                            PRE_ROLL,
+                            cycles + rep as usize,
+                        )),
+                    });
+                }
+            }
+        }
+        let mixed_ctx = &ctx;
+        let job = |_: usize, it: &MixedItem| -> (PointResult, u64) {
+            let t0 = Instant::now();
+            let result = match &it.records {
+                Some(records) => mixed_ctx
+                    .run_replay(&it.point, it.run, records, PRE_ROLL)
+                    .expect("replay point"),
+                None => mixed_ctx.run_point(&it.point, it.run).expect("live point"),
+            };
+            (result, t0.elapsed().as_nanos() as u64)
+        };
+        let strip =
+            |r: Vec<(PointResult, u64)>| -> (Vec<PointResult>, Vec<u64>) { r.into_iter().unzip() };
+        let (serial, _) = strip(ExperimentRunner::serial().run_costed(
+            &items,
+            CostClass::Hinted(mixed_cost),
+            job,
+        ));
+        // Interleaved min-of-2, same drift-cancelling discipline as
+        // the synthetic shapes.
+        let pack_runner = ExperimentRunner::with_threads(SKEW_WORKERS).with_scheduler(pack8);
+        let steal_runner =
+            ExperimentRunner::with_threads(SKEW_WORKERS).with_scheduler(Scheduler::Steal);
+        let mut pack_ms = f64::INFINITY;
+        let mut steal_ms = f64::INFINITY;
+        let mut pack_raw = Vec::new();
+        let mut steal_best = (Vec::new(), SchedReport::default());
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let out = pack_runner.run_costed_reported(&items, CostClass::Hinted(mixed_cost), job);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < pack_ms {
+                pack_ms = ms;
+                pack_raw = out.0;
+            }
+            let t0 = Instant::now();
+            let out = steal_runner.run_costed_reported(&items, CostClass::Hinted(mixed_cost), job);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < steal_ms {
+                steal_ms = ms;
+                steal_best = out;
+            }
+        }
+        let (steal_raw, report) = steal_best;
+        let (pack_results, _) = strip(pack_raw);
+        let (steal_results, steal_ns) = strip(steal_raw);
+        let identical = pack_results == serial && steal_results == serial;
+        let latency_ns = latency_quantiles(steal_ns);
+        skew_total.absorb(&report);
+        skew_rows.push(SkewRow {
+            shape: "mixed_live_replay",
+            points: items.len(),
+            pack_ms,
+            steal_ms,
+            identical,
+            report,
+            latency_ns,
+        });
+    }
+
+    let mut kt = TextTable::new(&[
+        "skew shape",
+        "points",
+        "pack ms",
+        "steal ms",
+        "speedup",
+        "steals hit",
+        "identical",
+    ]);
+    for r in &skew_rows {
+        kt.row_owned(vec![
+            r.shape.to_string(),
+            r.points.to_string(),
+            format!("{:.2}", r.pack_ms),
+            format!("{:.2}", r.steal_ms),
+            format!("{:.2}x", r.speedup()),
+            format!("{}/{}", r.report.steal_hits, r.report.steal_attempts),
+            r.identical.to_string(),
+        ]);
+    }
+    println!("{}", kt.render());
+    let skew_identical = skew_rows.iter().all(|r| r.identical);
+    let uniform_row = &skew_rows[0];
+    let zipf_row = &skew_rows[1];
+    let mixed_row = &skew_rows[2];
+    let uniform_ratio = uniform_row.speedup();
+    let uniform_parity = (uniform_ratio - 1.0).abs() <= SKEW_UNIFORM_BAND;
+    println!(
+        "skew: zipf {:.2}x (target {SKEW_ZIPF_TARGET}x), uniform ratio {:.3} \
+         (band ±{SKEW_UNIFORM_BAND}), mixed {:.2}x, all bit-identical: {skew_identical}\n",
+        zipf_row.speedup(),
+        uniform_ratio,
+        mixed_row.speedup()
+    );
+    exp.scheduler(&skew_total);
+    exp.golden("skew_identical", f64::from(u8::from(skew_identical)));
+
+    // ------------------------------------------------------------------
+    // 8. The BENCH JSON report.
     // ------------------------------------------------------------------
     // Hardware facts are deterministic on a given host, so they may
     // live in the manifest (unlike wall clocks); the CI double-smoke
@@ -780,7 +1094,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let report = Json::obj(vec![
-        ("schema", Json::str("didt-bench-v3")),
+        ("schema", Json::str("didt-bench-v5")),
         ("name", Json::str("perf_report")),
         ("git_sha", discover_git_sha().map_or(Json::Null, Json::str)),
         ("smoke", Json::Bool(smoke)),
@@ -952,8 +1266,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("all_lanes_bit_identical", Json::Bool(batch_bit_identical)),
             ]),
         ),
+        (
+            "skew_report",
+            Json::obj(vec![
+                ("workers", Json::Num(SKEW_WORKERS as f64)),
+                (
+                    "shapes",
+                    Json::Arr(
+                        skew_rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("shape", Json::str(r.shape)),
+                                    ("points", Json::Num(r.points as f64)),
+                                    ("pack_ms", Json::Num(r.pack_ms)),
+                                    ("steal_ms", Json::Num(r.steal_ms)),
+                                    ("speedup", Json::Num(r.speedup())),
+                                    ("bit_identical", Json::Bool(r.identical)),
+                                    ("chunks", Json::Num(r.report.chunks as f64)),
+                                    ("steal_attempts", Json::Num(r.report.steal_attempts as f64)),
+                                    ("steal_hits", Json::Num(r.report.steal_hits as f64)),
+                                    (
+                                        "deque_max_depth",
+                                        Json::Num(r.report.deque_max_depth as f64),
+                                    ),
+                                    (
+                                        "busy_fractions",
+                                        Json::Arr(
+                                            r.report
+                                                .busy_fractions()
+                                                .into_iter()
+                                                .map(Json::Num)
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "latency_ns",
+                                        Json::obj(vec![
+                                            ("p50", Json::Num(r.latency_ns.0 as f64)),
+                                            ("p95", Json::Num(r.latency_ns.1 as f64)),
+                                            ("p99", Json::Num(r.latency_ns.2 as f64)),
+                                        ]),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("zipf_speedup", Json::Num(zipf_row.speedup())),
+                ("zipf_target", Json::Num(SKEW_ZIPF_TARGET)),
+                (
+                    "zipf_meets_target",
+                    Json::Bool(!smoke && zipf_row.speedup() >= SKEW_ZIPF_TARGET),
+                ),
+                ("uniform_ratio", Json::Num(uniform_ratio)),
+                ("uniform_band", Json::Num(SKEW_UNIFORM_BAND)),
+                ("uniform_parity", Json::Bool(smoke || uniform_parity)),
+                ("mixed_speedup", Json::Num(mixed_row.speedup())),
+                ("identical", Json::Bool(skew_identical)),
+            ]),
+        ),
     ]);
-    let out_path = std::env::var("DIDT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    let out_path =
+        std::env::var("DIDT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
     std::fs::write(&out_path, report.render() + "\n")?;
     println!("bench report: {out_path}");
     exp.finish()?;
@@ -963,6 +1338,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !batch_bit_identical {
         return Err("a batched kernel lane diverged bitwise from the scalar path".into());
+    }
+    if !skew_identical {
+        return Err("a skew-benchmark scheduler diverged bitwise from the serial run".into());
     }
     Ok(())
 }

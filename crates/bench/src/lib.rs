@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod observe;
 pub mod runner;
+pub mod steal;
 pub mod table;
 
 pub use experiments::{benchmark_trace, standard_system, TRACE_CYCLES, TRACE_WARMUP};
@@ -19,4 +20,5 @@ pub use runner::{
     CacheStats, ControllerSpec, ExperimentRunner, GainSnapshotEntry, MemoCache, MemoStats,
     PointResult, RunParams, Sweep, SweepContext, SweepPoint, WorkerScratch,
 };
+pub use steal::{CostClass, SchedReport, Scheduler, SplitMix64, StealDeques};
 pub use table::TextTable;

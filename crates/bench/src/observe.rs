@@ -19,10 +19,11 @@ use std::time::{Duration, Instant};
 
 use didt_telemetry::{
     install_collector, seed_to_hex, CollectorGuard, Json, MemoryCollector, MetricsRegistry,
-    PointRecord, RunManifest, SubRun,
+    PointRecord, RunManifest, SchedCounterRecord, SubRun,
 };
 
 use crate::runner::{ExperimentRunner, PointResult, RunParams, Sweep, SweepContext};
+use crate::steal::SchedReport;
 
 /// One observed experiment run: a [`RunManifest`] under construction
 /// plus the process-global span collector for its duration.
@@ -117,6 +118,40 @@ impl Experiment {
             ok,
             secs,
         });
+    }
+
+    /// Record the work-stealing core's counters for this run (timing
+    /// fields — excluded from the non-timing fingerprint). Replaces any
+    /// earlier snapshot; call with the accumulated [`SchedReport`]
+    /// after the last sweep. Counter names pass through the manifest
+    /// interning table so the manifest stays lossless.
+    pub fn scheduler(&mut self, report: &SchedReport) {
+        let intern = |name: &str| {
+            didt_telemetry::intern_scheduler_counter(name)
+                .expect("scheduler counter missing from interning table")
+        };
+        let mut counters = vec![
+            SchedCounterRecord {
+                name: intern(crate::steal::STEAL_ATTEMPTS_COUNTER),
+                value: report.steal_attempts,
+            },
+            SchedCounterRecord {
+                name: intern(crate::steal::STEAL_HITS_COUNTER),
+                value: report.steal_hits,
+            },
+            SchedCounterRecord {
+                name: intern(crate::steal::DEQUE_MAX_DEPTH_GAUGE),
+                value: report.deque_max_depth,
+            },
+        ];
+        let busy = intern(crate::steal::WORKER_BUSY_NS_HISTOGRAM);
+        for &ns in &report.worker_busy_ns {
+            counters.push(SchedCounterRecord {
+                name: busy,
+                value: ns,
+            });
+        }
+        self.manifest.scheduler = counters;
     }
 
     /// Read access to the manifest built so far.

@@ -29,6 +29,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::steal::{CostClass, SchedReport, Scheduler, SplitMix64, StealDeques};
+
 use didt_core::characterize::ScaleGainModel;
 use didt_core::control::{
     ClosedLoop, ClosedLoopConfig, ClosedLoopResult, DidtController, NoControl, PipelineDamping,
@@ -417,13 +419,16 @@ pub fn default_threads() -> usize {
 
 /// A fixed-width worker pool mapping a job over a slice of points.
 ///
-/// Work is handed out through a shared atomic index (dynamic
-/// scheduling: long points don't convoy short ones), and every result
-/// is stored at its point's index — the output `Vec` is identical for
-/// any thread count, including 1.
+/// Scheduling is work-stealing by default (per-worker deques seeded by
+/// a cost-aware blocked partition, steal-half on drain — see
+/// [`crate::steal`]); `DIDT_SCHEDULER=pack` restores the PR 1–9
+/// atomic-counter pack scheduler. Either way every result is stored at
+/// its point's index, so the output `Vec` is identical for any thread
+/// count (including 1), any scheduler and any steal interleaving.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentRunner {
     threads: usize,
+    scheduler: Scheduler,
 }
 
 impl Default for ExperimentRunner {
@@ -433,18 +438,23 @@ impl Default for ExperimentRunner {
 }
 
 impl ExperimentRunner {
-    /// A runner sized by [`default_threads`].
+    /// A runner sized by [`default_threads`], scheduled per
+    /// `DIDT_SCHEDULER` (work-stealing unless overridden).
     #[must_use]
     pub fn from_env() -> Self {
         ExperimentRunner {
             threads: default_threads(),
+            scheduler: Scheduler::from_env(),
         }
     }
 
     /// A single-threaded runner (the reference ordering).
     #[must_use]
     pub fn serial() -> Self {
-        ExperimentRunner { threads: 1 }
+        ExperimentRunner {
+            threads: 1,
+            scheduler: Scheduler::from_env(),
+        }
     }
 
     /// A runner with an explicit worker count (min 1).
@@ -452,7 +462,16 @@ impl ExperimentRunner {
     pub fn with_threads(threads: usize) -> Self {
         ExperimentRunner {
             threads: threads.max(1),
+            scheduler: Scheduler::from_env(),
         }
+    }
+
+    /// Same runner with an explicit scheduler (A/B benchmarking; the
+    /// skew section of `perf_report` races pack against steal).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Worker count.
@@ -461,62 +480,257 @@ impl ExperimentRunner {
         self.threads
     }
 
+    /// Scheduling substrate.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
     /// Run `job(index, &point)` over every point, returning results in
-    /// point order.
-    ///
-    /// Workers claim points in *packs* of [`didt_dsp::effective_lanes`]
-    /// (when batching is enabled) so a worker holds a lane-group of
-    /// adjacent sweep points at once — per-worker caches stay warm
-    /// across the pack and batched kernels see contiguous work. Results
-    /// are still stored at their point index, so the output is
-    /// identical for any thread count or pack width.
+    /// point order. Uniform-cost scheduling; see [`Self::run_costed`]
+    /// for hinted grids.
     pub fn run<P, R, F>(&self, points: &[P], job: F) -> Vec<R>
     where
         P: Sync,
         R: Send,
         F: Fn(usize, &P) -> R + Sync,
     {
+        self.run_costed(points, CostClass::Uniform, job)
+    }
+
+    /// [`Self::run`] with a per-point cost hint driving the initial
+    /// chunk partition (work-stealing only; the pack scheduler ignores
+    /// hints). Hints never affect results — only which worker runs
+    /// which point.
+    pub fn run_costed<P, R, F>(&self, points: &[P], cost: CostClass<P>, job: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(usize, &P) -> R + Sync,
+    {
+        self.run_costed_reported(points, cost, job).0
+    }
+
+    /// [`Self::run_costed`] that also returns what the scheduler did
+    /// (steal counts, per-worker busy time) for manifests and the skew
+    /// benchmark. Counters are also published to the global metrics
+    /// registry.
+    pub fn run_costed_reported<P, R, F>(
+        &self,
+        points: &[P],
+        cost: CostClass<P>,
+        job: F,
+    ) -> (Vec<R>, SchedReport)
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(usize, &P) -> R + Sync,
+    {
         if points.is_empty() {
-            return Vec::new();
+            return (Vec::new(), SchedReport::default());
         }
         let workers = self.threads.min(points.len());
-        if workers <= 1 {
-            return points.iter().enumerate().map(|(i, p)| job(i, p)).collect();
-        }
-        let pack = if didt_dsp::batch_enabled() {
-            didt_dsp::effective_lanes().clamp(1, 8)
+        let (results, report) = if workers <= 1 {
+            let t0 = std::time::Instant::now();
+            let results = points.iter().enumerate().map(|(i, p)| job(i, p)).collect();
+            let report = SchedReport {
+                scheduler: "serial",
+                workers: 1,
+                worker_busy_ns: vec![t0.elapsed().as_nanos() as u64],
+                ..SchedReport::default()
+            };
+            (results, report)
         } else {
-            1
+            match self.scheduler {
+                Scheduler::Pack { width } => run_pack(points, workers, width, &job),
+                Scheduler::Steal => run_steal(points, workers, cost, &job),
+            }
         };
-        let next = AtomicUsize::new(0);
-        let mut done: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i0 = next.fetch_add(pack, Ordering::Relaxed);
-                            if i0 >= points.len() {
-                                break;
-                            }
-                            for (i, point) in points.iter().enumerate().skip(i0).take(pack) {
-                                local.push((i, job(i, point)));
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
-        let mut indexed: Vec<(usize, R)> = done.drain(..).flatten().collect();
-        indexed.sort_by_key(|&(i, _)| i);
-        debug_assert_eq!(indexed.len(), points.len());
-        indexed.into_iter().map(|(_, r)| r).collect()
+        report.publish();
+        (results, report)
     }
+}
+
+/// PR 1–9 scheduler: a shared atomic counter hands out fixed-width
+/// packs of consecutive points. The claim is clamped to the point
+/// count (a bare `fetch_add` could overshoot `points.len()` and leave
+/// the final worker claiming an empty range — see the 1-point /
+/// 8-thread regression test).
+fn run_pack<P, R, F>(points: &[P], workers: usize, width: usize, job: &F) -> (Vec<R>, SchedReport)
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let pack = width.clamp(1, 8);
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<(Vec<(usize, R)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    let mut busy_ns = 0u64;
+                    loop {
+                        let claim = next.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                            (v < points.len()).then(|| (v + pack).min(points.len()))
+                        });
+                        let Ok(i0) = claim else { break };
+                        let end = (i0 + pack).min(points.len());
+                        let t0 = std::time::Instant::now();
+                        for (i, point) in points.iter().enumerate().take(end).skip(i0) {
+                            local.push((i, job(i, point)));
+                        }
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    (local, busy_ns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut report = SchedReport {
+        scheduler: "pack",
+        workers,
+        ..SchedReport::default()
+    };
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(points.len());
+    for (local, busy_ns) in per_worker {
+        report.worker_busy_ns.push(busy_ns);
+        indexed.extend(local);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), points.len());
+    (indexed.into_iter().map(|(_, r)| r).collect(), report)
+}
+
+/// One steal worker's harvest: its executed points plus the scheduler
+/// observations that fold into the [`SchedReport`].
+struct StealWorkerOut<R> {
+    results: Vec<(usize, R)>,
+    attempts: u64,
+    hits: u64,
+    max_depth: u64,
+    busy_ns: u64,
+}
+
+/// Work-stealing scheduler (DESIGN.md §16): cost-aware chunks are
+/// dealt to per-worker LIFO deques by a deterministic blocked
+/// partition; a worker whose deque drains steals half of a
+/// splitmix64-chosen victim's deque. Workers exit when every point has
+/// been executed (a global remaining-count, decremented on execution,
+/// never on steal).
+fn run_steal<P, R, F>(
+    points: &[P],
+    workers: usize,
+    cost: CostClass<P>,
+    job: &F,
+) -> (Vec<R>, SchedReport)
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let costs: Vec<u64> = points.iter().map(|p| cost.cost(p)).collect();
+    // Uniform points are batch-lane friendly, so chunk boundaries
+    // respect the lockstep group width; a cost hint declares the
+    // points heterogeneous (lockstep gains are gone anyway), so heavy
+    // regions may be split down to single points for balance.
+    let align = match cost {
+        CostClass::Uniform => crate::steal::pack_width(),
+        CostClass::Hinted(_) => 1,
+    };
+    let chunks = crate::steal::cost_chunks(&costs, workers, align);
+    let chunk_count = chunks.len();
+    let parts = crate::steal::blocked_partition(&chunks, &costs, workers);
+    let seed_depths: Vec<usize> = parts.iter().map(Vec::len).collect();
+    let deques: StealDeques<std::ops::Range<usize>> = StealDeques::new(workers);
+    for (w, part) in parts.into_iter().enumerate() {
+        deques.seed(w, part);
+    }
+    let remaining = AtomicUsize::new(points.len());
+    let per_worker: Vec<StealWorkerOut<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let deques = &deques;
+                let remaining = &remaining;
+                let seed_depth = seed_depths[me];
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::for_worker(me);
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut attempts = 0u64;
+                    let mut hits = 0u64;
+                    let mut max_depth = seed_depth as u64;
+                    let mut busy_ns = 0u64;
+                    let mut misses = 0u32;
+                    loop {
+                        if let Some(chunk) = deques.pop(me) {
+                            misses = 0;
+                            let n = chunk.len();
+                            let t0 = std::time::Instant::now();
+                            for i in chunk {
+                                local.push((i, job(i, &points[i])));
+                            }
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            remaining.fetch_sub(n, Ordering::AcqRel);
+                            continue;
+                        }
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        attempts += 1;
+                        let victim = rng.victim(me, workers);
+                        if deques.steal_half(me, victim) > 0 {
+                            hits += 1;
+                            max_depth = max_depth.max(deques.len(me) as u64);
+                            misses = 0;
+                            continue;
+                        }
+                        // All visible deques may be empty while peers
+                        // still execute their last chunks: back off so
+                        // idle thieves don't starve working peers
+                        // (matters on oversubscribed or small hosts).
+                        misses += 1;
+                        if misses < 8 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                    StealWorkerOut {
+                        results: local,
+                        attempts,
+                        hits,
+                        max_depth,
+                        busy_ns,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut report = SchedReport {
+        scheduler: "steal",
+        workers,
+        chunks: chunk_count,
+        ..SchedReport::default()
+    };
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(points.len());
+    for w in per_worker {
+        report.steal_attempts += w.attempts;
+        report.steal_hits += w.hits;
+        report.deque_max_depth = report.deque_max_depth.max(w.max_depth);
+        report.worker_busy_ns.push(w.busy_ns);
+        indexed.extend(w.results);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), points.len());
+    (indexed.into_iter().map(|(_, r)| r).collect(), report)
 }
 
 // ---------------------------------------------------------------------------
@@ -1484,6 +1698,69 @@ mod tests {
         let r = ExperimentRunner::from_env();
         assert!(r.run(&[] as &[u8], |_, _| 0u8).is_empty());
         assert_eq!(r.run(&[7u8], |i, &p| (i, p)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn pack_claim_never_overshoots_single_point_on_wide_pool() {
+        // Regression: the old `fetch_add(pack)` claim could run the
+        // counter past `points.len()`, leaving late workers claiming
+        // empty ranges. A 1-point sweep on 8 threads with an 8-wide
+        // pack is the worst case (workers = min(threads, points) = 1
+        // normally, so force the pack path through a 9-point grid too).
+        let pack8 = ExperimentRunner::with_threads(8).with_scheduler(Scheduler::Pack { width: 8 });
+        assert_eq!(pack8.run(&[41u8], |i, &p| (i, p)), vec![(0, 41)]);
+        let points: Vec<usize> = (0..9).collect();
+        let got = pack8.run(&points, |i, &p| i * 10 + p);
+        assert_eq!(got, (0..9).map(|i| i * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pack_and_steal_schedulers_agree_bitwise() {
+        let points: Vec<usize> = (0..57).collect();
+        let serial = ExperimentRunner::serial().run(&points, |i, &p| i * 1000 + p);
+        for threads in [2, 5, 8] {
+            for scheduler in [Scheduler::Pack { width: 4 }, Scheduler::Steal] {
+                let runner = ExperimentRunner::with_threads(threads).with_scheduler(scheduler);
+                let got = runner.run(&points, |i, &p| i * 1000 + p);
+                assert_eq!(serial, got, "threads {threads} scheduler {scheduler:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_hints_change_schedule_not_results() {
+        // Heavily skewed hints (and deliberately *wrong* ones) must
+        // never change what a sweep returns.
+        let points: Vec<u64> = (0..41).collect();
+        let serial = ExperimentRunner::serial().run(&points, |i, &p| (i as u64) << 32 | p);
+        let runner = ExperimentRunner::with_threads(8).with_scheduler(Scheduler::Steal);
+        let skewed = runner.run_costed(
+            &points,
+            CostClass::Hinted(|&p: &u64| 10_000 / (p + 1)),
+            |i, &p| (i as u64) << 32 | p,
+        );
+        let wrong = runner.run_costed(&points, CostClass::Hinted(|&p: &u64| p * p + 1), |i, &p| {
+            (i as u64) << 32 | p
+        });
+        assert_eq!(serial, skewed);
+        assert_eq!(serial, wrong);
+    }
+
+    #[test]
+    fn sched_report_accounts_for_all_work() {
+        let points: Vec<usize> = (0..100).collect();
+        let runner = ExperimentRunner::with_threads(4).with_scheduler(Scheduler::Steal);
+        let (results, report) = runner.run_costed_reported(&points, CostClass::Uniform, |i, &p| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            i + p
+        });
+        assert_eq!(results.len(), 100);
+        assert_eq!(report.scheduler, "steal");
+        assert_eq!(report.workers, 4);
+        assert!(report.chunks >= 4, "chunks {}", report.chunks);
+        assert_eq!(report.worker_busy_ns.len(), 4);
+        assert!(report.steal_hits <= report.steal_attempts);
+        assert!(report.worker_busy_ns.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -602,6 +602,118 @@ fn batched_characterize_is_bitwise_identical_and_counted() {
     );
 }
 
+/// The frame reader's buffers must stop growing after the first
+/// request of a given size on a connection: no per-request allocation
+/// growth (satellite of the work-stealing PR; the reader reuses its
+/// payload scratch instead of collecting a fresh `Vec` per frame).
+#[test]
+fn frame_reader_reuses_buffers_across_requests() {
+    let server = small_server();
+    let (mut stream, mut reader) = raw_connect(server.local_addr());
+    let reuse_before = didt_telemetry::MetricsRegistry::global()
+        .counter("serve.frame.buf_reuse")
+        .get();
+
+    let ping = |id: f64| Json::obj(vec![("id", Json::Num(id)), ("kind", Json::str("ping"))]);
+    // Warm the connection: first responses size the client reader's
+    // buffers (and the first request sizes the server reader's). All
+    // ids render at the same width so every frame is the same length.
+    for id in 90..92 {
+        write_frame(&mut stream, &ping(f64::from(id))).unwrap();
+        read_with_deadline(&mut reader).expect("ping reply");
+    }
+    let payload_cap = reader.payload_capacity();
+    let buf_cap = reader.buf_capacity();
+    assert!(payload_cap > 0, "scratch must be warmed by the first frame");
+
+    let rounds = 30u32;
+    for id in 0..rounds {
+        write_frame(&mut stream, &ping(f64::from(10 + id))).unwrap();
+        read_with_deadline(&mut reader).expect("ping reply");
+    }
+    assert_eq!(
+        reader.payload_capacity(),
+        payload_cap,
+        "payload scratch must not grow per request"
+    );
+    assert_eq!(
+        reader.buf_capacity(),
+        buf_cap,
+        "stream buffer must not grow per request"
+    );
+    // Both sides of the connection run in this process and share the
+    // metrics registry: the server's reader decoded every request after
+    // its first into a reused buffer, and the client's reader did the
+    // same for responses.
+    let reuse_after = didt_telemetry::MetricsRegistry::global()
+        .counter("serve.frame.buf_reuse")
+        .get();
+    assert!(
+        reuse_after >= reuse_before + u64::from(rounds),
+        "buf_reuse counter must track reused decodes: before {reuse_before}, after {reuse_after}"
+    );
+
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+}
+
+/// A pipelined burst of same-calibration requests exercises the
+/// steal-aware batch claim: one worker drains the group and parks the
+/// tail on its claim deque, idle peers steal from it. Whatever the
+/// interleaving, every request must be answered exactly once and the
+/// stats block must report the stolen-claim counter.
+#[test]
+fn pipelined_same_calibration_burst_is_fully_answered_under_stealing() {
+    let server = start_server(ServeConfig {
+        workers: 3,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    });
+    let (mut stream, mut reader) = raw_connect(server.local_addr());
+
+    // Write the whole burst before reading anything, so the queue holds
+    // the group when the first worker claims it.
+    let burst = 8u64;
+    for id in 0..burst {
+        let req = didt_serve::Request {
+            id: 500 + id,
+            deadline_ms: None,
+            body: didt_serve::RequestBody::Characterize(tiny_characterize()),
+        };
+        write_frame(&mut stream, &req.to_json()).unwrap();
+    }
+    let mut ids: Vec<u64> = (0..burst)
+        .map(|_| {
+            let reply = read_with_deadline(&mut reader).expect("burst reply");
+            assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+            reply.get("id").and_then(Json::as_u64).expect("id")
+        })
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (500..500 + burst).collect::<Vec<_>>(),
+        "every pipelined request must be answered exactly once"
+    );
+
+    // The stats block surfaces the steal counter (non-negative; whether
+    // a steal actually fired depends on worker timing).
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    let batch = stats.get("batch").expect("stats must report `batch`");
+    assert!(
+        batch.get("stolen_claims").and_then(Json::as_f64).is_some(),
+        "batch stats must report stolen_claims: {batch:?}"
+    );
+
+    drop(client);
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert_eq!(report.served, burst + 1); // burst + stats request
+}
+
 /// A singleton pop is not a batch: `handle_batch` over one request must
 /// leave the batch counters untouched.
 #[test]

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use didt_bench::Experiment;
+use didt_bench::{CostClass, Experiment, ExperimentRunner, SchedReport, Scheduler};
 use didt_serve::{
     warm_worker, CharacterizeSpec, Client, ClientConfig, ClientError, HashRing, Request,
     RequestBody, ResponsePayload, Router, RouterConfig, ServeConfig, Server, Service, SessionSpec,
@@ -93,6 +93,21 @@ fn key_trace(window: usize, pdn_pct: f64, len: usize) -> Vec<f64> {
                 + 3.0 * (t / (w + 1.0)).cos()
         })
         .collect()
+}
+
+/// One storm request: a (driver slot, calibration key) pair. The
+/// cost hint is the window length — bigger windows calibrate and
+/// render more data — so the steal runner's initial partition puts
+/// fewer heavy keys on each deque and thieves absorb the rest.
+#[derive(Clone, Copy)]
+struct StormItem {
+    key: usize,
+    window: usize,
+    pdn_pct: f64,
+}
+
+fn storm_cost(it: &StormItem) -> u64 {
+    it.window as u64
 }
 
 fn storm_spec(window: usize, pdn_pct: f64) -> CharacterizeSpec {
@@ -369,6 +384,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         keys.len()
     );
 
+    // The fleet driver is the work-stealing runner (DESIGN.md §16):
+    // each round flattens (driver slot × key) into one item list and
+    // the steal core load-balances the heavy window-512 keys across
+    // driver workers. Each worker thread lazily opens its own router
+    // connection, cached in a thread local for the round.
+    let items: Vec<StormItem> = (0..threads)
+        .flat_map(|_| {
+            keys.iter().enumerate().map(|(ki, &(w, p))| StormItem {
+                key: ki,
+                window: w,
+                pdn_pct: p,
+            })
+        })
+        .collect();
+    thread_local! {
+        static STORM_CLIENT: std::cell::RefCell<Option<Client>> =
+            const { std::cell::RefCell::new(None) };
+    }
+    let drive_one = |_: usize, it: &StormItem| -> Result<(), String> {
+        STORM_CLIENT.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if slot.is_none() {
+                let mut client = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+                client.set_config(ClientConfig::with_retries(4));
+                *slot = Some(client);
+            }
+            let client = slot.as_mut().expect("client installed above");
+            let t0 = Instant::now();
+            match client.call(
+                RequestBody::Characterize(storm_spec(it.window, it.pdn_pct)),
+                None,
+            ) {
+                Ok(resp) => {
+                    latency.record_duration(t0.elapsed());
+                    match resp.payload {
+                        ResponsePayload::Ok { result, .. } => {
+                            counts.ok.fetch_add(1, Ordering::Relaxed);
+                            let render = result.render();
+                            let mut firsts = first_renders.lock().unwrap();
+                            match &firsts[it.key] {
+                                Some(want) if *want != render => {
+                                    counts.divergent.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(_) => {}
+                                None => firsts[it.key] = Some(render),
+                            }
+                        }
+                        ResponsePayload::Rejected { .. } => {
+                            counts.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ResponsePayload::Error { .. } => {
+                            counts.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // An id mismatch means a duplicated or misrouted
+                // answer; anything else is a request lost in
+                // transport.
+                Err(ClientError::Protocol(_)) => {
+                    counts.duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    counts.lost.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            counts.completed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+    };
+
+    let runner = ExperimentRunner::with_threads(threads).with_scheduler(Scheduler::Steal);
+    let mut driver_report = SchedReport::default();
+    let mut rounds = 0usize;
     let storm_start = Instant::now();
     std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
         // The kill watcher: once ~60% of the planned requests have
@@ -394,69 +482,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             });
         }
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            let addr = router_addr.clone();
-            let keys = &keys;
-            let counts = Arc::clone(&counts);
-            let latency = Arc::clone(&latency);
-            let first_renders = Arc::clone(&first_renders);
-            handles.push(scope.spawn(move || -> Result<(), String> {
-                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
-                client.set_config(ClientConfig::with_retries(4));
-                let mut iter = 0usize;
-                loop {
-                    for (ki, &(w, p)) in keys.iter().enumerate() {
-                        let t0 = Instant::now();
-                        match client.call(RequestBody::Characterize(storm_spec(w, p)), None) {
-                            Ok(resp) => {
-                                latency.record_duration(t0.elapsed());
-                                match resp.payload {
-                                    ResponsePayload::Ok { result, .. } => {
-                                        counts.ok.fetch_add(1, Ordering::Relaxed);
-                                        let render = result.render();
-                                        let mut firsts = first_renders.lock().unwrap();
-                                        match &firsts[ki] {
-                                            Some(want) if *want != render => {
-                                                counts.divergent.fetch_add(1, Ordering::Relaxed);
-                                            }
-                                            Some(_) => {}
-                                            None => firsts[ki] = Some(render),
-                                        }
-                                    }
-                                    ResponsePayload::Rejected { .. } => {
-                                        counts.rejected.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    ResponsePayload::Error { .. } => {
-                                        counts.errors.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                            // An id mismatch means a duplicated or
-                            // misrouted answer; anything else is a
-                            // request lost in transport.
-                            Err(ClientError::Protocol(_)) => {
-                                counts.duplicated.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                counts.lost.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        counts.completed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    iter += 1;
-                    if iter >= min_iters && storm_start.elapsed().as_millis() as u64 >= min_storm_ms
-                    {
-                        return Ok(());
-                    }
-                }
-            }));
+        loop {
+            let (results, report) =
+                runner.run_costed_reported(&items, CostClass::Hinted(storm_cost), drive_one);
+            driver_report.absorb(&report);
+            rounds += 1;
+            if let Some(err) = results.into_iter().find_map(Result::err) {
+                storm_done.store(true, Ordering::Release);
+                return Err(err.into());
+            }
+            if rounds >= min_iters && storm_start.elapsed().as_millis() as u64 >= min_storm_ms {
+                storm_done.store(true, Ordering::Release);
+                return Ok(());
+            }
         }
-        for h in handles {
-            h.join().expect("storm thread panicked")?;
-        }
-        storm_done.store(true, Ordering::Release);
-        Ok(())
     })?;
     let storm_secs = t_phase.elapsed().as_secs_f64();
     let issued = counts.completed.load(Ordering::Relaxed);
@@ -471,10 +510,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exp.subrun("storm", storm_clean, storm_secs);
     exp.param("storm_requests", issued as f64);
     exp.param("storm_threads", threads as f64);
+    exp.scheduler(&driver_report);
     println!(
         "storm: {issued} requests in {storm_secs:.2} s ({throughput:.1} req/s): {ok} ok, \
          {rejected} rejected, {errors} errors, {lost} lost, {duplicated} duplicated, \
          {divergent} divergent"
+    );
+    println!(
+        "driver: {} scheduler, {rounds} rounds, {} chunks, {}/{} steals hit, deque depth {}",
+        driver_report.scheduler,
+        driver_report.chunks,
+        driver_report.steal_hits,
+        driver_report.steal_attempts,
+        driver_report.deque_max_depth
     );
 
     // ------------------------------------------------------------------
@@ -618,6 +666,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         ("p99", quant(0.99)),
                         ("count", Json::num(latency.count() as f64)),
                     ]),
+                ),
+            ]),
+        ),
+        (
+            "driver",
+            Json::obj(vec![
+                ("scheduler", Json::str(driver_report.scheduler)),
+                ("workers", Json::num(driver_report.workers as f64)),
+                ("rounds", Json::num(rounds as f64)),
+                ("chunks", Json::num(driver_report.chunks as f64)),
+                (
+                    "steal_attempts",
+                    Json::num(driver_report.steal_attempts as f64),
+                ),
+                ("steal_hits", Json::num(driver_report.steal_hits as f64)),
+                (
+                    "deque_max_depth",
+                    Json::num(driver_report.deque_max_depth as f64),
+                ),
+                (
+                    "busy_fractions",
+                    Json::Arr(
+                        driver_report
+                            .busy_fractions()
+                            .into_iter()
+                            .map(Json::num)
+                            .collect(),
+                    ),
                 ),
             ]),
         ),

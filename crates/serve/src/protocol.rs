@@ -110,10 +110,17 @@ pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
 /// picks up exactly where the stream left off. Timeouts
 /// (`WouldBlock`/`TimedOut`) are not errors — they poll the caller's
 /// abort predicate and keep waiting.
+///
+/// Both the stream buffer and the payload scratch persist across
+/// frames on a connection: after the first request of a given size,
+/// later requests decode with **zero** new allocations (the
+/// `serve.frame.buf_reuse` counter tracks reused decodes; the
+/// `service_protocol` suite asserts capacities stop growing).
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
     buf: Vec<u8>,
+    payload: Vec<u8>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -122,7 +129,22 @@ impl<R: Read> FrameReader<R> {
         FrameReader {
             inner,
             buf: Vec::new(),
+            payload: Vec::new(),
         }
+    }
+
+    /// Capacity of the payload scratch buffer (allocation-growth
+    /// assertions in tests).
+    #[must_use]
+    pub fn payload_capacity(&self) -> usize {
+        self.payload.capacity()
+    }
+
+    /// Capacity of the stream buffer (allocation-growth assertions in
+    /// tests).
+    #[must_use]
+    pub fn buf_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Read one complete frame and parse its payload.
@@ -147,14 +169,26 @@ impl<R: Read> FrameReader<R> {
                     return Err(FrameError::TooLarge { len, max: max_len });
                 }
                 if self.buf.len() >= 4 + len {
-                    let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-                    let text = String::from_utf8(payload).map_err(|e| {
+                    // Copy the payload into the reusable scratch (its
+                    // capacity survives across frames — no per-request
+                    // allocation once warmed) and shift the remainder
+                    // of the stream buffer down in place.
+                    let reused = self.payload.capacity() >= len;
+                    self.payload.clear();
+                    self.payload.extend_from_slice(&self.buf[4..4 + len]);
+                    self.buf.drain(..4 + len);
+                    if reused {
+                        didt_telemetry::MetricsRegistry::global()
+                            .counter("serve.frame.buf_reuse")
+                            .incr();
+                    }
+                    let text = std::str::from_utf8(&self.payload).map_err(|e| {
                         FrameError::Json(JsonError {
                             message: format!("payload is not UTF-8: {e}"),
                             offset: 0,
                         })
                     })?;
-                    return Json::parse(&text).map_err(FrameError::Json);
+                    return Json::parse(text).map_err(FrameError::Json);
                 }
             }
             match self.inner.read(&mut chunk) {

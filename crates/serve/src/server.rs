@@ -20,6 +20,12 @@
 //!   threaded into the handlers, which poll it between analysis stages
 //!   and — for closed-loop simulations — every few thousand simulated
 //!   cycles ([`didt_core::control::DEADLINE_CHECK_INTERVAL`]).
+//! * **Batch claims are stealable.** A worker that drains a
+//!   same-calibration batch parks the tail of the group on its own
+//!   claim deque (see [`didt_bench::StealDeques`]); an idle peer
+//!   steals half of the deepest deque instead of waiting for the
+//!   queue, so lane packing never serializes a burst behind one
+//!   worker.
 //! * **Workers never die.** Handler panics are caught per request
 //!   ([`std::panic::catch_unwind`]), counted, and answered as
 //!   `internal` errors; the pool keeps its width for the life of the
@@ -37,6 +43,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use didt_bench::StealDeques;
 use didt_dsp::Wavelet;
 use didt_telemetry::{Json, MetricsRegistry};
 
@@ -95,6 +102,16 @@ struct QueueInner<T> {
     closed: bool,
 }
 
+/// Outcome of a non-blocking [`BoundedQueue::try_pop`].
+enum PopNow<T> {
+    /// The next queued item.
+    Item(T),
+    /// Nothing queued, queue still open.
+    Empty,
+    /// Closed and drained — no item will ever arrive again.
+    Closed,
+}
+
 /// A bounded MPMC queue: non-blocking producers (admission either
 /// succeeds instantly or reports "full"), blocking consumers.
 struct BoundedQueue<T> {
@@ -135,7 +152,8 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Block for the next item; `None` once the queue is closed *and*
-    /// drained — the worker-pool exit condition.
+    /// drained.
+    #[cfg(test)]
     fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
@@ -147,6 +165,37 @@ impl<T> BoundedQueue<T> {
             }
             inner = self.takers.wait(inner).expect("queue poisoned");
         }
+    }
+
+    /// Non-blocking pop: the next item, or whether the queue is closed
+    /// and drained. Workers interleave this with their steal-aware
+    /// claim deques, so they must never park inside the queue.
+    fn try_pop(&self) -> PopNow<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if let Some(item) = inner.items.pop_front() {
+            return PopNow::Item(item);
+        }
+        if inner.closed {
+            PopNow::Closed
+        } else {
+            PopNow::Empty
+        }
+    }
+
+    /// Block until a producer pushes, the queue closes, someone calls
+    /// [`Self::notify_all`], or `timeout` lapses — the idle wait
+    /// between a worker's claim/steal rounds.
+    fn wait_brief(&self, timeout: Duration) {
+        let inner = self.inner.lock().expect("queue poisoned");
+        if inner.items.is_empty() && !inner.closed {
+            let _ = self.takers.wait_timeout(inner, timeout);
+        }
+    }
+
+    /// Wake every waiting consumer (used after parking stealable
+    /// claims so idle peers re-check the claim deques).
+    fn notify_all(&self) {
+        self.takers.notify_all();
     }
 
     /// Stop admitting; wake every blocked consumer.
@@ -198,6 +247,12 @@ struct Job {
 struct Shared {
     service: Service,
     queue: BoundedQueue<Job>,
+    /// Per-worker claim deques (the work-stealing core of
+    /// DESIGN.md §16). A worker that drains a same-calibration batch
+    /// parks the tail of the group on its own deque; idle peers steal
+    /// half of the deepest deque instead of idling while one worker
+    /// holds up to `BATCH_MAX - 1` queued requests.
+    claims: StealDeques<Job>,
     shutdown: AtomicBool,
     config: ServeConfig,
 }
@@ -244,6 +299,7 @@ impl Server {
             .store(config.queue_depth as u64, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
+            claims: StealDeques::new(config.workers),
             service,
             shutdown: AtomicBool::new(false),
             config,
@@ -254,7 +310,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("didt-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -431,59 +487,112 @@ fn calibration_key(request: &Request) -> Option<(&'static str, &'static str, usi
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    let stats = shared.service.stats();
-    let metrics = MetricsRegistry::global();
-    while let Some(job) = shared.queue.pop() {
-        // Same-calibration Characterize requests already waiting in the
-        // queue ride along with the popped job as one drained batch.
-        let mut group = vec![job];
-        if didt_dsp::batch_enabled() {
-            if let Some(key) = calibration_key(&group[0].request) {
-                group.extend(shared.queue.drain_where(BATCH_MAX - 1, |j: &Job| {
-                    calibration_key(&j.request) == Some(key)
-                }));
-            }
+/// How long an idle worker parks between claim/steal rounds when both
+/// the queue and every claim deque look empty.
+const WORKER_IDLE_POLL: Duration = Duration::from_millis(2);
+
+fn worker_loop(shared: &Arc<Shared>, me: usize) {
+    loop {
+        // 1. This worker's own parked claims (batch-drain tails).
+        if let Some(job) = shared.claims.pop(me) {
+            process_job(shared, job);
+            continue;
         }
-        if group.len() >= 2 {
-            shared.service.note_batch_group(group.len());
-        }
-        for job in group {
-            let now = Instant::now();
-            metrics
-                .histogram("serve.queue_wait_ns")
-                .record_duration(now.duration_since(job.enqueued));
-            let id = job.request.id;
-            let response = if job.deadline.is_some_and(|d| now >= d) {
-                stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                metrics.counter("serve.deadline_exceeded").incr();
-                Response::error(
-                    id,
-                    ErrorCode::DeadlineExceeded,
-                    "deadline expired while queued",
-                )
-            } else {
-                let service = &shared.service;
-                let request = &job.request;
-                let deadline = job.deadline;
-                match catch_unwind(AssertUnwindSafe(|| service.handle(request, deadline))) {
-                    Ok(response) => response,
-                    Err(_) => {
-                        stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-                        metrics.counter("serve.worker_panics").incr();
-                        Response::error(id, ErrorCode::Internal, "request handler panicked")
+        // 2. Fresh work from the admission queue. Same-calibration
+        //    Characterize requests already waiting ride along with the
+        //    popped job as one drained claim; the tail of the claim is
+        //    *parked* on this worker's deque — stealable — rather than
+        //    held privately, so a worker never idles while a peer sits
+        //    on up to BATCH_MAX-1 queued same-calibration requests.
+        let closed = match shared.queue.try_pop() {
+            PopNow::Item(job) => {
+                let mut group = vec![job];
+                if didt_dsp::batch_enabled() {
+                    if let Some(key) = calibration_key(&group[0].request) {
+                        group.extend(shared.queue.drain_where(BATCH_MAX - 1, |j: &Job| {
+                            calibration_key(&j.request) == Some(key)
+                        }));
                     }
                 }
-            };
-            stats.served.fetch_add(1, Ordering::Relaxed);
-            if matches!(response.payload, ResponsePayload::Error { .. }) {
-                metrics.counter("serve.errors").incr();
+                if group.len() >= 2 {
+                    shared.service.note_batch_group(group.len());
+                }
+                let mut tail = group.into_iter();
+                let first = tail.next().expect("claim group is non-empty");
+                let mut parked = 0usize;
+                for job in tail {
+                    shared.claims.push(me, job);
+                    parked += 1;
+                }
+                if parked > 0 {
+                    // Idle peers wait on the queue condvar; wake them
+                    // so they re-check the claim deques and steal.
+                    shared.queue.notify_all();
+                }
+                process_job(shared, first);
+                continue;
             }
-            // A peer that vanished mid-request is its own problem; the
-            // worker moves on.
-            let _ = send_response(&job.writer, &response);
+            PopNow::Empty => false,
+            PopNow::Closed => true,
+        };
+        // 3. Steal half of the deepest peer deque.
+        if shared.config.workers >= 2 {
+            if let Some(victim) = shared.claims.deepest_other(me) {
+                let moved = shared.claims.steal_half(me, victim);
+                if moved > 0 {
+                    shared.service.note_claims_stolen(moved as u64);
+                    continue;
+                }
+            }
         }
+        // 4. Idle. Exit only once the queue is closed *and* no claim
+        //    is parked anywhere (parked jobs always belong to some
+        //    live worker's deque, so none are lost).
+        if closed && shared.claims.is_empty() {
+            break;
+        }
+        shared.queue.wait_brief(WORKER_IDLE_POLL);
     }
+}
+
+/// Run one claimed job: queue-wait accounting, deadline check, the
+/// handler under `catch_unwind`, response write.
+fn process_job(shared: &Arc<Shared>, job: Job) {
+    let stats = shared.service.stats();
+    let metrics = MetricsRegistry::global();
+    let now = Instant::now();
+    metrics
+        .histogram("serve.queue_wait_ns")
+        .record_duration(now.duration_since(job.enqueued));
+    let id = job.request.id;
+    let response = if job.deadline.is_some_and(|d| now >= d) {
+        stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        metrics.counter("serve.deadline_exceeded").incr();
+        Response::error(
+            id,
+            ErrorCode::DeadlineExceeded,
+            "deadline expired while queued",
+        )
+    } else {
+        let service = &shared.service;
+        let request = &job.request;
+        let deadline = job.deadline;
+        match catch_unwind(AssertUnwindSafe(|| service.handle(request, deadline))) {
+            Ok(response) => response,
+            Err(_) => {
+                stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("serve.worker_panics").incr();
+                Response::error(id, ErrorCode::Internal, "request handler panicked")
+            }
+        }
+    };
+    stats.served.fetch_add(1, Ordering::Relaxed);
+    if matches!(response.payload, ResponsePayload::Error { .. }) {
+        metrics.counter("serve.errors").incr();
+    }
+    // A peer that vanished mid-request is its own problem; the
+    // worker moves on.
+    let _ = send_response(&job.writer, &response);
 }
 
 #[cfg(test)]

@@ -70,6 +70,9 @@ pub struct ServiceStats {
     pub batch_groups: AtomicU64,
     /// Requests served inside those groups.
     pub batch_requests: AtomicU64,
+    /// Parked batch-claim jobs stolen by idle workers from a peer's
+    /// claim deque.
+    pub claims_stolen: AtomicU64,
     /// Streaming sessions opened over the process lifetime.
     pub sessions_opened: AtomicU64,
     /// Streaming sessions closed by the client.
@@ -271,6 +274,15 @@ impl Service {
             .add(size as u64);
     }
 
+    /// Record `moved` parked claim jobs stolen by an idle worker from
+    /// a peer's claim deque (the steal-aware batch drain).
+    pub(crate) fn note_claims_stolen(&self, moved: u64) {
+        self.stats.claims_stolen.fetch_add(moved, Ordering::Relaxed);
+        MetricsRegistry::global()
+            .counter("serve.batch.stolen")
+            .add(moved);
+    }
+
     fn stats_report(&self) -> Json {
         let mut pairs = vec![(
             "uptime_ms",
@@ -341,11 +353,13 @@ impl Service {
         // limit [`crate::server::BATCH_MAX`].
         let groups = self.stats.batch_groups.load(Ordering::Relaxed);
         let batched = self.stats.batch_requests.load(Ordering::Relaxed);
+        let stolen = self.stats.claims_stolen.load(Ordering::Relaxed);
         pairs.push((
             "batch",
             Json::obj(vec![
                 ("groups", Json::num(groups as f64)),
                 ("batched_requests", Json::num(batched as f64)),
+                ("stolen_claims", Json::num(stolen as f64)),
                 (
                     "mean_fill_ratio",
                     Json::num(if groups > 0 {

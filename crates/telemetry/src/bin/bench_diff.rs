@@ -23,12 +23,16 @@
 //! `bench_diff <reference> <candidate>`.
 //!
 //! Which structural fields and metrics apply is keyed on the schema:
-//! the perf-report profile above is the default, and `didt-bench-v4`
+//! the perf-report profile above is the default, `didt-bench-v4`
 //! (the `storm_report` cluster benchmark) gets the storm profile —
 //! exact checks on session bit-identity, shard-key collisions, and
 //! zero lost/duplicated responses under failover, an absolute floor on
 //! the per-shard cache hit ratio, and a loose rate band on storm
-//! throughput.
+//! throughput — and `didt-bench-v5` (perf report with the scheduler
+//! `skew_report` section) gets every perf check plus skew gates: the
+//! zipf-shape steal speedup floor, the uniform-shape parity band,
+//! bit-identity across schedulers, and a sanity check that the zipf
+//! win involved at least one successful steal.
 //!
 //! A second mode, `bench_diff --manifest-fingerprint <a.json> <b.json>`,
 //! compares the non-timing fingerprints of two run manifests — CI uses
@@ -60,7 +64,19 @@ enum Profile {
     Perf,
     /// `didt-bench-v4`, the `storm_report` cluster benchmark.
     Storm,
+    /// `didt-bench-v5`: every perf-profile check plus the scheduler
+    /// `skew_report` section (work-stealing vs pack).
+    Skew,
 }
+
+/// Floor on the candidate's zipf-shape steal speedup. Looser than the
+/// full run's 1.8 gate because the CI candidate is a smoke run on a
+/// loaded runner.
+const SKEW_SMOKE_ZIPF_FLOOR: f64 = 1.5;
+
+/// Band around 1.0 for the candidate's uniform-shape pack/steal ratio.
+/// The full run holds ±3%; a smoke run on a shared host gets ±15%.
+const SKEW_SMOKE_UNIFORM_BAND: f64 = 0.15;
 
 /// Candidate paths that must be exactly `true` under the storm profile.
 const STORM_EXACT_TRUE: &[&[&str]] = &[
@@ -270,11 +286,12 @@ fn run() -> Result<bool, String> {
         .or_else(|| candidate.get("schema").and_then(Json::as_str))
     {
         Some("didt-bench-v4") => Profile::Storm,
+        Some("didt-bench-v5") => Profile::Skew,
         _ => Profile::Perf,
     };
 
     match profile {
-        Profile::Perf => {
+        Profile::Perf | Profile::Skew => {
             match lookup(&candidate, &["sweep", "serial_parallel_identical"]) {
                 Some(Json::Bool(true)) => println!("ok    sweep.serial_parallel_identical: true"),
                 other => fail(format!(
@@ -324,9 +341,55 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    if profile == Profile::Skew {
+        // The steal scheduler must never change results...
+        match lookup(&candidate, &["skew_report", "identical"]) {
+            Some(Json::Bool(true)) => println!("ok    skew_report.identical: true"),
+            other => fail(format!("skew_report.identical must be true, got {other:?}")),
+        }
+        // ...must still win on the skewed shape even in smoke...
+        match lookup(&candidate, &["skew_report", "zipf_speedup"]).and_then(Json::as_f64) {
+            Some(s) if s >= SKEW_SMOKE_ZIPF_FLOOR => {
+                println!("ok    skew_report.zipf_speedup: {s:.2} (floor {SKEW_SMOKE_ZIPF_FLOOR})");
+            }
+            other => fail(format!(
+                "skew_report.zipf_speedup must be >= {SKEW_SMOKE_ZIPF_FLOOR}, got {other:?}"
+            )),
+        }
+        // ...must cost ~nothing on the uniform shape...
+        match lookup(&candidate, &["skew_report", "uniform_ratio"]).and_then(Json::as_f64) {
+            Some(r) if (r - 1.0).abs() <= SKEW_SMOKE_UNIFORM_BAND => {
+                println!(
+                    "ok    skew_report.uniform_ratio: {r:.3} (band ±{SKEW_SMOKE_UNIFORM_BAND})"
+                );
+            }
+            other => fail(format!(
+                "skew_report.uniform_ratio must be within ±{SKEW_SMOKE_UNIFORM_BAND} of 1.0, \
+                 got {other:?}"
+            )),
+        }
+        // ...and the zipf win must come from actual stealing, not from
+        // a lucky initial partition.
+        let zipf_hits = lookup(&candidate, &["skew_report", "shapes"])
+            .and_then(Json::as_arr)
+            .and_then(|shapes| {
+                shapes
+                    .iter()
+                    .find(|s| s.get("shape").and_then(Json::as_str) == Some("zipf"))
+            })
+            .and_then(|s| s.get("steal_hits"))
+            .and_then(Json::as_f64);
+        match zipf_hits {
+            Some(h) if h > 0.0 => println!("ok    skew_report zipf steal_hits: {h}"),
+            other => fail(format!(
+                "skew_report zipf shape must record steal_hits > 0, got {other:?}"
+            )),
+        }
+    }
+
     // Banded metric checks.
     let metrics = match profile {
-        Profile::Perf => METRICS,
+        Profile::Perf | Profile::Skew => METRICS,
         Profile::Storm => STORM_METRICS,
     };
     for metric in metrics {

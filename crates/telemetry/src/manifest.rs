@@ -112,6 +112,22 @@ pub struct SubRun {
     pub secs: f64,
 }
 
+/// One execution-scheduler counter observed by a run's work-stealing
+/// core (DESIGN.md §16). **Timing field** family: steal counts, deque
+/// depths and busy time vary with the steal interleaving, never with
+/// results, so they live outside the non-timing fingerprint. Names are
+/// interned against [`intern_scheduler_counter`] so manifests stay
+/// lossless through a parse round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedCounterRecord {
+    /// Interned counter name (`"runner.steal.attempts"`, ...). The
+    /// per-worker busy-time counter `"runner.worker.busy_ns"` repeats,
+    /// one record per worker in worker order.
+    pub name: &'static str,
+    /// Counter value.
+    pub value: u64,
+}
+
 /// The reproducibility record of one experiment run (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -143,6 +159,9 @@ pub struct RunManifest {
     pub metrics: Option<Json>,
     /// Aggregated span statistics at exit. **Timing field.**
     pub spans: Option<Json>,
+    /// Execution-scheduler counters (steal attempts/hits, deque depth,
+    /// per-worker busy time). **Timing field.**
+    pub scheduler: Vec<SchedCounterRecord>,
     /// Total wall-clock milliseconds. **Timing field.**
     pub wall_ms: f64,
 }
@@ -187,6 +206,7 @@ impl RunManifest {
             subruns: Vec::new(),
             metrics: None,
             spans: None,
+            scheduler: Vec::new(),
             wall_ms: 0.0,
         }
     }
@@ -282,8 +302,28 @@ impl RunManifest {
             ("subruns", Json::Arr(subruns)),
             ("metrics", self.metrics.clone().unwrap_or(Json::Null)),
             ("spans", self.spans.clone().unwrap_or(Json::Null)),
+            ("scheduler", self.scheduler_json()),
             ("wall_ms", Json::Num(self.wall_ms)),
         ])
+    }
+
+    /// The scheduler counter table as JSON (`null` when the run never
+    /// recorded one — pre-PR10 manifests round-trip unchanged).
+    fn scheduler_json(&self) -> Json {
+        if self.scheduler.is_empty() {
+            return Json::Null;
+        }
+        Json::Arr(
+            self.scheduler
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("name", Json::str(c.name)),
+                        ("value", Json::Num(c.value as f64)),
+                    ])
+                })
+                .collect(),
+        )
     }
 
     /// Serialize to a pretty JSON string.
@@ -391,6 +431,26 @@ impl RunManifest {
                 other => Some(other.clone()),
             })
         };
+        let scheduler = match field("scheduler")? {
+            Json::Null => Vec::new(),
+            Json::Arr(items) => items
+                .iter()
+                .map(|c| {
+                    Ok(SchedCounterRecord {
+                        name: intern_scheduler_counter(
+                            c.get("name")
+                                .and_then(Json::as_str)
+                                .ok_or("scheduler counter missing name")?,
+                        )?,
+                        value: c
+                            .get("value")
+                            .and_then(Json::as_u64)
+                            .ok_or("scheduler counter missing value")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            _ => return Err("scheduler not an array or null".into()),
+        };
         Ok(RunManifest {
             schema_version: num("schema_version")? as u32,
             experiment: field("experiment")?
@@ -414,6 +474,7 @@ impl RunManifest {
             subruns,
             metrics: optional_json("metrics")?,
             spans: optional_json("spans")?,
+            scheduler,
             wall_ms: num("wall_ms")?,
         })
     }
@@ -429,6 +490,7 @@ impl RunManifest {
         stripped.serial = false;
         stripped.metrics = None;
         stripped.spans = None;
+        stripped.scheduler.clear();
         stripped.wall_ms = 0.0;
         for p in &mut stripped.points {
             p.duration_ms = 0.0;
@@ -517,6 +579,28 @@ fn intern_cache_name(name: &str) -> Result<&'static str, String> {
         .find(|&&k| k == name)
         .copied()
         .ok_or(format!("unknown cache class {name:?}"))
+}
+
+/// The scheduler-counter interning table. Counter names in
+/// [`SchedCounterRecord`] are `&'static str` so the writing side can
+/// use literals; map parsed (or runner-reported) names back onto the
+/// known set so a manifest round-trip is lossless.
+///
+/// # Errors
+///
+/// Returns a message for names outside the registered set.
+pub fn intern_scheduler_counter(name: &str) -> Result<&'static str, String> {
+    const KNOWN: &[&str] = &[
+        "runner.steal.attempts",
+        "runner.steal.hits",
+        "runner.deque.max_depth",
+        "runner.worker.busy_ns",
+    ];
+    KNOWN
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .ok_or(format!("unknown scheduler counter {name:?}"))
 }
 
 /// The manifest output directory: `DIDT_MANIFEST_DIR` when set, else
@@ -630,6 +714,28 @@ mod tests {
             secs: 0.5,
         }];
         m.metrics = Some(Json::obj(vec![("counters", Json::Obj(vec![]))]));
+        m.scheduler = vec![
+            SchedCounterRecord {
+                name: "runner.steal.attempts",
+                value: 17,
+            },
+            SchedCounterRecord {
+                name: "runner.steal.hits",
+                value: 9,
+            },
+            SchedCounterRecord {
+                name: "runner.deque.max_depth",
+                value: 6,
+            },
+            SchedCounterRecord {
+                name: "runner.worker.busy_ns",
+                value: 120_000,
+            },
+            SchedCounterRecord {
+                name: "runner.worker.busy_ns",
+                value: 98_000,
+            },
+        ];
         m.wall_ms = 1234.5;
         m
     }
@@ -681,6 +787,10 @@ mod tests {
         retimed.points[0].duration_ms = 99.9;
         retimed.subruns[0].secs = 77.7;
         retimed.metrics = None;
+        retimed.scheduler = vec![SchedCounterRecord {
+            name: "runner.steal.hits",
+            value: 1_000_000,
+        }];
         assert_eq!(m.non_timing_fingerprint(), retimed.non_timing_fingerprint());
 
         let mut changed = m.clone();
@@ -727,5 +837,13 @@ mod tests {
         let m = sample_manifest();
         let broken = m.to_json_string().replace("\"seed\": \"0x", "\"seed\": \"");
         assert!(RunManifest::from_json_str(&broken).is_err());
+        // Scheduler counters outside the interning table are rejected,
+        // not silently dropped.
+        let rogue = m
+            .to_json_string()
+            .replace("runner.steal.hits", "runner.steal.bogus");
+        assert!(RunManifest::from_json_str(&rogue).is_err());
+        assert!(intern_scheduler_counter("runner.steal.attempts").is_ok());
+        assert!(intern_scheduler_counter("nope").is_err());
     }
 }
